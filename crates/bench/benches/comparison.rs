@@ -1,0 +1,75 @@
+//! E13/E15 benches: HPF (simulated) vs hand-coded SPMD (real threads),
+//! and the storage-format conversion costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpf_core::spmd_baseline::{spmd_cg, spmd_matvec};
+use hpf_core::{DataArrayLayout, DistVector, RowwiseCsr};
+use hpf_dist::ArrayDescriptor;
+use hpf_machine::{CostModel, Machine, Topology};
+use hpf_solvers::{cg_distributed, StopCriterion};
+use hpf_sparse::{gen, CooMatrix, CscMatrix, CsrMatrix};
+use std::hint::black_box;
+
+fn bench_hpf_vs_spmd(c: &mut Criterion) {
+    let n = 512;
+    let np = 4;
+    let a = gen::random_spd(n, 5, 31);
+    let x = vec![1.0; n];
+    let (_, b) = gen::rhs_for_known_solution(&a);
+    let mut group = c.benchmark_group("e13_hpf_vs_spmd");
+    group.sample_size(10);
+
+    group.bench_function("matvec_hpf_simulated", |bch| {
+        let op = RowwiseCsr::block(a.clone(), np, DataArrayLayout::RowAligned);
+        let p = DistVector::from_global(ArrayDescriptor::block(n, np), &x);
+        bch.iter(|| {
+            let mut m = Machine::new(np, Topology::Hypercube, CostModel::mpp_1995());
+            m.set_tracing(false);
+            black_box(op.matvec(&mut m, black_box(&p)))
+        });
+    });
+    group.bench_function("matvec_spmd_threads", |bch| {
+        bch.iter(|| black_box(spmd_matvec(&a, &x, np)));
+    });
+    group.bench_function("cg_hpf_simulated", |bch| {
+        let op = RowwiseCsr::block(a.clone(), np, DataArrayLayout::RowAligned);
+        bch.iter(|| {
+            let mut m = Machine::new(np, Topology::Hypercube, CostModel::mpp_1995());
+            m.set_tracing(false);
+            black_box(
+                cg_distributed(&mut m, &op, &b, StopCriterion::RelativeResidual(1e-8), 5000)
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("cg_spmd_threads", |bch| {
+        bch.iter(|| black_box(spmd_cg(&a, &b, 1e-8, 5000, np)));
+    });
+    group.finish();
+}
+
+fn bench_formats(c: &mut Criterion) {
+    let a = gen::random_spd(2048, 6, 5);
+    let coo = a.to_coo();
+    let mut group = c.benchmark_group("e15_formats");
+    group.bench_function("coo_to_csr", |bch| {
+        bch.iter(|| black_box(CsrMatrix::from_coo(&coo)))
+    });
+    group.bench_function("coo_to_csc", |bch| {
+        bch.iter(|| black_box(CscMatrix::from_coo(&coo)))
+    });
+    group.bench_function("csr_to_csc", |bch| {
+        bch.iter(|| black_box(CscMatrix::from_csr(&a)))
+    });
+    group.bench_function("csr_transpose", |bch| bch.iter(|| black_box(a.transpose())));
+    group.bench_function("coo_assembly_with_duplicates", |bch| {
+        let trips: Vec<(usize, usize, f64)> = (0..20_000)
+            .map(|k| ((k * 7) % 512, (k * 13) % 512, 1.0))
+            .collect();
+        bch.iter(|| black_box(CooMatrix::from_triplets_summing(512, 512, trips.clone()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hpf_vs_spmd, bench_formats);
+criterion_main!(benches);

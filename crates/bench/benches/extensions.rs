@@ -1,0 +1,113 @@
+//! E6/E8/E9/E10 benches: the proposed extensions — PRIVATE/MERGE,
+//! inspector–executor, atom distributions, load-balancing partitioners.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpf_core::ext::{GatherSchedule, PrivateRegion};
+use hpf_dist::atoms::{AtomAssignment, AtomSpec};
+use hpf_dist::{partition, ArrayDescriptor};
+use hpf_machine::{CostModel, Machine, Topology};
+use hpf_sparse::{gen, CscMatrix};
+use std::hint::black_box;
+
+fn machine(np: usize) -> Machine {
+    let mut m = Machine::new(np, Topology::Hypercube, CostModel::mpp_1995());
+    m.set_tracing(false);
+    m
+}
+
+fn bench_private_merge(c: &mut Criterion) {
+    let a = gen::random_spd(2048, 6, 7);
+    let csc = CscMatrix::from_csr(&a);
+    let x = vec![1.0; 2048];
+    let mut group = c.benchmark_group("e6_private_merge");
+    group.sample_size(20);
+    for np in [2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(np), &np, |bch, &np| {
+            bch.iter(|| {
+                let mut m = machine(np);
+                black_box(PrivateRegion::csc_matvec(
+                    &mut m,
+                    csc.col_ptr(),
+                    csc.row_idx(),
+                    csc.values(),
+                    black_box(&x),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_inspector(c: &mut Criterion) {
+    let n = 4096;
+    let np = 8;
+    let desc = ArrayDescriptor::block(n, np);
+    let wants: Vec<Vec<usize>> = (0..np)
+        .map(|p| (0..n).filter(|&g| (g * 7 + p) % 3 == 0).collect())
+        .collect();
+    let data = vec![1.0; n];
+    let mut group = c.benchmark_group("e8_inspector");
+    group.sample_size(20);
+    group.bench_function("build_schedule", |bch| {
+        bch.iter(|| {
+            let mut m = machine(np);
+            black_box(GatherSchedule::build(&mut m, &desc, wants.clone()))
+        });
+    });
+    group.bench_function("execute_reused", |bch| {
+        let mut m = machine(np);
+        let mut sched = GatherSchedule::build(&mut m, &desc, wants.clone());
+        bch.iter(|| {
+            let mut m2 = machine(np);
+            black_box(sched.execute(&mut m2, black_box(&data)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_atom_dist(c: &mut Criterion) {
+    let a = gen::random_spd(4096, 6, 11);
+    let csc = CscMatrix::from_csr(&a);
+    let atoms = AtomSpec::from_pointer_array(csc.col_ptr());
+    let mut group = c.benchmark_group("e9_atom_dist");
+    group.bench_function("atom_block_assignment", |bch| {
+        bch.iter(|| black_box(AtomAssignment::atom_block(&atoms, 16)))
+    });
+    group.bench_function("element_cuts", |bch| {
+        let asg = AtomAssignment::atom_block(&atoms, 16);
+        bch.iter(|| black_box(asg.element_cuts(&atoms)))
+    });
+    group.bench_function("split_count_naive_block", |bch| {
+        let nz = atoms.total_elements();
+        let bs = nz.div_ceil(16);
+        let cuts: Vec<usize> = (0..=16).map(|p| (p * bs).min(nz)).collect();
+        bch.iter(|| black_box(atoms.atoms_split_by(&cuts)))
+    });
+    group.finish();
+}
+
+fn bench_load_balance(c: &mut Criterion) {
+    let a = gen::power_law_spd(4096, 160, 0.9, 19);
+    let weights: Vec<usize> = (0..4096).map(|r| a.row_nnz(r)).collect();
+    let mut group = c.benchmark_group("e10_partitioners");
+    for np in [8usize, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("balanced_contiguous", np),
+            &np,
+            |bch, &np| bch.iter(|| black_box(partition::balanced_contiguous(&weights, np))),
+        );
+        group.bench_with_input(BenchmarkId::new("greedy_lpt", np), &np, |bch, &np| {
+            bch.iter(|| black_box(partition::greedy_lpt(&weights, np)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_private_merge,
+    bench_inspector,
+    bench_atom_dist,
+    bench_load_balance
+);
+criterion_main!(benches);

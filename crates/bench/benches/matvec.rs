@@ -1,0 +1,121 @@
+//! E4/E5 benches: the distributed matvec scenarios (row-wise vs
+//! column-wise, aligned vs naive element-block data layouts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpf_core::{ColwiseCsc, DataArrayLayout, DistVector, RowwiseCsr};
+use hpf_dist::ArrayDescriptor;
+use hpf_machine::{CostModel, Machine, Topology};
+use hpf_sparse::{gen, CscMatrix};
+use std::hint::black_box;
+
+const N: usize = 2048;
+const NNZ_PER_ROW: usize = 6;
+const NP: usize = 8;
+
+fn bench_matvec_rowwise(c: &mut Criterion) {
+    let a = gen::random_spd(N, NNZ_PER_ROW, 42);
+    let mut group = c.benchmark_group("e4_matvec_rowwise");
+    group.sample_size(20);
+    for (layout, name) in [
+        (DataArrayLayout::RowAligned, "row-aligned"),
+        (DataArrayLayout::ElementBlock, "element-block"),
+    ] {
+        let op = RowwiseCsr::block(a.clone(), NP, layout);
+        let p = DistVector::constant(ArrayDescriptor::block(N, NP), 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &op, |bch, op| {
+            bch.iter(|| {
+                let mut m = Machine::new(NP, Topology::Hypercube, CostModel::mpp_1995());
+                m.set_tracing(false);
+                black_box(op.matvec(&mut m, black_box(&p)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_matvec_colwise(c: &mut Criterion) {
+    let a = gen::random_spd(N, NNZ_PER_ROW, 42);
+    let csc = CscMatrix::from_csr(&a);
+    let op = ColwiseCsc::block(csc, NP);
+    let p = DistVector::constant(ArrayDescriptor::block(N, NP), 1.0);
+    let mut group = c.benchmark_group("e5_matvec_colwise");
+    group.sample_size(20);
+    group.bench_function("serial", |bch| {
+        bch.iter(|| {
+            let mut m = Machine::new(NP, Topology::Hypercube, CostModel::mpp_1995());
+            m.set_tracing(false);
+            black_box(op.matvec_serial(&mut m, black_box(&p)))
+        });
+    });
+    group.bench_function("temp2d", |bch| {
+        bch.iter(|| {
+            let mut m = Machine::new(NP, Topology::Hypercube, CostModel::mpp_1995());
+            m.set_tracing(false);
+            black_box(op.matvec_temp2d(&mut m, black_box(&p)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_serial_kernels(c: &mut Criterion) {
+    // The raw storage-scheme kernels (Figure 1/2 substrate).
+    let a = gen::random_spd(N, NNZ_PER_ROW, 42);
+    let csc = CscMatrix::from_csr(&a);
+    let x = vec![1.0; N];
+    let mut group = c.benchmark_group("serial_spmv");
+    group.bench_function("csr", |bch| bch.iter(|| black_box(a.matvec(&x).unwrap())));
+    group.bench_function("csc", |bch| bch.iter(|| black_box(csc.matvec(&x).unwrap())));
+    group.bench_function("csr_transpose", |bch| {
+        bch.iter(|| black_box(a.matvec_transpose(&x).unwrap()))
+    });
+    let ell = hpf_sparse::EllMatrix::from_csr(&a);
+    group.bench_function("ell", |bch| bch.iter(|| black_box(ell.matvec(&x).unwrap())));
+    let banded = gen::banded_spd(N, 4, 9);
+    let dia = hpf_sparse::DiaMatrix::from_csr(&banded);
+    let xb = vec![1.0; N];
+    group.bench_function("dia_banded", |bch| {
+        bch.iter(|| black_box(dia.matvec(&xb).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_checkerboard(c: &mut Criterion) {
+    // E16: 2-D (BLOCK,BLOCK) vs 1-D striping.
+    use hpf_core::{Checkerboard, ProcGrid2D};
+    use hpf_sparse::DenseMatrix;
+    let n = 512;
+    let d = gen::poisson_2d(16, 32).to_dense();
+    assert_eq!(d.n_rows(), n);
+    let np = 16;
+    let mut group = c.benchmark_group("e16_checkerboard");
+    group.sample_size(20);
+    group.bench_function("dense_1d_rowwise", |bch| {
+        let p = DistVector::constant(ArrayDescriptor::block(n, np), 1.0);
+        bch.iter(|| {
+            let mut m = Machine::new(np, Topology::Hypercube, CostModel::mpp_1995());
+            m.set_tracing(false);
+            black_box(hpf_core::matvec::dense_rowwise_matvec(&mut m, &d, &p))
+        });
+    });
+    group.bench_function("dense_2d_checkerboard", |bch| {
+        let grid = ProcGrid2D::square(np).unwrap();
+        let cb = Checkerboard::new(d.clone(), grid);
+        let p = DistVector::constant(ArrayDescriptor::block(n, np), 1.0);
+        bch.iter(|| {
+            let mut m = Machine::new(np, Topology::Hypercube, CostModel::mpp_1995());
+            m.set_tracing(false);
+            black_box(cb.matvec(&mut m, &p))
+        });
+    });
+    let _ = DenseMatrix::zeros(1, 1);
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matvec_rowwise,
+    bench_matvec_colwise,
+    bench_serial_kernels,
+    bench_checkerboard
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! E2/E3 benches: SAXPY and DOT_PRODUCT over distributed vectors —
+//! wall-clock cost of the simulation runtime itself as NP and n sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpf_core::DistVector;
+use hpf_dist::ArrayDescriptor;
+use hpf_machine::{CostModel, Machine, Topology};
+use std::hint::black_box;
+
+fn bench_saxpy_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_saxpy");
+    group.sample_size(20);
+    let n = 1 << 16;
+    for np in [1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(np), &np, |bch, &np| {
+            let d = ArrayDescriptor::block(n, np);
+            let x = DistVector::constant(d.clone(), 1.0);
+            bch.iter(|| {
+                let mut m = Machine::new(np, Topology::Hypercube, CostModel::mpp_1995());
+                m.set_tracing(false);
+                let mut y = DistVector::zeros(d.clone());
+                y.axpy(&mut m, 2.0, black_box(&x));
+                black_box(m.elapsed())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dot_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_dot");
+    group.sample_size(20);
+    let n = 1 << 16;
+    for np in [1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(np), &np, |bch, &np| {
+            let d = ArrayDescriptor::block(n, np);
+            let a = DistVector::constant(d.clone(), 1.0);
+            let b = DistVector::constant(d.clone(), 2.0);
+            bch.iter(|| {
+                let mut m = Machine::new(np, Topology::Hypercube, CostModel::mpp_1995());
+                m.set_tracing(false);
+                black_box(a.dot(&mut m, black_box(&b)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dot_topologies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_dot_topology");
+    group.sample_size(20);
+    let n = 1 << 14;
+    let np = 16;
+    for topo in [Topology::Hypercube, Topology::Mesh2D, Topology::Ring] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(topo.name()),
+            &topo,
+            |bch, &topo| {
+                let d = ArrayDescriptor::block(n, np);
+                let a = DistVector::constant(d.clone(), 1.0);
+                let b = DistVector::constant(d.clone(), 2.0);
+                bch.iter(|| {
+                    let mut m = Machine::new(np, topo, CostModel::mpp_1995());
+                    m.set_tracing(false);
+                    black_box(a.dot(&mut m, black_box(&b)))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_saxpy_scaling,
+    bench_dot_scaling,
+    bench_dot_topologies
+);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! CSV sweep emitter: re-runs an experiment family over a parameter grid
+//! and prints machine-readable rows (for plotting the paper-style
+//! figures from a spreadsheet or gnuplot).
+//!
+//! ```text
+//! cargo run -p hpf-bench --bin sweep --release -- saxpy > saxpy.csv
+//! cargo run -p hpf-bench --bin sweep --release -- dot
+//! cargo run -p hpf-bench --bin sweep --release -- matvec
+//! cargo run -p hpf-bench --bin sweep --release -- cg-scaling
+//! cargo run -p hpf-bench --bin sweep --release -- balance
+//! ```
+
+use hpf_core::{DataArrayLayout, DistVector, RowwiseCsr};
+use hpf_dist::{partition, ArrayDescriptor};
+use hpf_machine::{CostModel, Machine, Topology};
+use hpf_solvers::{cg_distributed, StopCriterion};
+use hpf_sparse::gen;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: sweep <saxpy|dot|matvec|cg-scaling|balance>");
+        std::process::exit(2);
+    });
+    match which.as_str() {
+        "saxpy" => saxpy(),
+        "dot" => dot(),
+        "matvec" => matvec(),
+        "cg-scaling" => cg_scaling(),
+        "balance" => balance(),
+        other => {
+            eprintln!("unknown sweep '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn saxpy() {
+    println!("n,np,time_us,comm_words");
+    for n_pow in [12usize, 14, 16, 18] {
+        let n = 1usize << n_pow;
+        for np in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+            let mut m = Machine::hypercube(np);
+            let d = ArrayDescriptor::block(n, np);
+            let mut y = DistVector::zeros(d.clone());
+            let x = DistVector::constant(d, 1.0);
+            y.axpy(&mut m, 2.0, &x);
+            println!(
+                "{n},{np},{:.3},{}",
+                m.elapsed() * 1e6,
+                m.trace().total_comm_words()
+            );
+        }
+    }
+}
+
+fn dot() {
+    println!("n,np,topology,local_us,merge_us");
+    for np in [2usize, 4, 8, 16, 32, 64] {
+        for topo in [Topology::Hypercube, Topology::Mesh2D, Topology::Ring] {
+            let n = 1usize << 14;
+            let mut m = Machine::new(np, topo, CostModel::mpp_1995());
+            let d = ArrayDescriptor::block(n, np);
+            let a = DistVector::constant(d.clone(), 1.0);
+            let b = DistVector::constant(d, 2.0);
+            let _ = a.dot(&mut m, &b);
+            let local: f64 = m.trace().with_label("dot-local").map(|e| e.time).sum();
+            let merge: f64 = m.trace().with_label("dot-merge").map(|e| e.time).sum();
+            println!(
+                "{n},{np},{},{:.3},{:.3}",
+                topo.name(),
+                local * 1e6,
+                merge * 1e6
+            );
+        }
+    }
+}
+
+fn matvec() {
+    println!("n,np,layout,bcast_words,fetch_words,total_us");
+    for n in [256usize, 1024, 4096] {
+        let a = gen::random_spd(n, 6, 42);
+        for np in [2usize, 4, 8, 16, 32] {
+            for (layout, name) in [
+                (DataArrayLayout::RowAligned, "row-aligned"),
+                (DataArrayLayout::ElementBlock, "element-block"),
+            ] {
+                let op = RowwiseCsr::block(a.clone(), np, layout);
+                let p = DistVector::constant(ArrayDescriptor::block(n, np), 1.0);
+                let mut m = Machine::hypercube(np);
+                let (_, stats) = op.matvec(&mut m, &p);
+                println!(
+                    "{n},{np},{name},{},{},{:.3}",
+                    stats.broadcast_words,
+                    stats.remote_data_words,
+                    m.elapsed() * 1e6
+                );
+            }
+        }
+    }
+}
+
+fn cg_scaling() {
+    println!("model,np,n,iterations,time_ms,comm_frac");
+    let a = gen::poisson_2d(32, 32);
+    let n = a.n_rows();
+    let (_, b) = gen::rhs_for_known_solution(&a);
+    for (model, name) in [
+        (CostModel::tight_mpp(), "tight-mpp"),
+        (CostModel::mpp_1995(), "mpp-1995"),
+        (CostModel::lan_cluster(), "lan-cluster"),
+    ] {
+        for np in [1usize, 2, 4, 8, 16, 32, 64] {
+            let mut m = Machine::new(np, Topology::Hypercube, model);
+            let op = RowwiseCsr::block(a.clone(), np, DataArrayLayout::RowAligned);
+            let (_, stats) = cg_distributed(
+                &mut m,
+                &op,
+                &b,
+                StopCriterion::RelativeResidual(1e-8),
+                10 * n,
+            )
+            .expect("SPD");
+            println!(
+                "{name},{np},{n},{},{:.3},{:.3}",
+                stats.iterations,
+                m.elapsed() * 1e3,
+                m.trace().comm_time() / m.elapsed().max(1e-300)
+            );
+        }
+    }
+}
+
+fn balance() {
+    println!("alpha,np,distribution,imbalance");
+    for alpha in [0.3f64, 0.6, 0.9, 1.2] {
+        let n = 1024;
+        let a = gen::power_law_spd(n, 128, alpha, 19);
+        let weights: Vec<usize> = (0..n).map(|r| a.row_nnz(r)).collect();
+        for np in [4usize, 8, 16, 32] {
+            let bs = n.div_ceil(np);
+            let block_owner: Vec<usize> = (0..n).map(|i| (i / bs).min(np - 1)).collect();
+            let b_imb = partition::imbalance(&partition::loads(&weights, &block_owner, np));
+            println!("{alpha},{np},block,{b_imb:.4}");
+
+            let cuts = partition::balanced_contiguous(&weights, np);
+            let asg = partition::assignment_from_cuts(&cuts, n);
+            let p_imb = partition::imbalance(&partition::loads(&weights, &asg.atom_owner, np));
+            println!("{alpha},{np},balanced,{p_imb:.4}");
+
+            let lpt = partition::greedy_lpt(&weights, np);
+            let l_imb = partition::imbalance(&partition::loads(&weights, &lpt, np));
+            println!("{alpha},{np},lpt,{l_imb:.4}");
+        }
+    }
+}

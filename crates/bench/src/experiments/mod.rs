@@ -1,0 +1,88 @@
+//! One module per experiment family; every public function returns a
+//! [`crate::table::Table`] reproducing a figure or in-text claim of the
+//! paper (see DESIGN.md's experiment index).
+
+pub mod balance_exp;
+pub mod comparison_exp;
+pub mod extended_exp;
+pub mod extensions_exp;
+pub mod matvec_exp;
+pub mod solvers_exp;
+pub mod vector_ops;
+
+use crate::table::Table;
+
+/// Run every experiment at its default (report-sized) parameters, in
+/// index order.
+pub fn run_all() -> Vec<Table> {
+    vec![
+        solvers_exp::e01_cg_figure2(16, 16, 8),
+        vector_ops::e02_saxpy_scaling(1 << 16),
+        vector_ops::e03_dot_merge(1 << 14),
+        matvec_exp::e04_scenario1(1024, 6),
+        matvec_exp::e05_scenario2(1024, 6),
+        extensions_exp::e06_private_merge(1024, 6),
+        extensions_exp::e07_bernstein(128),
+        extensions_exp::e08_inspector(1024, 100),
+        extensions_exp::e09_atom_distribution(512, 6),
+        balance_exp::e10_load_balance(1024, 128, 0.9),
+        solvers_exp::e11_ne_convergence(32),
+        solvers_exp::e12_solver_family(144),
+        comparison_exp::e13_hpf_vs_spmd(256, 5, 8),
+        solvers_exp::e14_preconditioning(10, 10),
+        comparison_exp::e15_storage_formats(),
+        extended_exp::e16_checkerboard(1024),
+        extended_exp::e17_transpose_asymmetry(512, 8),
+        extended_exp::e18_cost_sensitivity(48, 48),
+        extended_exp::e19_gmres_and_cgs(10),
+        extended_exp::e20_condition_bound(),
+        extended_exp::e21_redistribute_amortisation(1024, 128, 8),
+    ]
+}
+
+/// Run one experiment by its lowercase id (`"e1"`, `"e01"`, ... `"e15"`).
+pub fn run_one(id: &str) -> Option<Table> {
+    let norm = id.trim_start_matches('e').trim_start_matches('0');
+    Some(match norm {
+        "1" => solvers_exp::e01_cg_figure2(16, 16, 8),
+        "2" => vector_ops::e02_saxpy_scaling(1 << 16),
+        "3" => vector_ops::e03_dot_merge(1 << 14),
+        "4" => matvec_exp::e04_scenario1(1024, 6),
+        "5" => matvec_exp::e05_scenario2(1024, 6),
+        "6" => extensions_exp::e06_private_merge(1024, 6),
+        "7" => extensions_exp::e07_bernstein(128),
+        "8" => extensions_exp::e08_inspector(1024, 100),
+        "9" => extensions_exp::e09_atom_distribution(512, 6),
+        "10" => balance_exp::e10_load_balance(1024, 128, 0.9),
+        "11" => solvers_exp::e11_ne_convergence(32),
+        "12" => solvers_exp::e12_solver_family(144),
+        "13" => comparison_exp::e13_hpf_vs_spmd(256, 5, 8),
+        "14" => solvers_exp::e14_preconditioning(10, 10),
+        "15" => comparison_exp::e15_storage_formats(),
+        "16" => extended_exp::e16_checkerboard(1024),
+        "17" => extended_exp::e17_transpose_asymmetry(512, 8),
+        "18" => extended_exp::e18_cost_sensitivity(48, 48),
+        "19" => extended_exp::e19_gmres_and_cgs(10),
+        "20" => extended_exp::e20_condition_bound(),
+        "21" => extended_exp::e21_redistribute_amortisation(1024, 128, 8),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_one_resolves_ids() {
+        assert!(run_one("e1").is_some());
+        assert!(run_one("e01").is_some());
+        assert!(run_one("15").is_some());
+        assert!(run_one("e16").is_some());
+        assert!(run_one("e19").is_some());
+        assert!(run_one("e20").is_some());
+        assert!(run_one("e21").is_some());
+        assert!(run_one("e22").is_none());
+        assert!(run_one("nope").is_none());
+    }
+}

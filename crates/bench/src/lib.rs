@@ -1,0 +1,16 @@
+//! # hpf-bench — experiment harness
+//!
+//! Regenerates every figure and quantitative in-text claim of the paper
+//! as a text [`table::Table`] (see DESIGN.md's experiment index E1–E20),
+//! plus Criterion wall-clock benches over the same code paths. Run the
+//! report binary:
+//!
+//! ```text
+//! cargo run -p hpf-bench --bin report --release           # all experiments
+//! cargo run -p hpf-bench --bin report --release -- e4 e6  # a subset
+//! ```
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

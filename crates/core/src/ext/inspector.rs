@@ -1,0 +1,200 @@
+//! Inspector–executor gather schedules (PARTI-style).
+//!
+//! Section 5.1: "As the array q is accessed through a level of
+//! indirection, the value of its index (i.e. row(k)) can be known only at
+//! run-time. Inspector-executor mechanisms [Koelbel, Mehrotra, Saltz,
+//! Berryman] which are costly in nature should be employed for the
+//! determination of the owner of the lhs."
+//!
+//! The paper's position is that `ON PROCESSOR(f(i))` avoids this runtime
+//! cost entirely, while noting that schedule *reuse* (Ponnusamy, Saltz,
+//! Choudhary) amortises the inspector over repeated executor runs. Both
+//! sides are implemented here so the trade-off can be measured:
+//!
+//! * [`GatherSchedule::build`] — the inspector: processors exchange the
+//!   indirection indices they will read, translating them to owners
+//!   (paying an all-to-all of index lists);
+//! * [`GatherSchedule::execute`] — the executor: the pre-computed
+//!   communication pattern moves exactly the needed elements.
+
+use hpf_dist::ArrayDescriptor;
+use hpf_machine::Machine;
+
+/// A reusable communication schedule: for each (requester, owner) pair,
+/// the global indices the owner must send.
+#[derive(Debug, Clone)]
+pub struct GatherSchedule {
+    np: usize,
+    /// `wants[p]` = global indices processor `p` reads (in request order).
+    wants: Vec<Vec<usize>>,
+    /// `send_lists[owner][requester]` = indices owner ships to requester.
+    send_lists: Vec<Vec<Vec<usize>>>,
+    /// Simulated time spent building the schedule (the inspector cost).
+    pub inspector_time: f64,
+    executions: usize,
+}
+
+impl GatherSchedule {
+    /// Run the inspector: every processor analyses its indirection array
+    /// (`wants[p]`, e.g. the `col(k)` values of its loop iterations),
+    /// determines owners through the data descriptor, and exchanges
+    /// request lists.
+    pub fn build(
+        machine: &mut Machine,
+        data_desc: &ArrayDescriptor,
+        wants: Vec<Vec<usize>>,
+    ) -> Self {
+        let np = machine.np();
+        assert_eq!(wants.len(), np, "one request list per processor");
+        let t0 = machine.elapsed();
+
+        // Owner translation is local (descriptor arithmetic)…
+        let mut send_lists = vec![vec![Vec::new(); np]; np];
+        let mut request_words = vec![vec![0usize; np]; np];
+        for (p, list) in wants.iter().enumerate() {
+            for &g in list {
+                let owner = data_desc.owner(g);
+                if owner != p {
+                    send_lists[owner][p].push(g);
+                    // The request itself travels p -> owner (one word).
+                    request_words[p][owner] += 1;
+                }
+            }
+        }
+        // …but the request lists must reach the owners: the inspector's
+        // communication phase.
+        machine.exchange(&request_words, "inspector-requests");
+        // Plus descriptor/translation bookkeeping flops.
+        let flops: Vec<usize> = wants.iter().map(|l| l.len()).collect();
+        machine.compute_all(&flops, "inspector-translate");
+
+        let inspector_time = machine.elapsed() - t0;
+        GatherSchedule {
+            np,
+            wants,
+            send_lists,
+            inspector_time,
+            executions: 0,
+        }
+    }
+
+    /// Words each owner ships per execution.
+    pub fn traffic_matrix(&self) -> Vec<Vec<usize>> {
+        self.send_lists
+            .iter()
+            .map(|row| row.iter().map(|l| l.len()).collect())
+            .collect()
+    }
+
+    /// Total remote words gathered per execution.
+    pub fn remote_words(&self) -> usize {
+        self.send_lists
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|l| l.len())
+            .sum()
+    }
+
+    /// Run the executor once: gather the requested values of the global
+    /// `data` array to each processor. Returns, per processor, the values
+    /// in the same order as its `wants` list.
+    pub fn execute(&mut self, machine: &mut Machine, data: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(machine.np(), self.np);
+        machine.exchange(&self.traffic_matrix(), "executor-gather");
+        self.executions += 1;
+        self.wants
+            .iter()
+            .map(|list| list.iter().map(|&g| data[g]).collect())
+            .collect()
+    }
+
+    /// Number of executor runs so far (schedule reuse count).
+    pub fn executions(&self) -> usize {
+        self.executions
+    }
+
+    /// Amortised inspector cost per execution so far.
+    pub fn amortised_inspector_time(&self) -> f64 {
+        if self.executions == 0 {
+            self.inspector_time
+        } else {
+            self.inspector_time / self.executions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_machine::{CostModel, Topology};
+
+    fn machine(np: usize) -> Machine {
+        Machine::new(np, Topology::Hypercube, CostModel::mpp_1995())
+    }
+
+    #[test]
+    fn schedule_gathers_correct_values() {
+        let mut m = machine(2);
+        let desc = ArrayDescriptor::block(8, 2); // p0: 0..4, p1: 4..8
+                                                 // p0 wants 5 and 1; p1 wants 0 and 7.
+        let wants = vec![vec![5, 1], vec![0, 7]];
+        let mut sched = GatherSchedule::build(&mut m, &desc, wants);
+        let data: Vec<f64> = (0..8).map(|i| i as f64 * 10.0).collect();
+        let got = sched.execute(&mut m, &data);
+        assert_eq!(got[0], vec![50.0, 10.0]);
+        assert_eq!(got[1], vec![0.0, 70.0]);
+    }
+
+    #[test]
+    fn only_remote_indices_travel() {
+        let mut m = machine(2);
+        let desc = ArrayDescriptor::block(8, 2);
+        // All requests local -> zero traffic.
+        let sched = GatherSchedule::build(&mut m, &desc, vec![vec![0, 1, 2], vec![5, 6]]);
+        assert_eq!(sched.remote_words(), 0);
+        // One remote each.
+        let mut m2 = machine(2);
+        let sched2 = GatherSchedule::build(&mut m2, &desc, vec![vec![0, 4], vec![3]]);
+        assert_eq!(sched2.remote_words(), 2);
+        assert_eq!(sched2.traffic_matrix()[1][0], 1);
+        assert_eq!(sched2.traffic_matrix()[0][1], 1);
+    }
+
+    #[test]
+    fn inspector_cost_is_paid_once_and_amortised() {
+        let mut m = machine(4);
+        let desc = ArrayDescriptor::block(64, 4);
+        // Every processor reads a stride of remote elements.
+        let wants: Vec<Vec<usize>> = (0..4)
+            .map(|p| (0..64).filter(|&g| desc.owner(g) != p).step_by(3).collect())
+            .collect();
+        let mut sched = GatherSchedule::build(&mut m, &desc, wants);
+        assert!(sched.inspector_time > 0.0);
+        let once = sched.amortised_inspector_time();
+        let data = vec![1.0; 64];
+        for _ in 0..10 {
+            sched.execute(&mut m, &data);
+        }
+        assert_eq!(sched.executions(), 10);
+        assert!(sched.amortised_inspector_time() < once / 9.0);
+    }
+
+    #[test]
+    fn request_order_preserved() {
+        let mut m = machine(2);
+        let desc = ArrayDescriptor::cyclic(6, 2); // p0: 0,2,4; p1: 1,3,5
+        let mut sched = GatherSchedule::build(&mut m, &desc, vec![vec![3, 1, 5], vec![]]);
+        let data = vec![0.0, 10.0, 20.0, 30.0, 40.0, 50.0];
+        let got = sched.execute(&mut m, &data);
+        assert_eq!(got[0], vec![30.0, 10.0, 50.0]);
+        assert!(got[1].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one request list per processor")]
+    fn wrong_arity_rejected() {
+        let mut m = machine(4);
+        let desc = ArrayDescriptor::block(8, 4);
+        GatherSchedule::build(&mut m, &desc, vec![vec![0]]);
+    }
+}

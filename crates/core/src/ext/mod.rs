@@ -1,0 +1,20 @@
+//! The paper's proposed HPF-2 extensions (Section 5), implemented as
+//! runtime mechanisms:
+//!
+//! * [`private_region`] — `PRIVATE(q(n)) WITH MERGE(+)/DISCARD`;
+//! * [`on_processor`] — `ITERATION j ON PROCESSOR(f(j))` compile-time
+//!   iteration mapping;
+//! * [`inspector`] — the inspector–executor alternative (PARTI-style
+//!   gather schedules with reuse), for cost comparison;
+//! * [`sparse_directive`] — `SPARSE_MATRIX (CSR|CSC) :: smA(row,col,a)`
+//!   trio binding and `REDISTRIBUTE ... USING` partitioners.
+
+pub mod inspector;
+pub mod on_processor;
+pub mod private_region;
+pub mod sparse_directive;
+
+pub use inspector::GatherSchedule;
+pub use on_processor::OnProcessor;
+pub use private_region::{MergeOp, PrivateRegion, PrivateStats};
+pub use sparse_directive::{SparseFormat, SparseMatrixDirective, TrioDescriptors};

@@ -1,0 +1,154 @@
+//! The `ON PROCESSOR(f(i))` iteration-mapping extension (Section 5.1).
+//!
+//! "We propose using a ON PROCESSOR(f(i)) construct which will map
+//! iteration i onto processor f(i). In this way we can specify the
+//! iteration mapping at compile-time without any runtime overhead."
+//!
+//! The alternative — inspector–executor loops — "are costly in nature";
+//! see [`crate::ext::inspector`] for that comparison. An
+//! [`OnProcessor`] is a pure function from iteration index to processor,
+//! evaluated with zero simulated communication.
+
+/// A compile-time iteration→processor mapping.
+#[derive(Clone)]
+pub struct OnProcessor {
+    np: usize,
+    f: std::sync::Arc<dyn Fn(usize) -> usize + Send + Sync>,
+    descr: String,
+}
+
+impl std::fmt::Debug for OnProcessor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OnProcessor({}, np={})", self.descr, self.np)
+    }
+}
+
+impl OnProcessor {
+    /// Arbitrary mapping `ON PROCESSOR(f(i))`. `f`'s results are clamped
+    /// into `0..np`.
+    pub fn new(
+        np: usize,
+        descr: impl Into<String>,
+        f: impl Fn(usize) -> usize + Send + Sync + 'static,
+    ) -> Self {
+        assert!(np > 0);
+        OnProcessor {
+            np,
+            f: std::sync::Arc::new(f),
+            descr: descr.into(),
+        }
+    }
+
+    /// The paper's example `ITERATION j ON PROCESSOR(j/np)` — block
+    /// mapping of `n` iterations.
+    pub fn block(n: usize, np: usize) -> Self {
+        assert!(np > 0);
+        let bs = n.div_ceil(np).max(1);
+        Self::new(np, format!("j/{bs}"), move |j| j / bs)
+    }
+
+    /// Cyclic mapping `ON PROCESSOR(MOD(j, np))`.
+    pub fn cyclic(np: usize) -> Self {
+        Self::new(np, format!("j mod {np}"), move |j| j % np)
+    }
+
+    /// Mapping from an explicit owner table (e.g. a partitioner result).
+    pub fn from_table(table: Vec<usize>, np: usize) -> Self {
+        assert!(np > 0);
+        assert!(table.iter().all(|&p| p < np), "owner out of range");
+        Self::new(np, "table", move |j| table[j])
+    }
+
+    pub fn np(&self) -> usize {
+        self.np
+    }
+
+    /// Processor executing iteration `j`.
+    pub fn processor_of(&self, j: usize) -> usize {
+        (self.f)(j).min(self.np - 1)
+    }
+
+    /// Partition `0..n_iters` into per-processor iteration lists —
+    /// what the compiler would emit. Pure computation, no communication.
+    pub fn iteration_lists(&self, n_iters: usize) -> Vec<Vec<usize>> {
+        let mut lists = vec![Vec::new(); self.np];
+        for j in 0..n_iters {
+            lists[self.processor_of(j)].push(j);
+        }
+        lists
+    }
+
+    /// Per-processor iteration counts (load view).
+    pub fn loads(&self, n_iters: usize) -> Vec<usize> {
+        let mut l = vec![0usize; self.np];
+        for j in 0..n_iters {
+            l[self.processor_of(j)] += 1;
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_mapping_matches_paper_example() {
+        // ITERATION j ON PROCESSOR(j/np-block-size)
+        let m = OnProcessor::block(12, 4);
+        assert_eq!(m.processor_of(0), 0);
+        assert_eq!(m.processor_of(2), 0);
+        assert_eq!(m.processor_of(3), 1);
+        assert_eq!(m.processor_of(11), 3);
+        assert_eq!(m.loads(12), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn block_mapping_clamps_tail() {
+        let m = OnProcessor::block(10, 4); // bs = 3
+        assert_eq!(m.processor_of(9), 3);
+        assert_eq!(m.loads(10), vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn cyclic_mapping() {
+        let m = OnProcessor::cyclic(3);
+        assert_eq!(m.processor_of(0), 0);
+        assert_eq!(m.processor_of(4), 1);
+        assert_eq!(m.loads(7), vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn custom_function_clamped() {
+        let m = OnProcessor::new(4, "j*10", |j| j * 10);
+        assert_eq!(m.processor_of(1), 3); // clamped to np-1
+    }
+
+    #[test]
+    fn table_mapping() {
+        let m = OnProcessor::from_table(vec![2, 0, 1, 2], 3);
+        assert_eq!(m.processor_of(0), 2);
+        assert_eq!(m.iteration_lists(4), vec![vec![1], vec![2], vec![0, 3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "owner out of range")]
+    fn table_validates_owners() {
+        OnProcessor::from_table(vec![5], 3);
+    }
+
+    #[test]
+    fn iteration_lists_cover_everything_once() {
+        let m = OnProcessor::block(17, 5);
+        let lists = m.iteration_lists(17);
+        let mut all: Vec<usize> = lists.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn debug_shows_description() {
+        let m = OnProcessor::cyclic(2);
+        assert!(format!("{m:?}").contains("mod 2"));
+    }
+}

@@ -1,0 +1,229 @@
+//! The `SPARSE_MATRIX` directive (Section 5.2.2).
+//!
+//! ```fortran
+//! !HPF$ SPARSE_MATRIX (CSR) :: smA(row, col, a)
+//! ```
+//!
+//! "A sparse matrix definition puts a tight binding between the members
+//! of this trio, whenever any one's distribution is changed, the other
+//! two should be aligned accordingly. Furthermore, if an element of row
+//! is to be accessed, most probably the elements it points to in col and
+//! a will be also accessed, therefore compiler should generate code for
+//! bringing them into memory if they are not local."
+//!
+//! [`SparseMatrixDirective`] binds the pointer/index/value trio of a
+//! CSR or CSC matrix, derives consistent descriptors for all three
+//! arrays from a single atom assignment, and co-redistributes them (the
+//! `REDISTRIBUTE smA USING CG_BALANCED_PARTITIONER_1` extension).
+
+use hpf_dist::atoms::{AtomAssignment, AtomSpec};
+use hpf_dist::partition;
+use hpf_dist::{ArrayDescriptor, DistSpec};
+use hpf_machine::Machine;
+
+/// Which compressed scheme the trio uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SparseFormat {
+    Csr,
+    Csc,
+}
+
+/// The bound `smA(ptr, idx, a)` trio with consistent distributions.
+#[derive(Debug, Clone)]
+pub struct SparseMatrixDirective {
+    pub format: SparseFormat,
+    /// Atoms = rows (CSR) or columns (CSC), from the pointer array.
+    atoms: AtomSpec,
+    /// Current assignment of atoms to processors.
+    assignment: AtomAssignment,
+    np: usize,
+}
+
+/// Descriptors for the three arrays of the trio under the current
+/// distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrioDescriptors {
+    /// Pointer array (`row` for CSR, `col` for CSC): n+1 elements,
+    /// distributed so each processor holds the pointers of its atoms.
+    pub ptr: ArrayDescriptor,
+    /// Index array (`col` for CSR, `row` for CSC): nz elements.
+    pub idx: ArrayDescriptor,
+    /// Value array `a`: nz elements, always aligned with `idx`.
+    pub values: ArrayDescriptor,
+}
+
+impl SparseMatrixDirective {
+    /// Declare the directive over a pointer array (length n+1). The
+    /// initial distribution is `ATOM:BLOCK` — "these data structures are
+    /// initially distributed using HPF's regular distribution
+    /// primitives" then adjusted to atom boundaries.
+    pub fn new(format: SparseFormat, ptr: &[usize], np: usize) -> Self {
+        let atoms = AtomSpec::from_pointer_array(ptr);
+        let assignment = AtomAssignment::atom_block(&atoms, np);
+        SparseMatrixDirective {
+            format,
+            atoms,
+            assignment,
+            np,
+        }
+    }
+
+    pub fn atoms(&self) -> &AtomSpec {
+        &self.atoms
+    }
+
+    pub fn assignment(&self) -> &AtomAssignment {
+        &self.assignment
+    }
+
+    /// Element loads (nnz per processor) under the current assignment.
+    pub fn loads(&self) -> Vec<usize> {
+        self.assignment.loads(&self.atoms)
+    }
+
+    /// Current imbalance.
+    pub fn imbalance(&self) -> f64 {
+        self.assignment.imbalance(&self.atoms)
+    }
+
+    /// Descriptors of the trio under the current (contiguous) assignment.
+    /// Panics if the assignment is non-contiguous (cyclic atoms have no
+    /// cut-point encoding).
+    pub fn descriptors(&self) -> TrioDescriptors {
+        let cuts = self
+            .assignment
+            .element_cuts(&self.atoms)
+            .expect("contiguous assignment required for cut-point descriptors");
+        let n_atoms = self.atoms.n_atoms();
+        // Pointer array: atom i's pointer lives with atom i; the final
+        // (n+1)th pointer goes to the last processor — the paper
+        // explicitly sizes BLOCK "to ensure that the (n+1)'th element of
+        // row is placed in the last processor".
+        let mut atom_cuts = vec![0usize; self.np + 1];
+        {
+            let mut a = 0usize;
+            for p in 0..self.np {
+                atom_cuts[p] = a;
+                while a < n_atoms && self.assignment.atom_owner[a] == p {
+                    a += 1;
+                }
+            }
+            atom_cuts[self.np] = n_atoms + 1; // +1: the trailing pointer
+        }
+        let ptr = ArrayDescriptor::new(n_atoms + 1, self.np, DistSpec::IrregularCuts(atom_cuts));
+        let idx = ArrayDescriptor::new(
+            self.atoms.total_elements(),
+            self.np,
+            DistSpec::IrregularCuts(cuts.clone()),
+        );
+        let values = ArrayDescriptor::new(
+            self.atoms.total_elements(),
+            self.np,
+            DistSpec::IrregularCuts(cuts),
+        );
+        TrioDescriptors { ptr, idx, values }
+    }
+
+    /// `!EXT$ REDISTRIBUTE smA USING CG_BALANCED_PARTITIONER_1`: apply
+    /// the load-balancing partitioner, move all three arrays together,
+    /// and return the words moved. "The compiler generates code for
+    /// calling necessary partitioners to determine the new data
+    /// distribution and arranging all dependent vectors accordingly."
+    pub fn redistribute_balanced(&mut self, machine: &mut Machine) -> usize {
+        let old = self.descriptors();
+        self.assignment = partition::cg_balanced_partitioner_1(&self.atoms, self.np);
+        let new = self.descriptors();
+        let mut total = 0usize;
+        // The trio moves as one: ptr + idx + a.
+        for (from, to, label) in [
+            (&old.ptr, &new.ptr, "smA-redist-ptr"),
+            (&old.idx, &new.idx, "smA-redist-idx"),
+            (&old.values, &new.values, "smA-redist-a"),
+        ] {
+            total += hpf_dist::redistribute::total_words(from, to);
+            hpf_dist::redistribute::redistribute(machine, from, to, label);
+        }
+        total
+    }
+
+    /// Locality rule: accessing pointer element `i` implies the
+    /// idx/value elements it points to are needed too. Returns those
+    /// element ranges — "the compiler can exploit the locality rule by
+    /// knowing the relation among the members of the trio."
+    pub fn implied_elements(&self, atom: usize) -> std::ops::Range<usize> {
+        self.atoms.atom_range(atom)
+    }
+
+    /// Check the invariant that idx/value elements of every atom are
+    /// co-located with the atom's pointer entry.
+    pub fn trio_is_consistent(&self) -> bool {
+        let d = self.descriptors();
+        (0..self.atoms.n_atoms()).all(|atom| {
+            let p = d.ptr.owner(atom);
+            self.implied_elements(atom)
+                .all(|e| d.idx.owner(e) == p && d.values.owner(e) == p)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_machine::{CostModel, Topology};
+    use hpf_sparse::{gen, CscMatrix};
+
+    fn machine(np: usize) -> Machine {
+        Machine::new(np, Topology::Hypercube, CostModel::mpp_1995())
+    }
+
+    #[test]
+    fn trio_descriptors_are_consistent() {
+        let a = gen::random_spd(32, 3, 5);
+        let sm = SparseMatrixDirective::new(SparseFormat::Csr, a.row_ptr(), 4);
+        assert!(sm.trio_is_consistent());
+        let d = sm.descriptors();
+        assert_eq!(d.ptr.len(), 33);
+        assert_eq!(d.idx.len(), a.nnz());
+        assert!(d.idx.same_layout(&d.values));
+    }
+
+    #[test]
+    fn final_pointer_on_last_processor() {
+        let a = gen::random_spd(16, 2, 1);
+        let sm = SparseMatrixDirective::new(SparseFormat::Csr, a.row_ptr(), 4);
+        let d = sm.descriptors();
+        assert_eq!(d.ptr.owner(16), 3);
+    }
+
+    #[test]
+    fn balanced_redistribution_improves_imbalance() {
+        let a = gen::power_law_spd(200, 60, 1.0, 8);
+        let csc = CscMatrix::from_csr(&a);
+        let mut sm = SparseMatrixDirective::new(SparseFormat::Csc, csc.col_ptr(), 8);
+        let before = sm.imbalance();
+        let mut m = machine(8);
+        let moved = sm.redistribute_balanced(&mut m);
+        let after = sm.imbalance();
+        assert!(after <= before, "imbalance {before} -> {after}");
+        assert!(sm.trio_is_consistent());
+        assert!(moved > 0, "irregular matrix should move data");
+        // All three arrays moved together: 3 redistribute events.
+        assert_eq!(m.trace().count(hpf_machine::EventKind::Redistribute), 3);
+    }
+
+    #[test]
+    fn loads_sum_to_nnz() {
+        let a = gen::random_spd(50, 4, 2);
+        let sm = SparseMatrixDirective::new(SparseFormat::Csr, a.row_ptr(), 4);
+        assert_eq!(sm.loads().iter().sum::<usize>(), a.nnz());
+    }
+
+    #[test]
+    fn implied_elements_match_pointer() {
+        let ptr = vec![0usize, 3, 3, 8];
+        let sm = SparseMatrixDirective::new(SparseFormat::Csr, &ptr, 2);
+        assert_eq!(sm.implied_elements(0), 0..3);
+        assert_eq!(sm.implied_elements(1), 3..3);
+        assert_eq!(sm.implied_elements(2), 3..8);
+    }
+}

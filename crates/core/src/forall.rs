@@ -1,0 +1,304 @@
+//! `FORALL` / `INDEPENDENT DO` semantics and Bernstein's conditions.
+//!
+//! Section 5.1 of the paper explains why neither construct can express
+//! the CSC matvec:
+//!
+//! > "The option of using a FORALL is eliminated because its semantics
+//! > require that all the right-hand sides should be computed before an
+//! > assignment to the left-hand sides be done. An accumulation operation
+//! > like we would like to express is not allowed within the FORALL body.
+//! > At the same time, the write-after-write dependency violates
+//! > Bernstein's conditions, and eliminates the possibility of using an
+//! > INDEPENDENT DO."
+//!
+//! This module makes those rules *checkable*: [`forall_assign`] executes
+//! with true FORALL semantics (all RHS before any LHS) and rejects
+//! many-to-one assignments; [`bernstein_check`] decides whether a loop's
+//! per-iteration read/write sets satisfy Bernstein's conditions.
+
+use std::collections::HashMap;
+
+/// Why a loop cannot be run in parallel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DependenceViolation {
+    /// Two iterations write the same location (write-after-write): the
+    /// CSC `q(row(k)) = q(row(k)) + ...` accumulation.
+    WriteWrite {
+        location: usize,
+        iter_a: usize,
+        iter_b: usize,
+    },
+    /// One iteration writes what another reads (flow/anti dependence).
+    ReadWrite {
+        location: usize,
+        writer: usize,
+        reader: usize,
+    },
+}
+
+impl std::fmt::Display for DependenceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DependenceViolation::WriteWrite {
+                location,
+                iter_a,
+                iter_b,
+            } => write!(
+                f,
+                "write-after-write on location {location} between iterations {iter_a} and {iter_b}"
+            ),
+            DependenceViolation::ReadWrite {
+                location,
+                writer,
+                reader,
+            } => write!(
+                f,
+                "iteration {writer} writes location {location} read by iteration {reader}"
+            ),
+        }
+    }
+}
+
+/// The read/write footprint of one loop iteration over a flat location
+/// space (array elements numbered globally).
+#[derive(Debug, Clone, Default)]
+pub struct IterationAccess {
+    pub reads: Vec<usize>,
+    pub writes: Vec<usize>,
+}
+
+/// Bernstein's conditions [Bernstein 1966]: iterations `i != j` may run
+/// in parallel iff `W_i ∩ W_j = ∅`, `W_i ∩ R_j = ∅` and `R_i ∩ W_j = ∅`.
+/// Returns the first violation found, or `Ok(())` if the loop is
+/// `INDEPENDENT`.
+pub fn bernstein_check(iterations: &[IterationAccess]) -> Result<(), DependenceViolation> {
+    // location -> first iteration that writes it
+    let mut writer_of: HashMap<usize, usize> = HashMap::new();
+    for (i, acc) in iterations.iter().enumerate() {
+        for &w in &acc.writes {
+            if let Some(&j) = writer_of.get(&w) {
+                if j != i {
+                    return Err(DependenceViolation::WriteWrite {
+                        location: w,
+                        iter_a: j,
+                        iter_b: i,
+                    });
+                }
+            } else {
+                writer_of.insert(w, i);
+            }
+        }
+    }
+    for (i, acc) in iterations.iter().enumerate() {
+        for &r in &acc.reads {
+            if let Some(&j) = writer_of.get(&r) {
+                if j != i {
+                    return Err(DependenceViolation::ReadWrite {
+                        location: r,
+                        writer: j,
+                        reader: i,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Error from a FORALL construct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForallError {
+    /// Two index values map to the same LHS element (many-to-one
+    /// assignment — "an accumulation operation ... is not allowed within
+    /// the FORALL body").
+    ManyToOne { lhs: usize },
+    /// LHS index out of array bounds.
+    OutOfBounds { lhs: usize, len: usize },
+}
+
+impl std::fmt::Display for ForallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ForallError::ManyToOne { lhs } => {
+                write!(f, "FORALL: many-to-one assignment to element {lhs}")
+            }
+            ForallError::OutOfBounds { lhs, len } => {
+                write!(
+                    f,
+                    "FORALL: index {lhs} out of bounds for array of length {len}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ForallError {}
+
+/// Execute `FORALL (k = 0..count) target(lhs(k)) = rhs(k)` with true HPF
+/// semantics: **all** right-hand sides are evaluated before **any**
+/// assignment, and many-to-one LHS index maps are rejected.
+pub fn forall_assign(
+    target: &mut [f64],
+    count: usize,
+    lhs: impl Fn(usize) -> usize,
+    rhs: impl Fn(usize) -> f64,
+) -> Result<(), ForallError> {
+    // Phase 1: evaluate every RHS (against the *old* target state).
+    let mut staged: Vec<(usize, f64)> = Vec::with_capacity(count);
+    let mut seen = vec![false; target.len()];
+    for k in 0..count {
+        let l = lhs(k);
+        if l >= target.len() {
+            return Err(ForallError::OutOfBounds {
+                lhs: l,
+                len: target.len(),
+            });
+        }
+        if seen[l] {
+            return Err(ForallError::ManyToOne { lhs: l });
+        }
+        seen[l] = true;
+        staged.push((l, rhs(k)));
+    }
+    // Phase 2: assign.
+    for (l, v) in staged {
+        target[l] = v;
+    }
+    Ok(())
+}
+
+/// The access footprint of the paper's Figure 2 CSR matvec FORALL:
+/// iteration `j` writes `q(j)` and reads `a`, `col` and `p(col(..))` —
+/// locations are encoded as: `q` elements `0..n`, everything read-only is
+/// omitted (reads of never-written locations cannot violate Bernstein).
+pub fn csr_matvec_footprint(n_rows: usize) -> Vec<IterationAccess> {
+    (0..n_rows)
+        .map(|j| IterationAccess {
+            reads: vec![],
+            writes: vec![j],
+        })
+        .collect()
+}
+
+/// The access footprint of the paper's Scenario 2 CSC matvec loop:
+/// iteration `j` writes `q(row(k))` for every `k` in column `j`. With
+/// shared column targets, write sets collide — the loop is not
+/// `INDEPENDENT`.
+pub fn csc_matvec_footprint(col_ptr: &[usize], row_idx: &[usize]) -> Vec<IterationAccess> {
+    (0..col_ptr.len() - 1)
+        .map(|j| IterationAccess {
+            reads: vec![],
+            writes: row_idx[col_ptr[j]..col_ptr[j + 1]].to_vec(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forall_evaluates_rhs_before_assignment() {
+        // q(i) = q(i+1) for i in 0..n-1: with FORALL semantics every RHS
+        // is the OLD neighbour, so the array shifts by one — not a fill.
+        let mut q = vec![1.0, 2.0, 3.0, 4.0];
+        forall_assign(&mut q, 3, |k| k, |k| [1.0, 2.0, 3.0, 4.0][k + 1]).unwrap();
+        assert_eq!(q, vec![2.0, 3.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn forall_rejects_accumulation() {
+        // Two iterations target element 0 — the CSC many-to-one pattern.
+        let mut q = vec![0.0; 4];
+        let err = forall_assign(&mut q, 3, |k| if k == 2 { 0 } else { k }, |_| 1.0).unwrap_err();
+        assert_eq!(err, ForallError::ManyToOne { lhs: 0 });
+        // Target untouched on failure.
+        assert_eq!(q, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn forall_bounds_checked() {
+        let mut q = vec![0.0; 2];
+        let err = forall_assign(&mut q, 3, |k| k, |_| 1.0).unwrap_err();
+        assert_eq!(err, ForallError::OutOfBounds { lhs: 2, len: 2 });
+    }
+
+    #[test]
+    fn bernstein_accepts_disjoint_writes() {
+        let iters = csr_matvec_footprint(10);
+        assert!(bernstein_check(&iters).is_ok());
+    }
+
+    #[test]
+    fn bernstein_detects_write_write() {
+        // CSC of a matrix where rows repeat across columns.
+        // col_ptr = [0,2,4], row_idx = [0,1, 1,2]: columns 0 and 1 both
+        // write q(1).
+        let iters = csc_matvec_footprint(&[0, 2, 4], &[0, 1, 1, 2]);
+        match bernstein_check(&iters).unwrap_err() {
+            DependenceViolation::WriteWrite { location, .. } => assert_eq!(location, 1),
+            other => panic!("expected write-write, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bernstein_detects_read_write() {
+        let iters = vec![
+            IterationAccess {
+                reads: vec![],
+                writes: vec![5],
+            },
+            IterationAccess {
+                reads: vec![5],
+                writes: vec![6],
+            },
+        ];
+        match bernstein_check(&iters).unwrap_err() {
+            DependenceViolation::ReadWrite {
+                location,
+                writer,
+                reader,
+            } => {
+                assert_eq!(location, 5);
+                assert_eq!(writer, 0);
+                assert_eq!(reader, 1);
+            }
+            other => panic!("expected read-write, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bernstein_allows_self_dependence() {
+        // An iteration may read and write its own locations.
+        let iters = vec![
+            IterationAccess {
+                reads: vec![0],
+                writes: vec![0],
+            },
+            IterationAccess {
+                reads: vec![1],
+                writes: vec![1],
+            },
+        ];
+        assert!(bernstein_check(&iters).is_ok());
+    }
+
+    #[test]
+    fn diagonal_csc_is_independent() {
+        // A diagonal matrix in CSC: each column writes a distinct row, so
+        // even Scenario 2's loop would be INDEPENDENT — showing the
+        // dependence is a property of the sparsity pattern.
+        let iters = csc_matvec_footprint(&[0, 1, 2, 3], &[0, 1, 2]);
+        assert!(bernstein_check(&iters).is_ok());
+    }
+
+    #[test]
+    fn violation_messages_name_iterations() {
+        let v = DependenceViolation::WriteWrite {
+            location: 3,
+            iter_a: 1,
+            iter_b: 2,
+        };
+        assert!(v.to_string().contains("iterations 1 and 2"));
+    }
+}

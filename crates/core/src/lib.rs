@@ -1,0 +1,39 @@
+//! # hpf-core — the HPF data-parallel model for CG solvers
+//!
+//! The primary contribution of the reproduced paper (*"High Performance
+//! Fortran and Possible Extensions to support Conjugate Gradient
+//! Algorithms"*, Dincer/Hawick/Choudhary/Fox, NPAC SCCS-703 / HPDC'96)
+//! is an analysis of how HPF's data-parallel model expresses CG's three
+//! operation classes, where the language falls short for sparse storage,
+//! and what extensions would fix it. This crate implements all of it:
+//!
+//! * [`vector::DistVector`] — distributed vectors with the HPF
+//!   intrinsics: SAXPY-class parallel array assignments (`O(n/N_P)`,
+//!   zero communication) and `DOT_PRODUCT` (local products +
+//!   `t_startup·log N_P` hypercube merge);
+//! * [`forall`] — real `FORALL` semantics (all RHS before any LHS,
+//!   many-to-one rejected) and Bernstein-condition checking for
+//!   `INDEPENDENT` loops;
+//! * [`matvec`] — the Section 4 partitioning scenarios: row-wise
+//!   `(BLOCK,*)` CSR with its all-to-all broadcast (and the remote
+//!   `a`/`col` fetches of naive element-block layouts), and column-wise
+//!   `(*,BLOCK)` CSC in both the serial form and the temp-2D + `SUM`
+//!   workaround;
+//! * [`ext`] — the proposed extensions: `PRIVATE ... WITH MERGE`,
+//!   `ON PROCESSOR(f(i))`, inspector–executor schedules, and the
+//!   `SPARSE_MATRIX` trio directive with load-balancing partitioners;
+//! * [`spmd_baseline`] — the hand-coded message-passing comparison.
+
+pub mod ext;
+pub mod forall;
+pub mod grid;
+pub mod matvec;
+pub mod spmd_baseline;
+pub mod vector;
+
+pub use forall::{
+    bernstein_check, forall_assign, DependenceViolation, ForallError, IterationAccess,
+};
+pub use grid::{Checkerboard, CheckerboardStats, ProcGrid2D};
+pub use matvec::{ColwiseCsc, DataArrayLayout, MatvecStats, RowwiseCsr};
+pub use vector::DistVector;

@@ -1,0 +1,222 @@
+//! Property tests over the HPF runtime: distributed operations compute
+//! exactly what their serial counterparts compute, for arbitrary
+//! matrices, vectors, processor counts and (where applicable) layouts —
+//! and FORALL/Bernstein semantics hold on arbitrary access patterns.
+
+use hpf_core::ext::PrivateRegion;
+use hpf_core::forall::{bernstein_check, forall_assign, IterationAccess};
+use hpf_core::{ColwiseCsc, DataArrayLayout, DistVector, RowwiseCsr};
+use hpf_dist::{ArrayDescriptor, DistSpec};
+use hpf_machine::{CostModel, Machine, Topology};
+use hpf_sparse::{CooMatrix, CscMatrix, CsrMatrix};
+use proptest::prelude::*;
+
+fn machine(np: usize) -> Machine {
+    Machine::new(np, Topology::Hypercube, CostModel::mpp_1995())
+}
+
+/// A random square sparse matrix with unique coordinates.
+fn arb_square(n_max: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (2usize..n_max).prop_flat_map(|n| {
+        let cell = (0..n, 0..n, -10.0f64..10.0);
+        proptest::collection::vec(cell, 0..60).prop_map(move |mut v| {
+            v.sort_by_key(|&(i, j, _)| (i, j));
+            v.dedup_by_key(|&mut (i, j, _)| (i, j));
+            (n, v)
+        })
+    })
+}
+
+fn arb_layout(n: usize, np: usize, seed: u64) -> ArrayDescriptor {
+    match seed % 3 {
+        0 => ArrayDescriptor::block(n, np),
+        1 => ArrayDescriptor::cyclic(n, np),
+        _ => ArrayDescriptor::new(n, np, DistSpec::CyclicK(1 + (seed as usize % 4))),
+    }
+}
+
+proptest! {
+    /// SAXPY / AYPX / dot on any layout equal their serial versions.
+    #[test]
+    fn vector_ops_match_serial(
+        n in 1usize..150,
+        np in 1usize..9,
+        seed in any::<u64>(),
+        alpha in -4.0f64..4.0,
+    ) {
+        let desc = arb_layout(n, np, seed);
+        let xs: Vec<f64> = (0..n).map(|i| ((i * 31 + 7) % 13) as f64 - 6.0).collect();
+        let ys: Vec<f64> = (0..n).map(|i| ((i * 17 + 3) % 11) as f64 - 5.0).collect();
+
+        let mut m = machine(np);
+        let mut y = DistVector::from_global(desc.clone(), &ys);
+        let x = DistVector::from_global(desc.clone(), &xs);
+        y.axpy(&mut m, alpha, &x);
+        let want: Vec<f64> = ys.iter().zip(xs.iter()).map(|(yi, xi)| yi + alpha * xi).collect();
+        prop_assert_eq!(y.to_global(), want);
+
+        let mut p = DistVector::from_global(desc.clone(), &ys);
+        p.aypx(&mut m, alpha, &x);
+        let want2: Vec<f64> = ys.iter().zip(xs.iter()).map(|(yi, xi)| alpha * yi + xi).collect();
+        for (u, v) in p.to_global().iter().zip(want2.iter()) {
+            prop_assert!((u - v).abs() < 1e-12);
+        }
+
+        let got = x.dot(&mut m, &DistVector::from_global(desc, &ys));
+        let want3: f64 = xs.iter().zip(ys.iter()).map(|(a, b)| a * b).sum();
+        prop_assert!((got - want3).abs() < 1e-9 * want3.abs().max(1.0));
+    }
+
+    /// Scenario 1 and Scenario 2 matvecs (all variants) equal the dense
+    /// reference for any matrix and processor count.
+    #[test]
+    fn distributed_matvecs_match_reference(
+        (n, trips) in arb_square(16),
+        np in 1usize..7,
+        layout_elem in any::<bool>(),
+    ) {
+        let coo = CooMatrix::from_triplets(n, n, trips).unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        let csc = CscMatrix::from_coo(&coo);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 1) % 9) as f64 - 4.0).collect();
+        let want = csr.matvec(&x).unwrap();
+        let p = DistVector::from_global(ArrayDescriptor::block(n, np), &x);
+
+        let layout = if layout_elem {
+            DataArrayLayout::ElementBlock
+        } else {
+            DataArrayLayout::RowAligned
+        };
+        let mut m = machine(np);
+        let row_op = RowwiseCsr::block(csr.clone(), np, layout);
+        let (q1, _) = row_op.matvec(&mut m, &p);
+        for (u, v) in q1.to_global().iter().zip(want.iter()) {
+            prop_assert!((u - v).abs() < 1e-10);
+        }
+
+        let col_op = ColwiseCsc::block(csc, np);
+        let mut m2 = machine(np);
+        let (q2, _) = col_op.matvec_serial(&mut m2, &p);
+        let mut m3 = machine(np);
+        let (q3, _) = col_op.matvec_temp2d(&mut m3, &p);
+        for i in 0..n {
+            prop_assert!((q2.to_global()[i] - want[i]).abs() < 1e-10);
+            prop_assert!((q3.to_global()[i] - want[i]).abs() < 1e-10);
+        }
+
+        // Transpose direction.
+        let want_t = csr.matvec_transpose(&x).unwrap();
+        let mut m4 = machine(np);
+        let (qt, _) = row_op.matvec_transpose(&mut m4, &p);
+        for (u, v) in qt.to_global().iter().zip(want_t.iter()) {
+            prop_assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    /// The PRIVATE/MERGE CSC matvec equals the serial kernel for any
+    /// matrix and any processor count.
+    #[test]
+    fn private_merge_matches_serial(
+        (n, trips) in arb_square(20),
+        np in 1usize..9,
+    ) {
+        let coo = CooMatrix::from_triplets(n, n, trips).unwrap();
+        let csc = CscMatrix::from_coo(&coo);
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        let want = csc.matvec(&x).unwrap();
+        let mut m = machine(np);
+        let (got, stats) =
+            PrivateRegion::csc_matvec(&mut m, csc.col_ptr(), csc.row_idx(), csc.values(), &x);
+        // The private region sizes q by the max row index present.
+        for (i, w) in want.iter().enumerate() {
+            let g = got.get(i).copied().unwrap_or(0.0);
+            prop_assert!((g - w).abs() < 1e-10, "row {i}: {g} vs {w}");
+        }
+        prop_assert_eq!(stats.private_storage_words, np * got.len());
+    }
+
+    /// FORALL either fully applies or leaves the target untouched, and
+    /// accepts exactly the injective index maps.
+    #[test]
+    fn forall_all_or_nothing(
+        n in 1usize..40,
+        offsets in proptest::collection::vec(0usize..40, 1..40),
+    ) {
+        let count = offsets.len().min(n);
+        let lhs: Vec<usize> = offsets.iter().take(count).map(|&o| o % n).collect();
+        let mut target = vec![-1.0f64; n];
+        let before = target.clone();
+        let injective = {
+            let mut seen = vec![false; n];
+            lhs.iter().all(|&l| {
+                if seen[l] {
+                    false
+                } else {
+                    seen[l] = true;
+                    true
+                }
+            })
+        };
+        let result = forall_assign(&mut target, count, |k| lhs[k], |k| k as f64);
+        prop_assert_eq!(result.is_ok(), injective);
+        if result.is_err() {
+            prop_assert_eq!(target, before);
+        } else {
+            for (k, &l) in lhs.iter().enumerate() {
+                prop_assert_eq!(target[l], k as f64);
+            }
+        }
+    }
+
+    /// Bernstein's checker accepts iff all write sets are disjoint and
+    /// no iteration reads another's writes.
+    #[test]
+    fn bernstein_matches_brute_force(
+        writes in proptest::collection::vec(proptest::collection::vec(0usize..12, 0..3), 1..8),
+        reads in proptest::collection::vec(proptest::collection::vec(0usize..12, 0..3), 1..8),
+    ) {
+        let k = writes.len().min(reads.len());
+        let iters: Vec<IterationAccess> = (0..k)
+            .map(|i| IterationAccess {
+                reads: reads[i].clone(),
+                writes: writes[i].clone(),
+            })
+            .collect();
+        let got = bernstein_check(&iters).is_ok();
+        // Brute force.
+        let mut ok = true;
+        'outer: for i in 0..k {
+            for j in 0..k {
+                if i == j {
+                    continue;
+                }
+                for &w in &iters[i].writes {
+                    if iters[j].writes.contains(&w) || iters[j].reads.contains(&w) {
+                        ok = false;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(got, ok);
+    }
+
+    /// Machine time for the same program is independent of tracing, and
+    /// numerics are independent of the cost model.
+    #[test]
+    fn cost_model_never_affects_numerics(
+        (n, trips) in arb_square(12),
+        np in 1usize..5,
+    ) {
+        let coo = CooMatrix::from_triplets(n, n, trips).unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let p = DistVector::from_global(ArrayDescriptor::block(n, np), &x);
+        let op = RowwiseCsr::block(csr, np, DataArrayLayout::RowAligned);
+        let mut m1 = Machine::new(np, Topology::Hypercube, CostModel::mpp_1995());
+        let mut m2 = Machine::new(np, Topology::Ring, CostModel::lan_cluster());
+        let (q1, _) = op.matvec(&mut m1, &p);
+        let (q2, _) = op.matvec(&mut m2, &p);
+        prop_assert_eq!(q1.to_global(), q2.to_global());
+    }
+}

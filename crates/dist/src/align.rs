@@ -1,0 +1,297 @@
+//! The HPF `ALIGN` directive as an alignment graph.
+//!
+//! The paper's CG code aligns every working vector with `p`:
+//!
+//! ```fortran
+//! !HPF$ ALIGN (:) WITH p(:) :: q, r, x, b
+//! !HPF$ DISTRIBUTE p(BLOCK)
+//! ```
+//!
+//! "Vector p is chosen as the target of the ultimate alignment thus the
+//! distribution of p determines the distribution of all other vectors
+//! aligned with it. Whenever its distribution is changed, the others are
+//! also automatically redistributed."
+//!
+//! [`AlignmentGraph`] tracks which arrays are aligned with which target,
+//! resolves the *ultimate* alignment target through chains, and, on
+//! `REDISTRIBUTE`, reports every array that must move.
+
+use crate::descriptor::ArrayDescriptor;
+use crate::spec::DistSpec;
+use std::collections::BTreeMap;
+
+/// Error raised by alignment operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignError {
+    UnknownArray(String),
+    /// Aligning `a` with `b` would create a cycle.
+    Cycle(String),
+    /// Arrays of different lengths cannot be identity-aligned.
+    LengthMismatch {
+        array: String,
+        expected: usize,
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for AlignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlignError::UnknownArray(a) => write!(f, "unknown array '{a}'"),
+            AlignError::Cycle(a) => write!(f, "aligning '{a}' would create a cycle"),
+            AlignError::LengthMismatch {
+                array,
+                expected,
+                got,
+            } => write!(
+                f,
+                "array '{array}' has length {got}, alignment target has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AlignError {}
+
+/// One registered array: its length and either an explicit distribution
+/// (alignment root) or the name of the array it is aligned with.
+#[derive(Debug, Clone)]
+struct Entry {
+    len: usize,
+    aligned_with: Option<String>,
+    /// Distribution spec; meaningful only for roots.
+    spec: DistSpec,
+    /// `DYNAMIC` arrays may be redistributed at runtime (Section 5.2.1).
+    dynamic: bool,
+}
+
+/// Registry of distributed arrays and their alignment relations.
+#[derive(Debug, Default, Clone)]
+pub struct AlignmentGraph {
+    np: usize,
+    entries: BTreeMap<String, Entry>,
+}
+
+impl AlignmentGraph {
+    pub fn new(np: usize) -> Self {
+        assert!(np > 0);
+        AlignmentGraph {
+            np,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// `!HPF$ DISTRIBUTE name(spec)` — register a root array.
+    pub fn distribute(&mut self, name: impl Into<String>, len: usize, spec: DistSpec) {
+        let name = name.into();
+        self.entries.insert(
+            name,
+            Entry {
+                len,
+                aligned_with: None,
+                spec,
+                dynamic: false,
+            },
+        );
+    }
+
+    /// `!HPF$ DYNAMIC, DISTRIBUTE name(spec)` — register a root that may
+    /// be redistributed at runtime.
+    pub fn distribute_dynamic(&mut self, name: impl Into<String>, len: usize, spec: DistSpec) {
+        let name = name.into();
+        self.entries.insert(
+            name,
+            Entry {
+                len,
+                aligned_with: None,
+                spec,
+                dynamic: true,
+            },
+        );
+    }
+
+    /// `!HPF$ ALIGN name(:) WITH target(:)` — identity alignment.
+    pub fn align(
+        &mut self,
+        name: impl Into<String>,
+        len: usize,
+        target: &str,
+    ) -> Result<(), AlignError> {
+        let name = name.into();
+        let root = self.ultimate_target(target)?;
+        let root_len = self.entries[&root].len;
+        if len != root_len {
+            return Err(AlignError::LengthMismatch {
+                array: name,
+                expected: root_len,
+                got: len,
+            });
+        }
+        if name == target || root == name {
+            return Err(AlignError::Cycle(name));
+        }
+        self.entries.insert(
+            name,
+            Entry {
+                len,
+                aligned_with: Some(target.to_string()),
+                spec: DistSpec::Block, // unused for non-roots
+                dynamic: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Resolve the ultimate alignment target of `name` (the paper's
+    /// "target of the ultimate alignment").
+    pub fn ultimate_target(&self, name: &str) -> Result<String, AlignError> {
+        let mut cur = name.to_string();
+        let mut steps = 0usize;
+        loop {
+            let e = self
+                .entries
+                .get(&cur)
+                .ok_or_else(|| AlignError::UnknownArray(cur.clone()))?;
+            match &e.aligned_with {
+                None => return Ok(cur),
+                Some(next) => {
+                    cur = next.clone();
+                    steps += 1;
+                    if steps > self.entries.len() {
+                        return Err(AlignError::Cycle(name.to_string()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The effective descriptor of `name` (through its ultimate target).
+    pub fn descriptor(&self, name: &str) -> Result<ArrayDescriptor, AlignError> {
+        let root = self.ultimate_target(name)?;
+        let e = &self.entries[&root];
+        Ok(ArrayDescriptor::new(
+            self.entries[name].len,
+            self.np,
+            e.spec.clone(),
+        ))
+    }
+
+    /// Is the array registered as DYNAMIC (directly or via its root)?
+    pub fn is_dynamic(&self, name: &str) -> Result<bool, AlignError> {
+        let root = self.ultimate_target(name)?;
+        Ok(self.entries[&root].dynamic)
+    }
+
+    /// `!HPF$ REDISTRIBUTE target(spec)` — change the root's spec and
+    /// return the names of *all* arrays whose layout changes (the root
+    /// plus everything transitively aligned with it), in sorted order.
+    pub fn redistribute(
+        &mut self,
+        target: &str,
+        spec: DistSpec,
+    ) -> Result<Vec<String>, AlignError> {
+        let root = self.ultimate_target(target)?;
+        self.entries.get_mut(&root).unwrap().spec = spec;
+        let mut moved: Vec<String> = Vec::new();
+        let names: Vec<String> = self.entries.keys().cloned().collect();
+        for n in names {
+            if self.ultimate_target(&n)? == root {
+                moved.push(n);
+            }
+        }
+        moved.sort();
+        Ok(moved)
+    }
+
+    /// All registered array names.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the paper's Figure 2 alignment set.
+    fn paper_graph() -> AlignmentGraph {
+        let mut g = AlignmentGraph::new(4);
+        let n = 100;
+        g.distribute("p", n, DistSpec::Block);
+        g.align("q", n, "p").unwrap();
+        g.align("r", n, "p").unwrap();
+        g.align("x", n, "p").unwrap();
+        g.align("b", n, "p").unwrap();
+        g
+    }
+
+    #[test]
+    fn ultimate_target_resolution() {
+        let g = paper_graph();
+        assert_eq!(g.ultimate_target("q").unwrap(), "p");
+        assert_eq!(g.ultimate_target("p").unwrap(), "p");
+    }
+
+    #[test]
+    fn chained_alignment() {
+        let mut g = paper_graph();
+        g.align("y", 100, "q").unwrap(); // y -> q -> p
+        assert_eq!(g.ultimate_target("y").unwrap(), "p");
+        let d = g.descriptor("y").unwrap();
+        assert_eq!(d.spec(), &DistSpec::Block);
+    }
+
+    #[test]
+    fn redistribute_moves_whole_group() {
+        let mut g = paper_graph();
+        let moved = g.redistribute("p", DistSpec::Cyclic).unwrap();
+        assert_eq!(moved, vec!["b", "p", "q", "r", "x"]);
+        // All descriptors now cyclic.
+        for n in ["p", "q", "r", "x", "b"] {
+            assert_eq!(g.descriptor(n).unwrap().spec(), &DistSpec::Cyclic);
+        }
+    }
+
+    #[test]
+    fn redistribute_via_member_affects_root() {
+        let mut g = paper_graph();
+        // Redistributing through an aligned member targets the root.
+        let moved = g.redistribute("r", DistSpec::CyclicK(5)).unwrap();
+        assert!(moved.contains(&"p".to_string()));
+        assert_eq!(g.descriptor("p").unwrap().spec(), &DistSpec::CyclicK(5));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut g = paper_graph();
+        let err = g.align("bad", 50, "p").unwrap_err();
+        assert!(matches!(err, AlignError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_target_rejected() {
+        let mut g = AlignmentGraph::new(2);
+        assert!(matches!(
+            g.align("a", 10, "nope"),
+            Err(AlignError::UnknownArray(_))
+        ));
+        assert!(g.ultimate_target("ghost").is_err());
+    }
+
+    #[test]
+    fn self_alignment_rejected() {
+        let mut g = AlignmentGraph::new(2);
+        g.distribute("a", 10, DistSpec::Block);
+        assert!(matches!(g.align("a", 10, "a"), Err(AlignError::Cycle(_))));
+    }
+
+    #[test]
+    fn dynamic_flag_propagates_from_root() {
+        let mut g = AlignmentGraph::new(2);
+        g.distribute_dynamic("row", 10, DistSpec::Block);
+        g.align("a", 10, "row").unwrap();
+        assert!(g.is_dynamic("a").unwrap());
+        g.distribute("col", 10, DistSpec::Block);
+        assert!(!g.is_dynamic("col").unwrap());
+    }
+}

@@ -1,0 +1,30 @@
+//! # hpf-dist — HPF distribution and alignment layer
+//!
+//! Typed equivalents of the HPF directives the paper builds its CG codes
+//! from (`PROCESSORS`, `DISTRIBUTE`, `ALIGN`, `DYNAMIC`, `REDISTRIBUTE`)
+//! plus its proposed Section 5.2 extensions (`INDIVISABLE` atoms,
+//! `ATOM:BLOCK` / `ATOM:CYCLIC` distributions, and the
+//! `CG_BALANCED_PARTITIONER_1` load-balancing partitioner).
+//!
+//! * [`spec::DistSpec`] — `BLOCK`, `BLOCK(k)`, `CYCLIC`, `CYCLIC(k)`,
+//!   replication, and irregular cut-point layouts;
+//! * [`descriptor::ArrayDescriptor`] — the runtime Distributed Array
+//!   Descriptor (owner / local-offset / global-indices queries);
+//! * [`align::AlignmentGraph`] — `ALIGN a(:) WITH b(:)` with ultimate-
+//!   target resolution and group redistribution;
+//! * [`atoms`] — indivisible entities over pointer arrays;
+//! * [`partition`] — load-balancing partitioners and imbalance metrics;
+//! * [`redistribute`] — traffic matrices and simulated-cost execution of
+//!   layout changes.
+
+pub mod align;
+pub mod atoms;
+pub mod descriptor;
+pub mod partition;
+pub mod redistribute;
+pub mod spec;
+
+pub use align::{AlignError, AlignmentGraph};
+pub use atoms::{AtomAssignment, AtomSpec};
+pub use descriptor::ArrayDescriptor;
+pub use spec::{DistSpec, ProcessorGrid};

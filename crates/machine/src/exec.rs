@@ -1,0 +1,134 @@
+//! Real shared-memory execution helpers.
+//!
+//! The simulator charges *modeled* time, but local arithmetic is executed
+//! for real. For large problem sizes it is worth running the
+//! per-processor local phases on actual OS threads. Since the sanctioned
+//! dependency set excludes a thread-pool crate, this module provides a
+//! small fork-join layer over [`std::thread::scope`] — one of the
+//! substrates this reproduction builds from scratch.
+
+/// Run `f(p, chunk)` for every chunk of `data` split into `parts`
+/// near-equal contiguous pieces, on `parts` scoped threads. Chunk `p`
+/// covers the same index range as HPF `BLOCK` distribution of the slice
+/// over `parts` processors.
+///
+/// Falls back to sequential execution when `parts <= 1` or the slice is
+/// small enough that thread spawn overhead would dominate.
+pub fn par_chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(data: &mut [T], parts: usize, f: F) {
+    let n = data.len();
+    if parts <= 1 || n < 4096 {
+        for (p, chunk) in block_chunks_mut(data, parts.max(1)).into_iter().enumerate() {
+            f(p, chunk);
+        }
+        return;
+    }
+    let chunks = block_chunks_mut(data, parts);
+    std::thread::scope(|s| {
+        for (p, chunk) in chunks.into_iter().enumerate() {
+            let f = &f;
+            s.spawn(move || f(p, chunk));
+        }
+    });
+}
+
+/// Run `f(p)` for `p in 0..parts` on scoped threads and collect results in
+/// rank order. This is the shape of an SPMD "node program" launch.
+pub fn par_ranks<R: Send, F: Fn(usize) -> R + Sync>(parts: usize, f: F) -> Vec<R> {
+    assert!(parts > 0);
+    if parts == 1 {
+        return vec![f(0)];
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..parts)
+            .map(|p| {
+                let f = &f;
+                s.spawn(move || f(p))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    })
+}
+
+/// Split `data` into `parts` contiguous chunks using HPF BLOCK semantics:
+/// block size `ceil(n / parts)`, so trailing chunks may be empty.
+pub fn block_chunks_mut<T>(data: &mut [T], parts: usize) -> Vec<&mut [T]> {
+    assert!(parts > 0);
+    let n = data.len();
+    let bs = n.div_ceil(parts).max(1);
+    let mut out = Vec::with_capacity(parts);
+    let mut rest = data;
+    for _ in 0..parts {
+        let take = bs.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        out.push(head);
+        rest = tail;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_chunks_cover_everything_once() {
+        let mut v: Vec<usize> = (0..10).collect();
+        let chunks = block_chunks_mut(&mut v, 3);
+        assert_eq!(chunks.len(), 3);
+        // ceil(10/3) = 4 -> 4, 4, 2
+        assert_eq!(chunks[0].len(), 4);
+        assert_eq!(chunks[1].len(), 4);
+        assert_eq!(chunks[2].len(), 2);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn block_chunks_trailing_empty() {
+        let mut v = [1, 2];
+        let chunks = block_chunks_mut(&mut v, 4);
+        assert_eq!(
+            chunks.iter().map(|c| c.len()).collect::<Vec<_>>(),
+            vec![1, 1, 0, 0]
+        );
+    }
+
+    #[test]
+    fn par_chunks_mut_applies_function_everywhere() {
+        let mut v = vec![1.0f64; 10_000];
+        par_chunks_mut(&mut v, 4, |_p, chunk| {
+            for x in chunk {
+                *x *= 2.0;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn par_chunks_mut_passes_correct_rank() {
+        let mut v = vec![0usize; 8192];
+        par_chunks_mut(&mut v, 4, |p, chunk| {
+            for x in chunk {
+                *x = p;
+            }
+        });
+        let bs = 8192usize.div_ceil(4);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i / bs);
+        }
+    }
+
+    #[test]
+    fn par_ranks_collects_in_order() {
+        let out = par_ranks(8, |p| p * p);
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn par_ranks_single() {
+        assert_eq!(par_ranks(1, |p| p + 7), vec![7]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # hpf-machine — simulated distributed-memory multicomputer
+//!
+//! Substrate crate for the reproduction of *"High Performance Fortran and
+//! Possible Extensions to support Conjugate Gradient Algorithms"*
+//! (Dincer, Hawick, Choudhary, Fox; NPAC SCCS-703 / HPDC'96).
+//!
+//! The paper evaluates HPF data layouts analytically on distributed-memory
+//! machines parameterised by a start-up latency `t_startup` and a per-word
+//! transfer time `t_comm`, with hypercube-style collective algorithms.
+//! This crate provides exactly that machine:
+//!
+//! * [`cost::CostModel`] — the `(t_startup, t_word, t_flop)` linear model;
+//! * [`topology::Topology`] — hypercube / mesh / ring / fully-connected /
+//!   bus networks with per-collective analytic timing;
+//! * [`machine::Machine`] — `NP` virtual processors with per-processor
+//!   clocks, traffic counters, and an event [`trace::Trace`];
+//! * [`spmd`] — a *real* message-passing world (ranks as OS threads,
+//!   crossbeam channels) used for the hand-coded SPMD baseline the paper
+//!   compares HPF against;
+//! * [`exec`] — scoped-thread fork-join helpers for running local phases
+//!   of the simulation on real cores.
+
+pub mod cost;
+pub mod exec;
+pub mod machine;
+pub mod spmd;
+pub mod topology;
+pub mod trace;
+
+pub use cost::CostModel;
+pub use machine::{Machine, ProcStats};
+pub use spmd::{Comm, SpmdRun, SpmdStats, SpmdWorld};
+pub use topology::Topology;
+pub use trace::{Event, EventKind, Trace};

@@ -1,0 +1,693 @@
+//! The simulated multicomputer.
+//!
+//! A [`Machine`] models `NP` distributed-memory processors connected by a
+//! [`Topology`], with per-processor clocks and an analytic [`CostModel`].
+//! Higher layers (distributed arrays, HPF operations, solvers) perform
+//! the *real* arithmetic on locally owned data and charge the machine for
+//! the computation and communication that the HPF layout induces. The
+//! machine in turn maintains:
+//!
+//! * a per-processor local clock (so load imbalance is visible),
+//! * cumulative flop/word/message counters, and
+//! * an event [`Trace`] usable by tests and benchmark reports.
+//!
+//! Collective operations synchronise the clocks (every participant waits
+//! for the slowest), exactly as the merge/broadcast phases do in the
+//! paper's Section 4 analysis.
+
+use crate::cost::CostModel;
+use crate::topology::Topology;
+use crate::trace::{Event, EventKind, Trace};
+
+/// Cumulative per-processor statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ProcStats {
+    /// Floating-point operations executed.
+    pub flops: u64,
+    /// Elements sent into the network.
+    pub words_sent: u64,
+    /// Messages originated.
+    pub messages: u64,
+}
+
+/// A simulated NP-processor distributed-memory machine.
+///
+/// ```
+/// use hpf_machine::{Machine, EventKind};
+///
+/// let mut m = Machine::hypercube(8);
+/// // An owner-computes phase followed by a scalar merge (a dot product).
+/// m.compute_uniform(1_000, "dot-local");
+/// m.allreduce(1, "dot-merge");
+/// assert_eq!(m.trace().count(EventKind::AllReduce), 1);
+/// assert!(m.elapsed() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    np: usize,
+    topology: Topology,
+    cost: CostModel,
+    clocks: Vec<f64>,
+    stats: Vec<ProcStats>,
+    trace: Trace,
+    tracing: bool,
+}
+
+impl Machine {
+    /// Create a machine of `np` processors (the paper's `N_P`, the
+    /// `PROCESSORS PROCS(NP)` directive).
+    pub fn new(np: usize, topology: Topology, cost: CostModel) -> Self {
+        assert!(np > 0, "a machine needs at least one processor");
+        Machine {
+            np,
+            topology,
+            cost,
+            clocks: vec![0.0; np],
+            stats: vec![ProcStats::default(); np],
+            trace: Trace::new(),
+            tracing: true,
+        }
+    }
+
+    /// A hypercube machine with the default mid-90s MPP cost model.
+    pub fn hypercube(np: usize) -> Self {
+        Self::new(np, Topology::Hypercube, CostModel::default())
+    }
+
+    pub fn np(&self) -> usize {
+        self.np
+    }
+
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Disable event tracing (keeps counters and clocks).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// The simulated elapsed wall-clock time: the slowest processor.
+    pub fn elapsed(&self) -> f64 {
+        self.clocks.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Per-processor clocks (for imbalance inspection).
+    pub fn clocks(&self) -> &[f64] {
+        &self.clocks
+    }
+
+    /// Load imbalance factor of the processor clocks: `max / mean`
+    /// (1.0 = perfectly balanced). Returns 1.0 on an idle machine.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.elapsed();
+        let mean = self.clocks.iter().sum::<f64>() / self.np as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    pub fn stats(&self, p: usize) -> &ProcStats {
+        &self.stats[p]
+    }
+
+    pub fn total_flops(&self) -> u64 {
+        self.stats.iter().map(|s| s.flops).sum()
+    }
+
+    pub fn total_words_sent(&self) -> u64 {
+        self.stats.iter().map(|s| s.words_sent).sum()
+    }
+
+    pub fn total_messages(&self) -> u64 {
+        self.stats.iter().map(|s| s.messages).sum()
+    }
+
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Reset clocks, counters and trace (the machine keeps its shape).
+    pub fn reset(&mut self) {
+        self.clocks.iter_mut().for_each(|c| *c = 0.0);
+        self.stats
+            .iter_mut()
+            .for_each(|s| *s = ProcStats::default());
+        self.trace.clear();
+    }
+
+    fn record(&mut self, kind: EventKind, words: usize, flops: usize, time: f64, label: &str) {
+        if self.tracing {
+            self.trace.record(Event {
+                kind,
+                participants: self.np,
+                words,
+                flops,
+                time,
+                label: label.to_string(),
+            });
+        }
+    }
+
+    /// Advance every clock to the global maximum (barrier semantics) and
+    /// return that maximum.
+    fn synchronise(&mut self) -> f64 {
+        let max = self.elapsed();
+        self.clocks.iter_mut().for_each(|c| *c = max);
+        max
+    }
+
+    // ------------------------------------------------------------------
+    // Computation
+    // ------------------------------------------------------------------
+
+    /// Charge `flops` of local computation to processor `p` (advances only
+    /// that processor's clock; no trace event — use [`Machine::compute_all`]
+    /// for traced bulk phases).
+    pub fn compute(&mut self, p: usize, flops: usize) {
+        self.stats[p].flops += flops as u64;
+        self.clocks[p] += self.cost.flops(flops);
+    }
+
+    /// Charge a bulk owner-computes phase: `flops_per_proc[p]` flops on
+    /// each processor simultaneously. The phase's simulated time is the
+    /// *maximum* per-processor time — this is where load imbalance from a
+    /// bad sparse distribution shows up (Section 5.2).
+    pub fn compute_all(&mut self, flops_per_proc: &[usize], label: &str) -> f64 {
+        assert_eq!(
+            flops_per_proc.len(),
+            self.np,
+            "one flop count per processor"
+        );
+        let mut max_t: f64 = 0.0;
+        let mut total = 0usize;
+        for (p, &f) in flops_per_proc.iter().enumerate() {
+            self.stats[p].flops += f as u64;
+            let t = self.cost.flops(f);
+            self.clocks[p] += t;
+            max_t = max_t.max(t);
+            total += f;
+        }
+        self.record(EventKind::Compute, 0, total, max_t, label);
+        max_t
+    }
+
+    /// Charge a uniform compute phase of `flops_each` on every processor.
+    pub fn compute_uniform(&mut self, flops_each: usize, label: &str) -> f64 {
+        let v = vec![flops_each; self.np];
+        self.compute_all(&v, label)
+    }
+
+    /// Charge a *serial* compute phase: the work cannot be parallelised
+    /// (e.g. the paper's Scenario 2 CSC loop, whose inter-iteration
+    /// dependency means "the matrix-vector operation can not be performed
+    /// in parallel"). Every processor waits for the single serial thread:
+    /// all clocks advance by the full `flops` time.
+    pub fn compute_serial(&mut self, flops: usize, label: &str) -> f64 {
+        let t = self.cost.flops(flops);
+        self.stats[0].flops += flops as u64;
+        self.synchronise();
+        self.clocks.iter_mut().for_each(|c| *c += t);
+        self.record(EventKind::Compute, 0, flops, t, label);
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // Communication
+    // ------------------------------------------------------------------
+
+    /// Point-to-point message of `words` elements from `from` to `to`.
+    /// Receiver waits for the sender (message-passing semantics).
+    pub fn send(&mut self, from: usize, to: usize, words: usize, label: &str) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        let hops = self.topology.hops(from, to, self.np);
+        let t = self.cost.message(words, hops);
+        self.stats[from].words_sent += words as u64;
+        self.stats[from].messages += 1;
+        let arrive = self.clocks[from] + t;
+        self.clocks[to] = self.clocks[to].max(arrive);
+        self.clocks[from] = arrive; // blocking send
+        self.record(EventKind::Send, words, 0, t, label);
+        t
+    }
+
+    /// Barrier: synchronise all clocks plus a small allreduce-style cost.
+    pub fn barrier(&mut self, label: &str) -> f64 {
+        let t = self.topology.allreduce_time(self.np, 0, &self.cost);
+        self.synchronise();
+        self.clocks.iter_mut().for_each(|c| *c += t);
+        self.record(EventKind::Barrier, 0, 0, t, label);
+        t
+    }
+
+    /// One-to-all broadcast of `words` elements from `root`.
+    pub fn broadcast(&mut self, root: usize, words: usize, label: &str) -> f64 {
+        assert!(root < self.np);
+        let t = self.topology.broadcast_time(self.np, words, &self.cost);
+        self.stats[root].words_sent += words as u64;
+        self.stats[root].messages += Topology::log2_ceil(self.np) as u64;
+        self.synchronise();
+        self.clocks.iter_mut().for_each(|c| *c += t);
+        self.record(EventKind::Broadcast, words, 0, t, label);
+        t
+    }
+
+    /// All-to-all broadcast (allgather): every processor contributes
+    /// `words_each` and ends holding all of them. This is the replication
+    /// of the distributed vector `p` in Scenario 1 of the paper.
+    pub fn allgather(&mut self, words_each: usize, label: &str) -> f64 {
+        let t = self
+            .topology
+            .allgather_time(self.np, words_each, &self.cost);
+        // Recursive doubling forwards (NP-1)*words_each per processor in
+        // total (data doubles each round) — the same volume a hand-coded
+        // send-to-every-peer allgather moves.
+        for s in &mut self.stats {
+            s.words_sent += (words_each * self.np.saturating_sub(1)) as u64;
+            s.messages += Topology::log2_ceil(self.np) as u64;
+        }
+        self.synchronise();
+        self.clocks.iter_mut().for_each(|c| *c += t);
+        self.record(EventKind::AllGather, words_each * self.np, 0, t, label);
+        t
+    }
+
+    /// Reduce `words` elements to `root` (combining with flops included in
+    /// the topology cost).
+    pub fn reduce(&mut self, root: usize, words: usize, label: &str) -> f64 {
+        assert!(root < self.np);
+        let t = self.topology.reduce_time(self.np, words, &self.cost);
+        for (p, s) in self.stats.iter_mut().enumerate() {
+            if p != root {
+                s.words_sent += words as u64;
+                s.messages += 1;
+            }
+        }
+        self.synchronise();
+        self.clocks.iter_mut().for_each(|c| *c += t);
+        self.record(EventKind::Reduce, words * (self.np - 1), 0, t, label);
+        t
+    }
+
+    /// All-reduce of `words` elements: the merge phase of `DOT_PRODUCT`
+    /// followed by replication of the scalar — on a hypercube this is the
+    /// paper's `t_startup * log N_P` term.
+    pub fn allreduce(&mut self, words: usize, label: &str) -> f64 {
+        let t = self.topology.allreduce_time(self.np, words, &self.cost);
+        // Butterfly: every processor exchanges `words` in each of the
+        // log NP rounds.
+        let rounds = Topology::log2_ceil(self.np) as u64;
+        for s in &mut self.stats {
+            s.words_sent += words as u64 * rounds;
+            s.messages += rounds;
+        }
+        self.synchronise();
+        self.clocks.iter_mut().for_each(|c| *c += t);
+        self.record(
+            EventKind::AllReduce,
+            words * self.np.saturating_sub(1),
+            0,
+            t,
+            label,
+        );
+        t
+    }
+
+    /// Reduce-scatter: every processor contributes `np * words_each`
+    /// elements; each ends with its own `words_each` block of the sum.
+    /// The dual of [`Machine::allgather`] — together they form the
+    /// communication-optimal allreduce, and the row phase of the 2-D
+    /// `(BLOCK, BLOCK)` matvec.
+    pub fn reduce_scatter(&mut self, words_each: usize, label: &str) -> f64 {
+        let t = self
+            .topology
+            .reduce_scatter_time(self.np, words_each, &self.cost);
+        let rounds = Topology::log2_ceil(self.np) as u64;
+        for s in &mut self.stats {
+            s.words_sent += (words_each * self.np.saturating_sub(1)) as u64;
+            s.messages += rounds;
+        }
+        self.synchronise();
+        self.clocks.iter_mut().for_each(|c| *c += t);
+        self.record(
+            EventKind::Reduce,
+            words_each * self.np * self.np.saturating_sub(1),
+            0,
+            t,
+            label,
+        );
+        t
+    }
+
+    /// Run a collective over a *subset* of processors (a row or column of
+    /// a processor grid): costs are computed as if on a machine of
+    /// `group_size` processors, and only the group members' clocks
+    /// advance (after synchronising among themselves).
+    pub fn group_collective(
+        &mut self,
+        members: &[usize],
+        kind: EventKind,
+        words_each: usize,
+        label: &str,
+    ) -> f64 {
+        let g = members.len();
+        if g <= 1 {
+            return 0.0;
+        }
+        let t = match kind {
+            EventKind::AllGather => self.topology.allgather_time(g, words_each, &self.cost),
+            EventKind::AllReduce => self.topology.allreduce_time(g, words_each, &self.cost),
+            EventKind::Reduce => self.topology.reduce_scatter_time(g, words_each, &self.cost),
+            EventKind::Broadcast => self.topology.broadcast_time(g, words_each, &self.cost),
+            other => panic!("group_collective: unsupported kind {other:?}"),
+        };
+        let rounds = Topology::log2_ceil(g) as u64;
+        // Group-internal barrier: members advance to the group max.
+        let max = members
+            .iter()
+            .map(|&p| self.clocks[p])
+            .fold(0.0f64, f64::max);
+        for &p in members {
+            self.clocks[p] = max + t;
+            self.stats[p].words_sent += (words_each * (g - 1)) as u64;
+            self.stats[p].messages += rounds;
+        }
+        self.record(kind, words_each * g * (g - 1), 0, t, label);
+        t
+    }
+
+    /// Personalised all-to-all exchange of `words_each` per pair (used by
+    /// REDISTRIBUTE).
+    pub fn alltoall(&mut self, words_each: usize, label: &str) -> f64 {
+        let t = self.topology.alltoall_time(self.np, words_each, &self.cost);
+        for s in &mut self.stats {
+            s.words_sent += (words_each * (self.np - 1)) as u64;
+            s.messages += (self.np - 1) as u64;
+        }
+        self.synchronise();
+        self.clocks.iter_mut().for_each(|c| *c += t);
+        self.record(
+            EventKind::AllToAll,
+            words_each * self.np * self.np.saturating_sub(1),
+            0,
+            t,
+            label,
+        );
+        t
+    }
+
+    /// Irregular many-to-many exchange: `matrix[s][d]` words from `s` to
+    /// `d`. Cost: every processor pays a start-up per distinct partner
+    /// plus bandwidth for the maximum of its send and receive volumes;
+    /// phase time is the max over processors. Used for atom/balanced
+    /// redistributions where traffic is data-dependent.
+    pub fn exchange(&mut self, matrix: &[Vec<usize>], label: &str) -> f64 {
+        assert_eq!(matrix.len(), self.np);
+        let mut max_t: f64 = 0.0;
+        let mut total_words = 0usize;
+        for p in 0..self.np {
+            assert_eq!(matrix[p].len(), self.np);
+            let sends: usize = (0..self.np).filter(|&d| d != p && matrix[p][d] > 0).count();
+            let sent: usize = (0..self.np).filter(|&d| d != p).map(|d| matrix[p][d]).sum();
+            let recvd: usize = (0..self.np).filter(|&s| s != p).map(|s| matrix[s][p]).sum();
+            let recvs: usize = (0..self.np).filter(|&s| s != p && matrix[s][p] > 0).count();
+            let t = (sends.max(recvs)) as f64 * self.cost.t_startup
+                + self.cost.t_word * sent.max(recvd) as f64;
+            self.stats[p].words_sent += sent as u64;
+            self.stats[p].messages += sends as u64;
+            total_words += sent;
+            max_t = max_t.max(t);
+        }
+        self.synchronise();
+        self.clocks.iter_mut().for_each(|c| *c += max_t);
+        self.record(EventKind::Redistribute, total_words, 0, max_t, label);
+        max_t
+    }
+
+    /// Gather `words_each` elements from every processor to `root`.
+    pub fn gather(&mut self, root: usize, words_each: usize, label: &str) -> f64 {
+        assert!(root < self.np);
+        // Binomial-tree gather: log P rounds, data grows toward the root.
+        let t = if self.np <= 1 {
+            0.0
+        } else {
+            let rounds = Topology::log2_ceil(self.np) as f64;
+            rounds * self.cost.t_startup + self.cost.t_word * ((self.np - 1) * words_each) as f64
+        };
+        for (p, s) in self.stats.iter_mut().enumerate() {
+            if p != root {
+                s.words_sent += words_each as u64;
+                s.messages += 1;
+            }
+        }
+        self.synchronise();
+        self.clocks.iter_mut().for_each(|c| *c += t);
+        self.record(EventKind::Gather, words_each * (self.np - 1), 0, t, label);
+        t
+    }
+
+    /// Scatter `words_each` elements from `root` to every processor.
+    pub fn scatter(&mut self, root: usize, words_each: usize, label: &str) -> f64 {
+        assert!(root < self.np);
+        let t = if self.np <= 1 {
+            0.0
+        } else {
+            let rounds = Topology::log2_ceil(self.np) as f64;
+            rounds * self.cost.t_startup + self.cost.t_word * ((self.np - 1) * words_each) as f64
+        };
+        self.stats[root].words_sent += ((self.np - 1) * words_each) as u64;
+        self.stats[root].messages += (self.np - 1) as u64;
+        self.synchronise();
+        self.clocks.iter_mut().for_each(|c| *c += t);
+        self.record(EventKind::Scatter, words_each * (self.np - 1), 0, t, label);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_cost() -> CostModel {
+        CostModel {
+            t_startup: 1.0,
+            t_word: 0.0,
+            t_flop: 1.0,
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let _ = Machine::new(0, Topology::Hypercube, CostModel::default());
+    }
+
+    #[test]
+    fn compute_advances_only_one_clock() {
+        let mut m = Machine::new(4, Topology::Hypercube, unit_cost());
+        m.compute(2, 10);
+        assert_eq!(m.clocks()[2], 10.0);
+        assert_eq!(m.clocks()[0], 0.0);
+        assert_eq!(m.elapsed(), 10.0);
+        assert_eq!(m.total_flops(), 10);
+    }
+
+    #[test]
+    fn compute_all_time_is_max_over_processors() {
+        let mut m = Machine::new(4, Topology::Hypercube, unit_cost());
+        let t = m.compute_all(&[10, 20, 5, 1], "phase");
+        assert_eq!(t, 20.0);
+        assert_eq!(m.elapsed(), 20.0);
+        assert_eq!(m.total_flops(), 36);
+        assert_eq!(m.trace().count(EventKind::Compute), 1);
+    }
+
+    #[test]
+    fn imbalance_reflects_skew() {
+        let mut m = Machine::new(4, Topology::Hypercube, unit_cost());
+        m.compute_all(&[100, 0, 0, 0], "skewed");
+        // max = 100, mean = 25 -> imbalance 4.
+        assert!((m.imbalance() - 4.0).abs() < 1e-12);
+
+        let mut b = Machine::new(4, Topology::Hypercube, unit_cost());
+        b.compute_all(&[25, 25, 25, 25], "balanced");
+        assert!((b.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allreduce_synchronises_clocks() {
+        let mut m = Machine::new(8, Topology::Hypercube, unit_cost());
+        m.compute(3, 42);
+        m.allreduce(1, "dot-merge");
+        // log2(8) = 3 rounds of t_startup (+ t_flop per word per round).
+        let expect = 42.0 + 3.0 * (1.0 + 1.0);
+        for &c in m.clocks() {
+            assert!((c - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dot_merge_cost_is_logarithmic() {
+        let c = CostModel {
+            t_startup: 1.0,
+            t_word: 0.0,
+            t_flop: 0.0,
+        };
+        let mut m4 = Machine::new(4, Topology::Hypercube, c);
+        let mut m16 = Machine::new(16, Topology::Hypercube, c);
+        assert_eq!(m4.allreduce(1, "d"), 2.0);
+        assert_eq!(m16.allreduce(1, "d"), 4.0);
+    }
+
+    #[test]
+    fn send_blocks_receiver() {
+        let mut m = Machine::new(4, Topology::Hypercube, unit_cost());
+        m.compute(0, 5);
+        m.send(0, 1, 10, "msg");
+        // proc1 waits until proc0's send arrives: 5 + 1 hop * t_startup.
+        assert!(m.clocks()[1] >= 6.0 - 1e-12);
+        assert_eq!(m.total_messages(), 1);
+    }
+
+    #[test]
+    fn send_to_self_is_free() {
+        let mut m = Machine::new(2, Topology::Hypercube, unit_cost());
+        assert_eq!(m.send(1, 1, 100, "self"), 0.0);
+        assert_eq!(m.total_messages(), 0);
+    }
+
+    #[test]
+    fn exchange_costs_max_over_processors() {
+        let mut m = Machine::new(2, Topology::Hypercube, unit_cost());
+        // proc0 sends 100 words to proc1; nothing back.
+        let mat = vec![vec![0, 100], vec![0, 0]];
+        let t = m.exchange(&mat, "redist");
+        assert_eq!(t, 1.0); // one start-up, zero t_word
+        assert_eq!(m.total_words_sent(), 100);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = Machine::hypercube(4);
+        m.compute_uniform(100, "work");
+        m.allgather(10, "ag");
+        assert!(m.elapsed() > 0.0);
+        m.reset();
+        assert_eq!(m.elapsed(), 0.0);
+        assert_eq!(m.total_flops(), 0);
+        assert!(m.trace().is_empty());
+    }
+
+    #[test]
+    fn tracing_can_be_disabled() {
+        let mut m = Machine::hypercube(4);
+        m.set_tracing(false);
+        m.allgather(10, "ag");
+        assert!(m.trace().is_empty());
+        assert!(m.elapsed() > 0.0); // clocks still advance
+    }
+
+    #[test]
+    fn single_proc_collectives_free() {
+        let mut m = Machine::hypercube(1);
+        assert_eq!(m.allgather(100, "x"), 0.0);
+        assert_eq!(m.allreduce(100, "x"), 0.0);
+        assert_eq!(m.broadcast(0, 100, "x"), 0.0);
+        assert_eq!(m.reduce_scatter(100, "x"), 0.0);
+    }
+
+    #[test]
+    fn reduce_scatter_is_dual_of_allgather() {
+        // Same start-up count, same bandwidth term (plus combine flops).
+        let c = CostModel {
+            t_startup: 1.0,
+            t_word: 0.5,
+            t_flop: 0.0,
+        };
+        let mut m1 = Machine::new(8, Topology::Hypercube, c);
+        let t_ag = m1.allgather(100, "ag");
+        let mut m2 = Machine::new(8, Topology::Hypercube, c);
+        let t_rs = m2.reduce_scatter(100, "rs");
+        assert!((t_ag - t_rs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_collective_only_advances_members() {
+        let mut m = Machine::new(4, Topology::Hypercube, unit_cost());
+        m.group_collective(&[0, 2], EventKind::AllGather, 10, "row-ag");
+        assert!(m.clocks()[0] > 0.0);
+        assert!(m.clocks()[2] > 0.0);
+        assert_eq!(m.clocks()[1], 0.0);
+        assert_eq!(m.clocks()[3], 0.0);
+    }
+
+    #[test]
+    fn group_collective_costs_group_size_not_machine_size() {
+        let c = CostModel {
+            t_startup: 1.0,
+            t_word: 0.0,
+            t_flop: 0.0,
+        };
+        let mut m = Machine::new(16, Topology::Hypercube, c);
+        // A 4-member group pays log2(4) = 2 start-ups, not log2(16) = 4.
+        let t = m.group_collective(&[0, 1, 2, 3], EventKind::AllGather, 1, "g");
+        assert_eq!(t, 2.0);
+        let mut whole = Machine::new(16, Topology::Hypercube, c);
+        assert_eq!(whole.allgather(1, "w"), 4.0);
+    }
+
+    #[test]
+    fn group_collective_single_member_free() {
+        let mut m = Machine::hypercube(4);
+        assert_eq!(m.group_collective(&[2], EventKind::AllReduce, 5, "g"), 0.0);
+    }
+
+    #[test]
+    fn gather_and_scatter_costs_and_events() {
+        let mut m = Machine::new(8, Topology::Hypercube, unit_cost());
+        let tg = m.gather(0, 10, "gather-x");
+        // log2(8) = 3 start-ups (t_word = 0 in unit_cost).
+        assert_eq!(tg, 3.0);
+        assert_eq!(m.trace().count(EventKind::Gather), 1);
+        // Non-root processors each sent their block.
+        assert_eq!(m.total_messages(), 7);
+
+        let ts = m.scatter(0, 10, "scatter-x");
+        assert_eq!(ts, 3.0);
+        assert_eq!(m.trace().count(EventKind::Scatter), 1);
+        // Root sent 7 * 10 words.
+        assert_eq!(m.stats(0).words_sent, 70);
+    }
+
+    #[test]
+    fn gather_scatter_free_on_single_proc() {
+        let mut m = Machine::hypercube(1);
+        assert_eq!(m.gather(0, 100, "g"), 0.0);
+        assert_eq!(m.scatter(0, 100, "s"), 0.0);
+    }
+
+    #[test]
+    fn compute_serial_synchronises_all_clocks() {
+        let mut m = Machine::new(4, Topology::Hypercube, unit_cost());
+        m.compute(1, 5); // proc 1 ahead
+        m.compute_serial(10, "serial-phase");
+        // Everyone waits for the serial phase: clocks all at 5 + 10.
+        for &c in m.clocks() {
+            assert_eq!(c, 15.0);
+        }
+        // Flops counted once, not NP times.
+        assert_eq!(m.total_flops(), 15);
+    }
+}

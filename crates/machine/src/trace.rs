@@ -1,0 +1,187 @@
+//! Event trace of simulated machine activity.
+//!
+//! Every communication or bulk-compute operation performed through a
+//! [`crate::machine::Machine`] is appended to a trace, so tests and
+//! benchmark reports can assert *which* collectives an HPF layout induced
+//! and how much traffic each moved — the quantities the paper reasons
+//! about in Section 4.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Point-to-point message.
+    Send,
+    /// One-to-all broadcast.
+    Broadcast,
+    /// All-to-all broadcast (allgather).
+    AllGather,
+    /// Reduction to a root.
+    Reduce,
+    /// All-reduce (reduction + replication of the result).
+    AllReduce,
+    /// Personalised all-to-all exchange.
+    AllToAll,
+    /// Scatter from a root.
+    Scatter,
+    /// Gather to a root.
+    Gather,
+    /// Bulk local computation (flops across processors).
+    Compute,
+    /// Data redistribution between two layouts.
+    Redistribute,
+    /// Synchronisation barrier.
+    Barrier,
+}
+
+/// One traced event.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Event {
+    pub kind: EventKind,
+    /// Number of processors participating.
+    pub participants: usize,
+    /// Total elements moved over the network (0 for pure compute).
+    pub words: usize,
+    /// Total flops executed (0 for pure communication).
+    pub flops: usize,
+    /// Simulated elapsed time added by this event (max over participants).
+    pub time: f64,
+    /// Free-form label ("dot-merge", "matvec-bcast", ...).
+    pub label: String,
+}
+
+/// Append-only event log with summary accessors.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<Event>,
+}
+
+impl Trace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, ev: Event) {
+        self.events.push(ev);
+    }
+
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Count of events of a given kind.
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Total words moved by events of a given kind.
+    pub fn words(&self, kind: EventKind) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.words)
+            .sum()
+    }
+
+    /// Total words moved by all communication events.
+    pub fn total_comm_words(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| !matches!(e.kind, EventKind::Compute))
+            .map(|e| e.words)
+            .sum()
+    }
+
+    /// Total simulated time of all events (communication + compute).
+    pub fn total_time(&self) -> f64 {
+        self.events.iter().map(|e| e.time).sum()
+    }
+
+    /// Total simulated communication time.
+    pub fn comm_time(&self) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| !matches!(e.kind, EventKind::Compute))
+            .map(|e| e.time)
+            .sum()
+    }
+
+    /// Total simulated computation time.
+    pub fn compute_time(&self) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Compute))
+            .map(|e| e.time)
+            .sum()
+    }
+
+    /// Events carrying a given label.
+    pub fn with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a Event> + 'a {
+        self.events.iter().filter(move |e| e.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, words: usize, flops: usize, time: f64, label: &str) -> Event {
+        Event {
+            kind,
+            participants: 4,
+            words,
+            flops,
+            time,
+            label: label.to_string(),
+        }
+    }
+
+    #[test]
+    fn counts_and_sums() {
+        let mut t = Trace::new();
+        t.record(ev(EventKind::AllGather, 100, 0, 1.0, "bcast-p"));
+        t.record(ev(EventKind::AllReduce, 1, 0, 0.5, "dot-merge"));
+        t.record(ev(EventKind::Compute, 0, 2000, 2.0, "local-matvec"));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.count(EventKind::AllGather), 1);
+        assert_eq!(t.words(EventKind::AllGather), 100);
+        assert_eq!(t.total_comm_words(), 101);
+        assert!((t.total_time() - 3.5).abs() < 1e-12);
+        assert!((t.comm_time() - 1.5).abs() < 1e-12);
+        assert!((t.compute_time() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_filter() {
+        let mut t = Trace::new();
+        t.record(ev(EventKind::AllReduce, 1, 0, 0.5, "dot-merge"));
+        t.record(ev(EventKind::AllReduce, 1, 0, 0.5, "dot-merge"));
+        t.record(ev(EventKind::AllGather, 8, 0, 0.7, "bcast-p"));
+        assert_eq!(t.with_label("dot-merge").count(), 2);
+        assert_eq!(t.with_label("bcast-p").count(), 1);
+        assert_eq!(t.with_label("nope").count(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Trace::new();
+        t.record(ev(EventKind::Barrier, 0, 0, 0.1, "b"));
+        assert!(!t.is_empty());
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.total_time(), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests on the simulated machine: cost-model monotonicity,
+//! collective algebra, and conservation in exchanges.
+
+use hpf_machine::{CostModel, Machine, Topology};
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        Just(Topology::Hypercube),
+        Just(Topology::Mesh2D),
+        Just(Topology::Ring),
+        Just(Topology::FullyConnected),
+        Just(Topology::Bus),
+    ]
+}
+
+fn arb_cost() -> impl Strategy<Value = CostModel> {
+    (0.0f64..1e-3, 0.0f64..1e-5, 0.0f64..1e-6).prop_map(|(s, w, f)| CostModel {
+        t_startup: s,
+        t_word: w,
+        t_flop: f,
+    })
+}
+
+proptest! {
+    /// Collective times are non-negative and monotone in message size.
+    #[test]
+    fn collective_times_monotone_in_words(
+        topo in arb_topology(),
+        cost in arb_cost(),
+        p in 1usize..128,
+        w1 in 0usize..10_000,
+        extra in 0usize..10_000,
+    ) {
+        let w2 = w1 + extra;
+        let pairs = [
+            (topo.broadcast_time(p, w1, &cost), topo.broadcast_time(p, w2, &cost)),
+            (topo.allgather_time(p, w1, &cost), topo.allgather_time(p, w2, &cost)),
+            (topo.reduce_time(p, w1, &cost), topo.reduce_time(p, w2, &cost)),
+            (topo.allreduce_time(p, w1, &cost), topo.allreduce_time(p, w2, &cost)),
+            (topo.alltoall_time(p, w1, &cost), topo.alltoall_time(p, w2, &cost)),
+            (topo.reduce_scatter_time(p, w1, &cost), topo.reduce_scatter_time(p, w2, &cost)),
+        ];
+        for (a, b) in pairs {
+            prop_assert!(a >= 0.0 && b >= 0.0);
+            prop_assert!(b >= a - 1e-15, "larger messages can't be cheaper: {a} vs {b}");
+        }
+    }
+
+    /// Hop counts are bounded by the diameter and zero exactly on self.
+    #[test]
+    fn hops_bounded_by_diameter(
+        topo in arb_topology(),
+        p in 1usize..64,
+        a in 0usize..64,
+        b in 0usize..64,
+    ) {
+        let (a, b) = (a % p, b % p);
+        let h = topo.hops(a, b, p);
+        prop_assert_eq!(h == 0, a == b);
+        prop_assert!(h <= topo.diameter(p).max(1), "hops {h} beyond diameter");
+    }
+
+    /// The machine's elapsed clock never decreases through any sequence
+    /// of operations, and total flops equal the sum charged.
+    #[test]
+    fn machine_clock_monotone(
+        ops in proptest::collection::vec((0usize..4, 0usize..500), 1..20),
+        np in 1usize..9,
+    ) {
+        let mut m = Machine::new(np, Topology::Hypercube, CostModel::mpp_1995());
+        let mut last = 0.0f64;
+        let mut flops_charged = 0u64;
+        for (kind, amount) in ops {
+            match kind {
+                0 => {
+                    m.compute(amount % np, amount);
+                    flops_charged += amount as u64;
+                }
+                1 => {
+                    m.allgather(amount, "ag");
+                }
+                2 => {
+                    m.allreduce(amount % 64, "ar");
+                }
+                _ => {
+                    m.broadcast(amount % np, amount, "bc");
+                }
+            }
+            let now = m.elapsed();
+            prop_assert!(now >= last - 1e-15, "clock went backwards");
+            last = now;
+        }
+        prop_assert_eq!(m.total_flops(), flops_charged);
+    }
+
+    /// Exchange cost is zero iff the traffic matrix is all-zero
+    /// (off-diagonal), and words-sent equals the matrix total.
+    #[test]
+    fn exchange_conserves_words(
+        np in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut matrix = vec![vec![0usize; np]; np];
+        let mut total = 0usize;
+        for s in 0..np {
+            for d in 0..np {
+                if s != d {
+                    let w = ((seed >> ((s * np + d) % 48)) & 0xF) as usize;
+                    matrix[s][d] = w;
+                    total += w;
+                }
+            }
+        }
+        let mut m = Machine::new(np, Topology::Hypercube, CostModel::mpp_1995());
+        let t = m.exchange(&matrix, "x");
+        prop_assert_eq!(m.total_words_sent() as usize, total);
+        prop_assert_eq!(t == 0.0, total == 0);
+    }
+
+    /// Hypercube collectives never cost more than ring collectives for
+    /// the same operation (the paper's choice of network).
+    #[test]
+    fn hypercube_dominates_ring(
+        cost in arb_cost(),
+        p in 2usize..128,
+        w in 0usize..4096,
+    ) {
+        let hc = Topology::Hypercube;
+        let ring = Topology::Ring;
+        prop_assert!(hc.broadcast_time(p, w, &cost) <= ring.broadcast_time(p, w, &cost) + 1e-15);
+        prop_assert!(hc.allreduce_time(p, w, &cost) <= ring.allreduce_time(p, w, &cost) + 1e-15);
+        prop_assert!(hc.allgather_time(p, w, &cost) <= ring.allgather_time(p, w, &cost) + 1e-15);
+    }
+
+    /// Reset really clears the machine.
+    #[test]
+    fn reset_is_complete(np in 1usize..10, w in 1usize..100) {
+        let mut m = Machine::new(np, Topology::Mesh2D, CostModel::lan_cluster());
+        m.allgather(w, "ag");
+        m.compute_uniform(w, "c");
+        m.reset();
+        prop_assert_eq!(m.elapsed(), 0.0);
+        prop_assert_eq!(m.total_flops(), 0);
+        prop_assert_eq!(m.total_words_sent(), 0);
+        prop_assert!(m.trace().is_empty());
+    }
+}

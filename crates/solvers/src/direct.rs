@@ -1,0 +1,233 @@
+//! Dense direct solvers — the baseline iterative methods are "preferred
+//! over" (Section 1: dense problems "can be solved using direct methods
+//! such as Gaussian elimination"; CG wins "if A is very large and
+//! sparse", where full storage "would either be impractical or too slow").
+//!
+//! Gaussian elimination with partial pivoting (LU) and Cholesky for SPD
+//! systems, O(n³); used by the benches to show the flop/storage crossover
+//! against CG.
+
+use crate::error::SolverError;
+use hpf_sparse::DenseMatrix;
+
+/// LU factorisation with partial pivoting; returns the solution of
+/// `A x = b`.
+pub fn solve_lu(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>, SolverError> {
+    if !a.is_square() {
+        return Err(SolverError::NotSquare {
+            rows: a.n_rows(),
+            cols: a.n_cols(),
+        });
+    }
+    let n = a.n_rows();
+    if b.len() != n {
+        return Err(SolverError::DimensionMismatch {
+            expected: n,
+            got: b.len(),
+        });
+    }
+    // Working copy, row-major.
+    let mut m: Vec<Vec<f64>> = (0..n).map(|i| a.row(i).to_vec()).collect();
+    let mut x = b.to_vec();
+
+    for k in 0..n {
+        // Partial pivot.
+        let (piv, pval) = (k..n)
+            .map(|i| (i, m[i][k].abs()))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        if pval < f64::MIN_POSITIVE * 1e16 {
+            return Err(SolverError::SingularMatrix {
+                pivot: k,
+                value: m[piv][k],
+            });
+        }
+        m.swap(k, piv);
+        x.swap(k, piv);
+        let pivot = m[k][k];
+        for i in (k + 1)..n {
+            let factor = m[i][k] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            let (head, tail) = m.split_at_mut(i);
+            let row_k = &head[k];
+            let row_i = &mut tail[0];
+            for j in k..n {
+                row_i[j] -= factor * row_k[j];
+            }
+            x[i] -= factor * x[k];
+        }
+    }
+    // Back substitution.
+    for k in (0..n).rev() {
+        let mut s = x[k];
+        for j in (k + 1)..n {
+            s -= m[k][j] * x[j];
+        }
+        x[k] = s / m[k][k];
+    }
+    Ok(x)
+}
+
+/// Cholesky factorisation `A = L Lᵀ` of an SPD matrix; returns `L` as a
+/// lower-triangular dense matrix.
+pub fn cholesky(a: &DenseMatrix) -> Result<DenseMatrix, SolverError> {
+    if !a.is_square() {
+        return Err(SolverError::NotSquare {
+            rows: a.n_rows(),
+            cols: a.n_cols(),
+        });
+    }
+    if !a.is_symmetric(1e-10) {
+        return Err(SolverError::NotSymmetric);
+    }
+    let n = a.n_rows();
+    let mut l = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if s <= 0.0 {
+                    return Err(SolverError::SingularMatrix { pivot: i, value: s });
+                }
+                l[(i, j)] = s.sqrt();
+            } else {
+                l[(i, j)] = s / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solve an SPD system via Cholesky (factor + two triangular solves).
+pub fn solve_cholesky(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>, SolverError> {
+    let n = a.n_rows();
+    if b.len() != n {
+        return Err(SolverError::DimensionMismatch {
+            expected: n,
+            got: b.len(),
+        });
+    }
+    let l = cholesky(a)?;
+    // Forward: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[(i, k)] * y[k];
+        }
+        y[i] = s / l[(i, i)];
+    }
+    // Backward: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in (i + 1)..n {
+            s -= l[(k, i)] * x[k];
+        }
+        x[i] = s / l[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Flop count of dense LU (2n³/3) vs CG (2·nnz + 10n per iteration) — the
+/// Section 1 storage/work argument made quantitative.
+pub fn lu_flops(n: usize) -> usize {
+    2 * n * n * n / 3
+}
+
+/// Approximate CG flops for `iters` iterations on a matrix with `nnz`
+/// stored entries.
+pub fn cg_flops(n: usize, nnz: usize, iters: usize) -> usize {
+    iters * (2 * nnz + 10 * n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_sparse::gen;
+
+    #[test]
+    fn lu_solves_poisson() {
+        let a = gen::poisson_2d(5, 5).to_dense();
+        let x_true: Vec<f64> = (0..25).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = solve_lu(&a, &b).unwrap();
+        for (u, v) in x.iter().zip(x_true.iter()) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lu_handles_pivoting() {
+        // Zero leading pivot forces a row swap.
+        let a = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = solve_lu(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn lu_detects_singularity() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            solve_lu(&a, &[1.0, 2.0]),
+            Err(SolverError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn cholesky_factor_reconstructs() {
+        let a = gen::poisson_2d(4, 4).to_dense();
+        let l = cholesky(&a).unwrap();
+        // L Lᵀ == A.
+        let lt = l.transpose();
+        let mut recon = DenseMatrix::zeros(16, 16);
+        for i in 0..16 {
+            for j in 0..16 {
+                let mut s = 0.0;
+                for k in 0..16 {
+                    s += l[(i, k)] * lt[(k, j)];
+                }
+                recon[(i, j)] = s;
+            }
+        }
+        assert!(recon.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_nonsymmetric_and_indefinite() {
+        let ns = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap();
+        assert_eq!(cholesky(&ns).unwrap_err(), SolverError::NotSymmetric);
+        let indef = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            cholesky(&indef),
+            Err(SolverError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn cholesky_solve_matches_lu() {
+        let a = gen::poisson_2d(4, 5).to_dense();
+        let b: Vec<f64> = (0..20).map(|i| (i % 3) as f64 + 0.5).collect();
+        let x1 = solve_lu(&a, &b).unwrap();
+        let x2 = solve_cholesky(&a, &b).unwrap();
+        for (u, v) in x1.iter().zip(x2.iter()) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn flop_model_crossover() {
+        // For a large sparse system CG's flops are far below LU's.
+        let n = 10_000;
+        let nnz = 5 * n;
+        assert!(cg_flops(n, nnz, 100) < lu_flops(n) / 1000);
+        // For a tiny dense system LU wins.
+        assert!(lu_flops(10) < cg_flops(10, 100, 50));
+    }
+}

@@ -1,0 +1,67 @@
+//! Solver error type.
+
+use std::fmt;
+
+/// Errors from solver setup or numerical breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// The operator is not square.
+    NotSquare { rows: usize, cols: usize },
+    /// Right-hand side length does not match the operator.
+    DimensionMismatch { expected: usize, got: usize },
+    /// A required property fails (e.g. CG on a non-symmetric matrix).
+    NotSymmetric,
+    /// Division by a (near-)zero inner product: the iteration broke down
+    /// (e.g. `p·Ap ≈ 0` in CG on an indefinite system, `rho ≈ 0` in
+    /// BiCG/CGS).
+    Breakdown { what: &'static str, value: f64 },
+    /// A matrix factorisation failed (singular pivot in LU, negative
+    /// pivot in Cholesky).
+    SingularMatrix { pivot: usize, value: f64 },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::NotSquare { rows, cols } => {
+                write!(f, "operator must be square, got {rows}x{cols}")
+            }
+            SolverError::DimensionMismatch { expected, got } => {
+                write!(f, "rhs has length {got}, operator expects {expected}")
+            }
+            SolverError::NotSymmetric => write!(f, "CG requires a symmetric operator"),
+            SolverError::Breakdown { what, value } => {
+                write!(f, "iteration breakdown: {what} = {value:e}")
+            }
+            SolverError::SingularMatrix { pivot, value } => {
+                write!(f, "singular matrix: pivot {pivot} = {value:e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(SolverError::NotSquare { rows: 3, cols: 4 }
+            .to_string()
+            .contains("3x4"));
+        assert!(SolverError::Breakdown {
+            what: "p.Ap",
+            value: 0.0
+        }
+        .to_string()
+        .contains("p.Ap"));
+        assert!(SolverError::SingularMatrix {
+            pivot: 2,
+            value: 1e-300
+        }
+        .to_string()
+        .contains("pivot 2"));
+    }
+}

@@ -1,0 +1,54 @@
+//! # hpf-solvers — the CG solver family
+//!
+//! Serial and distributed implementations of every algorithm the paper's
+//! Section 2 surveys, with the per-iteration operation structure it
+//! tabulates:
+//!
+//! | method | matvecs | Aᵀ matvecs | dots | extra vectors | non-symmetric |
+//! |---|---|---|---|---|---|
+//! | [`cg`] | 1 | 0 | 2 | 4 | no |
+//! | [`bicg`] | 1 | 1 | 2 | +3 over CG | yes |
+//! | [`cgs`] | 2 | 0 | 2 | +4 over CG | yes (may diverge) |
+//! | [`bicgstab`] | 2 | 0 | 4 | +4 over CG | yes |
+//! | [`gmres`]`(m)` | 1 | 0 | j+1 at step j | m+4 | yes |
+//!
+//! plus Jacobi/SSOR [`pcg`] preconditioning and the dense [`direct`]
+//! baselines (LU, Cholesky) CG is compared against.
+//!
+//! The distributed variants ([`cg::cg_distributed`]) run over
+//! `hpf-core`'s distributed vectors and matvec scenarios, charging every
+//! induced communication to the simulated machine.
+
+pub mod bicg;
+pub mod bicgstab;
+pub mod cg;
+pub mod cgs;
+pub mod direct;
+pub mod dist_solvers;
+pub mod error;
+pub mod gmres;
+pub mod history;
+pub mod operator;
+pub mod pcg;
+pub mod spectral;
+pub mod stopping;
+
+pub use bicg::bicg;
+pub use bicgstab::bicgstab;
+pub use cg::{cg, cg_distributed};
+pub use cgs::cgs;
+pub use dist_solvers::{
+    bicg_distributed, bicgstab_distributed, gmres_distributed, pcg_jacobi_distributed,
+};
+pub use error::SolverError;
+pub use gmres::{gmres, gmres_storage_vectors};
+pub use history::{nonmonotonicity, residual_history, Method};
+pub use operator::{ColwiseOperator, CscVariant, DistOperator, SerialOperator};
+pub use pcg::{pcg, IdentityPrec, JacobiPrec, Preconditioner, SsorPrec};
+pub use spectral::{
+    cg_error_bound, cg_iterations_for, estimate_spd_spectrum, power_method, SpdSpectrum,
+};
+pub use stopping::{
+    AlgorithmProfile, SolveStats, StopCriterion, BICGSTAB_PROFILE, BICG_PROFILE, CGS_PROFILE,
+    CG_PROFILE,
+};

@@ -1,0 +1,188 @@
+//! Operator abstractions: one for plain serial solves, one for solves on
+//! the simulated HPF machine.
+
+use hpf_core::{ColwiseCsc, DistVector, RowwiseCsr};
+use hpf_machine::Machine;
+use hpf_sparse::{CscMatrix, CsrMatrix, DenseMatrix};
+
+/// A square linear operator applied serially.
+pub trait SerialOperator {
+    /// Problem dimension `n`.
+    fn dim(&self) -> usize;
+    /// `y = A x`.
+    fn apply(&self, x: &[f64]) -> Vec<f64>;
+    /// `y = Aᵀ x` (needed by BiCG).
+    fn apply_transpose(&self, x: &[f64]) -> Vec<f64>;
+    /// Main diagonal (for Jacobi preconditioning).
+    fn diagonal(&self) -> Vec<f64>;
+}
+
+impl SerialOperator for CsrMatrix {
+    fn dim(&self) -> usize {
+        self.n_rows()
+    }
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        self.matvec(x).expect("dimension checked by solver")
+    }
+    fn apply_transpose(&self, x: &[f64]) -> Vec<f64> {
+        self.matvec_transpose(x)
+            .expect("dimension checked by solver")
+    }
+    fn diagonal(&self) -> Vec<f64> {
+        CsrMatrix::diagonal(self)
+    }
+}
+
+impl SerialOperator for CscMatrix {
+    fn dim(&self) -> usize {
+        self.n_rows()
+    }
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        self.matvec(x).expect("dimension checked by solver")
+    }
+    fn apply_transpose(&self, x: &[f64]) -> Vec<f64> {
+        self.matvec_transpose(x)
+            .expect("dimension checked by solver")
+    }
+    fn diagonal(&self) -> Vec<f64> {
+        CscMatrix::diagonal(self)
+    }
+}
+
+impl SerialOperator for DenseMatrix {
+    fn dim(&self) -> usize {
+        self.n_rows()
+    }
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        self.matvec(x).expect("dimension checked by solver")
+    }
+    fn apply_transpose(&self, x: &[f64]) -> Vec<f64> {
+        self.matvec_transpose(x)
+            .expect("dimension checked by solver")
+    }
+    fn diagonal(&self) -> Vec<f64> {
+        let n = self.n_rows().min(self.n_cols());
+        (0..n).map(|i| self[(i, i)]).collect()
+    }
+}
+
+/// A square linear operator applied on the simulated HPF machine,
+/// charging the communication its data layout induces.
+pub trait DistOperator {
+    fn dim(&self) -> usize;
+    /// `q = A p`, charging the machine.
+    fn apply(&self, machine: &mut Machine, p: &DistVector) -> DistVector;
+    /// `q = Aᵀ p`, charging the machine — needed by distributed BiCG.
+    /// Per the paper's §2.1, the cost of this direction is layout-
+    /// dependent: cheap through a column layout, expensive through a row
+    /// layout.
+    fn apply_transpose(&self, machine: &mut Machine, p: &DistVector) -> DistVector;
+    /// The descriptor result vectors carry.
+    fn descriptor(&self) -> hpf_dist::ArrayDescriptor;
+    /// Main diagonal as a distributed vector (for Jacobi PCG).
+    fn diagonal(&self) -> Vec<f64>;
+}
+
+impl DistOperator for RowwiseCsr {
+    fn dim(&self) -> usize {
+        self.matrix().n_rows()
+    }
+    fn apply(&self, machine: &mut Machine, p: &DistVector) -> DistVector {
+        self.matvec(machine, p).0
+    }
+    fn apply_transpose(&self, machine: &mut Machine, p: &DistVector) -> DistVector {
+        self.matvec_transpose(machine, p).0
+    }
+    fn descriptor(&self) -> hpf_dist::ArrayDescriptor {
+        self.row_descriptor().clone()
+    }
+    fn diagonal(&self) -> Vec<f64> {
+        self.matrix().diagonal()
+    }
+}
+
+/// Which Scenario-2 matvec variant a [`ColwiseCsc`] operator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CscVariant {
+    /// The paper's serial code (inter-iteration dependency).
+    Serial,
+    /// Temporary 2-D array + `SUM` intrinsic.
+    Temp2d,
+}
+
+/// A Scenario-2 operator: column-wise CSC with a chosen variant.
+#[derive(Debug, Clone)]
+pub struct ColwiseOperator {
+    pub inner: ColwiseCsc,
+    pub variant: CscVariant,
+}
+
+impl DistOperator for ColwiseOperator {
+    fn dim(&self) -> usize {
+        self.inner.matrix().n_rows()
+    }
+    fn apply(&self, machine: &mut Machine, p: &DistVector) -> DistVector {
+        match self.variant {
+            CscVariant::Serial => self.inner.matvec_serial(machine, p).0,
+            CscVariant::Temp2d => self.inner.matvec_temp2d(machine, p).0,
+        }
+    }
+    fn apply_transpose(&self, machine: &mut Machine, p: &DistVector) -> DistVector {
+        self.inner.matvec_transpose_gather(machine, p).0
+    }
+    fn descriptor(&self) -> hpf_dist::ArrayDescriptor {
+        self.inner.col_descriptor().clone()
+    }
+    fn diagonal(&self) -> Vec<f64> {
+        self.inner.matrix().diagonal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_core::DataArrayLayout;
+    use hpf_machine::{CostModel, Topology};
+    use hpf_sparse::gen;
+
+    #[test]
+    fn serial_operators_agree() {
+        let csr = gen::random_spd(20, 3, 2);
+        let csc = CscMatrix::from_csr(&csr);
+        let dense = csr.to_dense();
+        let x: Vec<f64> = (0..20).map(|i| (i as f64).cos()).collect();
+        let a = SerialOperator::apply(&csr, &x);
+        let b = SerialOperator::apply(&csc, &x);
+        let c = SerialOperator::apply(&dense, &x);
+        for i in 0..20 {
+            assert!((a[i] - b[i]).abs() < 1e-12);
+            assert!((a[i] - c[i]).abs() < 1e-12);
+        }
+        assert_eq!(
+            SerialOperator::diagonal(&csr),
+            SerialOperator::diagonal(&dense)
+        );
+    }
+
+    #[test]
+    fn dist_operators_agree_with_serial() {
+        let csr = gen::random_spd(24, 3, 4);
+        let ones = vec![1.0; 24];
+        let want = csr.matvec(&ones).unwrap();
+        let np = 4;
+        let row_op = RowwiseCsr::block(csr.clone(), np, DataArrayLayout::RowAligned);
+        let col_op = ColwiseOperator {
+            inner: ColwiseCsc::block(CscMatrix::from_csr(&csr), np),
+            variant: CscVariant::Temp2d,
+        };
+        let p = DistVector::constant(row_op.descriptor(), 1.0);
+        let mut m1 = Machine::new(np, Topology::Hypercube, CostModel::mpp_1995());
+        let q1 = row_op.apply(&mut m1, &p);
+        let mut m2 = Machine::new(np, Topology::Hypercube, CostModel::mpp_1995());
+        let q2 = col_op.apply(&mut m2, &p);
+        for i in 0..24 {
+            assert!((q1.to_global()[i] - want[i]).abs() < 1e-12);
+            assert!((q2.to_global()[i] - want[i]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Stopping criteria and per-solve statistics.
+//!
+//! The paper's Figure 2 loop exits on `IF ( stop_criterion ) EXIT`; the
+//! conventional criterion is a relative residual drop. [`SolveStats`]
+//! additionally records the operation counts the paper's Section 2
+//! analysis is based on ("the work per iteration is modest, amounting to
+//! a single matrix-vector multiplication ..., two inner products ..., and
+//! several SAXPY operations").
+
+use serde::{Deserialize, Serialize};
+
+/// When to declare convergence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StopCriterion {
+    /// `||r|| <= tol * ||b||`.
+    RelativeResidual(f64),
+    /// `||r|| <= tol`.
+    AbsoluteResidual(f64),
+}
+
+impl StopCriterion {
+    pub fn satisfied(&self, residual_norm: f64, b_norm: f64) -> bool {
+        match *self {
+            StopCriterion::RelativeResidual(tol) => {
+                residual_norm <= tol * b_norm.max(f64::MIN_POSITIVE)
+            }
+            StopCriterion::AbsoluteResidual(tol) => residual_norm <= tol,
+        }
+    }
+}
+
+/// Outcome and operation counts of an iterative solve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolveStats {
+    pub iterations: usize,
+    pub converged: bool,
+    pub residual_norm: f64,
+    /// `A·x` products performed.
+    pub matvecs: usize,
+    /// `Aᵀ·x` products performed (BiCG only).
+    pub transpose_matvecs: usize,
+    /// Inner products performed.
+    pub dots: usize,
+    /// SAXPY-class vector updates performed.
+    pub axpys: usize,
+}
+
+impl SolveStats {
+    pub fn new() -> Self {
+        SolveStats {
+            iterations: 0,
+            converged: false,
+            residual_norm: f64::INFINITY,
+            matvecs: 0,
+            transpose_matvecs: 0,
+            dots: 0,
+            axpys: 0,
+        }
+    }
+}
+
+impl Default for SolveStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-iteration operation structure of each algorithm, as tabulated in
+/// the paper's Section 2/2.1 discussion. `storage_vectors` counts the
+/// working n-vectors beyond the matrix (CG: x, r, p, q).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlgorithmProfile {
+    pub name: &'static str,
+    pub matvecs_per_iter: usize,
+    pub transpose_matvecs_per_iter: usize,
+    pub dots_per_iter: usize,
+    pub storage_vectors: usize,
+    /// Whether the method applies to non-symmetric systems.
+    pub handles_nonsymmetric: bool,
+}
+
+/// CG: 1 matvec, 2 dots, 4 vectors (x, r, p, q).
+pub const CG_PROFILE: AlgorithmProfile = AlgorithmProfile {
+    name: "CG",
+    matvecs_per_iter: 1,
+    transpose_matvecs_per_iter: 0,
+    dots_per_iter: 2,
+    storage_vectors: 4,
+    handles_nonsymmetric: false,
+};
+
+/// BiCG: "two matrix-vector multiply operations one of which uses the
+/// matrix transpose", two dots, "three extra vectors" over CG.
+pub const BICG_PROFILE: AlgorithmProfile = AlgorithmProfile {
+    name: "BiCG",
+    matvecs_per_iter: 1,
+    transpose_matvecs_per_iter: 1,
+    dots_per_iter: 2,
+    storage_vectors: 7,
+    handles_nonsymmetric: true,
+};
+
+/// CGS: avoids Aᵀ "but also requires additional vectors of storage over
+/// the basic CG".
+pub const CGS_PROFILE: AlgorithmProfile = AlgorithmProfile {
+    name: "CGS",
+    matvecs_per_iter: 2,
+    transpose_matvecs_per_iter: 0,
+    dots_per_iter: 2,
+    storage_vectors: 8,
+    handles_nonsymmetric: true,
+};
+
+/// BiCGSTAB: "also uses two matrix vector operations but avoids using
+/// Aᵀ ... It does however involve four inner products".
+pub const BICGSTAB_PROFILE: AlgorithmProfile = AlgorithmProfile {
+    name: "BiCGSTAB",
+    matvecs_per_iter: 2,
+    transpose_matvecs_per_iter: 0,
+    dots_per_iter: 4,
+    storage_vectors: 8,
+    handles_nonsymmetric: true,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_criterion() {
+        let c = StopCriterion::RelativeResidual(1e-6);
+        assert!(c.satisfied(1e-7, 1.0));
+        assert!(!c.satisfied(1e-5, 1.0));
+        assert!(c.satisfied(1e-3, 1e4));
+    }
+
+    #[test]
+    fn absolute_criterion_ignores_b() {
+        let c = StopCriterion::AbsoluteResidual(1e-6);
+        assert!(c.satisfied(1e-7, 1e-30));
+        assert!(!c.satisfied(1e-5, 1e30));
+    }
+
+    #[test]
+    fn zero_b_norm_does_not_divide_by_zero() {
+        let c = StopCriterion::RelativeResidual(1e-6);
+        assert!(c.satisfied(0.0, 0.0));
+        assert!(!c.satisfied(1.0, 0.0));
+    }
+
+    #[test]
+    fn profiles_match_paper_claims() {
+        // BiCG needs the transpose; the others do not.
+        assert_eq!(BICG_PROFILE.transpose_matvecs_per_iter, 1);
+        assert_eq!(CG_PROFILE.transpose_matvecs_per_iter, 0);
+        assert_eq!(BICGSTAB_PROFILE.transpose_matvecs_per_iter, 0);
+        // BiCGSTAB does four inner products, CG two.
+        assert_eq!(BICGSTAB_PROFILE.dots_per_iter, 4);
+        assert_eq!(CG_PROFILE.dots_per_iter, 2);
+        // BiCG stores three extra vectors over CG.
+        assert_eq!(BICG_PROFILE.storage_vectors - CG_PROFILE.storage_vectors, 3);
+        // Only CG is restricted to symmetric systems.
+        let profiles = [CG_PROFILE, BICG_PROFILE, CGS_PROFILE, BICGSTAB_PROFILE];
+        let symmetric_only: Vec<&str> = profiles
+            .iter()
+            .filter(|p| !p.handles_nonsymmetric)
+            .map(|p| p.name)
+            .collect();
+        assert_eq!(symmetric_only, vec!["CG"]);
+    }
+}

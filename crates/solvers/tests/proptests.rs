@@ -1,0 +1,155 @@
+//! Property tests over the solver family: on arbitrary generated SPD
+//! systems the iterative solvers actually solve (small residual), agree
+//! with the dense direct baseline, and respect their structural
+//! contracts (op counts, storage, honesty of `converged`).
+
+use hpf_solvers::{
+    bicg, bicgstab, cg, cgs, direct, gmres, pcg, residual_history, JacobiPrec, Method,
+    SerialOperator, StopCriterion,
+};
+use hpf_sparse::{gen, CsrMatrix};
+use proptest::prelude::*;
+
+// Thin helper re-exported through the test to keep the public API clean.
+mod helper {
+    use hpf_solvers::direct;
+    use hpf_sparse::CsrMatrix;
+
+    pub fn direct_solution(a: &CsrMatrix, b: &[f64]) -> Vec<f64> {
+        direct::solve_lu(&a.to_dense(), b).expect("generated SPD systems are nonsingular")
+    }
+}
+
+fn rel_residual(a: &CsrMatrix, x: &[f64], b: &[f64]) -> f64 {
+    let ax = a.matvec(x).unwrap();
+    let num: f64 = ax
+        .iter()
+        .zip(b.iter())
+        .map(|(u, v)| (u - v) * (u - v))
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    num / den.max(1e-300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CG solves every generated SPD system to tolerance and agrees with
+    /// dense LU.
+    #[test]
+    fn cg_solves_random_spd(n in 4usize..48, nnz in 1usize..5, seed in any::<u64>()) {
+        let a = gen::random_spd(n, nnz, seed);
+        let (_, b) = gen::rhs_for_known_solution(&a);
+        let (x, stats) = cg(&a, &b, StopCriterion::RelativeResidual(1e-10), 50 * n).unwrap();
+        prop_assert!(stats.converged);
+        prop_assert!(rel_residual(&a, &x, &b) < 1e-8);
+        let x_lu = helper::direct_solution(&a, &b);
+        for (u, v) in x.iter().zip(x_lu.iter()) {
+            prop_assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+        // Structural contract: one matvec per iteration, no transposes.
+        prop_assert_eq!(stats.matvecs, stats.iterations);
+        prop_assert_eq!(stats.transpose_matvecs, 0);
+    }
+
+    /// Jacobi PCG also solves, never diverges, and its residual claim is
+    /// honest (recomputable).
+    #[test]
+    fn pcg_honest_on_random_spd(n in 4usize..40, nnz in 1usize..4, seed in any::<u64>()) {
+        let a = gen::random_spd(n, nnz, seed);
+        let (_, b) = gen::rhs_for_known_solution(&a);
+        let m = JacobiPrec::new(&a).unwrap();
+        let (x, stats) = pcg(&a, &m, &b, StopCriterion::RelativeResidual(1e-9), 50 * n).unwrap();
+        prop_assert!(stats.converged);
+        let true_res = rel_residual(&a, &x, &b);
+        prop_assert!(true_res < 1e-7, "claimed {} true {}", stats.residual_norm, true_res);
+    }
+
+    /// The non-symmetric family solves generated banded SPD systems too
+    /// (SPD is a special case of their domain), and their structural
+    /// contracts hold.
+    #[test]
+    fn nonsymmetric_family_on_spd(n in 4usize..40, bw in 1usize..4, seed in any::<u64>()) {
+        let a = gen::banded_spd(n, bw, seed);
+        let (_, b) = gen::rhs_for_known_solution(&a);
+        let stop = StopCriterion::RelativeResidual(1e-9);
+
+        let (xb, sb) = bicg(&a, &b, stop, 50 * n).unwrap();
+        prop_assert!(sb.converged);
+        prop_assert!(rel_residual(&a, &xb, &b) < 1e-7);
+        prop_assert_eq!(sb.transpose_matvecs, sb.matvecs);
+
+        let (xs, ss) = bicgstab(&a, &b, stop, 50 * n).unwrap();
+        prop_assert!(ss.converged);
+        prop_assert!(rel_residual(&a, &xs, &b) < 1e-7);
+        prop_assert_eq!(ss.transpose_matvecs, 0);
+
+        if let Ok((xc, sc)) = cgs(&a, &b, stop, 50 * n) {
+            if sc.converged {
+                prop_assert!(rel_residual(&a, &xc, &b) < 1e-6);
+            }
+        } // CGS breakdown is an accepted honest outcome.
+
+        let (xg, sg) = gmres(&a, &b, 20, stop, 100 * n).unwrap();
+        prop_assert!(sg.converged);
+        prop_assert!(rel_residual(&a, &xg, &b) < 1e-7);
+    }
+
+    /// Cholesky agrees with LU wherever it applies.
+    #[test]
+    fn cholesky_agrees_with_lu(n in 2usize..30, seed in any::<u64>()) {
+        let a = gen::random_spd(n, 3, seed);
+        let (_, b) = gen::rhs_for_known_solution(&a);
+        let d = a.to_dense();
+        let x_ch = direct::solve_cholesky(&d, &b).unwrap();
+        let x_lu = direct::solve_lu(&d, &b).unwrap();
+        for (u, v) in x_ch.iter().zip(x_lu.iter()) {
+            prop_assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+        }
+        prop_assert!(rel_residual(&a, &x_ch, &b) < 1e-8);
+    }
+
+    /// Residual histories: CG on SPD is (near-)monotone and history
+    /// values are consistent with a real run.
+    #[test]
+    fn cg_history_monotone_on_spd(n in 6usize..36, seed in any::<u64>()) {
+        let a = gen::banded_spd(n, 2, seed);
+        let (_, b) = gen::rhs_for_known_solution(&a);
+        let h = residual_history(Method::Cg, &a, &b, 2 * n).unwrap();
+        prop_assert_eq!(h[0], 1.0);
+        // Allow tiny upticks from rounding, but the envelope must fall.
+        let min = h.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(min < 1e-6, "CG failed to reduce the residual: min {min}");
+        let ups = h.windows(2).filter(|w| w[1] > w[0] * 1.5).count();
+        prop_assert!(ups == 0, "CG residual jumped by >50% {ups} times");
+    }
+
+    /// Stopping criteria are honest: with an impossible tolerance the
+    /// solver reports non-convergence rather than looping forever or
+    /// lying.
+    #[test]
+    fn impossible_tolerance_reported(n in 4usize..24, seed in any::<u64>()) {
+        let a = gen::random_spd(n, 3, seed);
+        let (_, b) = gen::rhs_for_known_solution(&a);
+        let (_, stats) = cg(&a, &b, StopCriterion::AbsoluteResidual(0.0), 5).unwrap();
+        prop_assert!(!stats.converged || stats.residual_norm == 0.0);
+        prop_assert!(stats.iterations <= 5);
+    }
+
+    /// The SerialOperator abstraction is coherent: apply/apply_transpose
+    /// through CSR equal the dense versions for random SPD systems.
+    #[test]
+    fn operator_trait_coherent(n in 2usize..24, seed in any::<u64>()) {
+        let a = gen::random_spd(n, 3, seed);
+        let d = a.to_dense();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 11) % 7) as f64 - 3.0).collect();
+        let via_csr = SerialOperator::apply(&a, &x);
+        let via_dense = SerialOperator::apply(&d, &x);
+        for (u, v) in via_csr.iter().zip(via_dense.iter()) {
+            prop_assert!((u - v).abs() < 1e-10);
+        }
+        prop_assert_eq!(SerialOperator::dim(&a), n);
+        prop_assert_eq!(SerialOperator::diagonal(&a), SerialOperator::diagonal(&d));
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for sparse-matrix construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building, validating, or parsing matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// A row/column index is outside the matrix extents.
+    IndexOutOfBounds {
+        what: &'static str,
+        index: usize,
+        bound: usize,
+    },
+    /// A compressed pointer array is not monotonically non-decreasing or
+    /// has the wrong length / endpoints.
+    MalformedPointer(String),
+    /// Duplicate (row, col) coordinate in COO input where duplicates are
+    /// not permitted.
+    DuplicateEntry { row: usize, col: usize },
+    /// Operand shapes do not match.
+    DimensionMismatch(String),
+    /// The operation requires a square matrix.
+    NotSquare { rows: usize, cols: usize },
+    /// The operation requires a symmetric matrix.
+    NotSymmetric,
+    /// The operation requires a (numerically) positive-definite matrix.
+    NotPositiveDefinite,
+    /// Parse error in matrix text format.
+    Parse(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { what, index, bound } => {
+                write!(f, "{what} index {index} out of bounds (< {bound} required)")
+            }
+            SparseError::MalformedPointer(msg) => write!(f, "malformed pointer array: {msg}"),
+            SparseError::DuplicateEntry { row, col } => {
+                write!(f, "duplicate entry at ({row}, {col})")
+            }
+            SparseError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            SparseError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            SparseError::NotSymmetric => write!(f, "matrix must be symmetric"),
+            SparseError::NotPositiveDefinite => write!(f, "matrix must be positive definite"),
+            SparseError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SparseError::IndexOutOfBounds {
+            what: "row",
+            index: 9,
+            bound: 5,
+        };
+        assert!(e.to_string().contains("row index 9"));
+        assert!(SparseError::NotSquare { rows: 2, cols: 3 }
+            .to_string()
+            .contains("2x3"));
+        assert!(SparseError::DuplicateEntry { row: 1, col: 2 }
+            .to_string()
+            .contains("(1, 2)"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests over the sparse formats: any matrix representable
+//! in one format round-trips through every other, and every format's
+//! kernels agree with the dense reference.
+
+use hpf_sparse::{
+    gen, io, stats, CooMatrix, CscMatrix, CsrMatrix, DenseMatrix, DiaMatrix, EllMatrix,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small random sparse matrix as unique triplets.
+fn arb_matrix() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+    (1usize..12, 1usize..12).prop_flat_map(|(r, c)| {
+        let cell = (0..r, 0..c, -100.0f64..100.0);
+        proptest::collection::vec(cell, 0..40).prop_map(move |mut v| {
+            // Deduplicate coordinates (keep first occurrence).
+            v.sort_by_key(|&(i, j, _)| (i, j));
+            v.dedup_by_key(|&mut (i, j, _)| (i, j));
+            (r, c, v)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn coo_dense_roundtrip((r, c, trips) in arb_matrix()) {
+        let coo = CooMatrix::from_triplets(r, c, trips).unwrap();
+        let dense = coo.to_dense();
+        let back = CooMatrix::from_dense(&dense);
+        prop_assert_eq!(back.to_dense(), dense);
+    }
+
+    #[test]
+    fn csr_csc_dense_all_agree((r, c, trips) in arb_matrix()) {
+        let coo = CooMatrix::from_triplets(r, c, trips).unwrap();
+        let dense = coo.to_dense();
+        let csr = CsrMatrix::from_coo(&coo);
+        let csc = CscMatrix::from_coo(&coo);
+        prop_assert_eq!(csr.to_dense(), dense.clone());
+        prop_assert_eq!(csc.to_dense(), dense.clone());
+        prop_assert_eq!(csc.to_csr().to_dense(), dense.clone());
+        prop_assert_eq!(CscMatrix::from_csr(&csr).to_dense(), dense);
+    }
+
+    #[test]
+    fn matvec_agrees_across_formats(((r, c, trips), seed) in (arb_matrix(), any::<u64>())) {
+        let coo = CooMatrix::from_triplets(r, c, trips).unwrap();
+        let dense = coo.to_dense();
+        let csr = CsrMatrix::from_coo(&coo);
+        let csc = CscMatrix::from_coo(&coo);
+        // Deterministic pseudo-random x from the seed.
+        let x: Vec<f64> = (0..c)
+            .map(|i| ((seed.wrapping_add(i as u64 * 2654435761) % 1000) as f64 - 500.0) / 100.0)
+            .collect();
+        let want = dense.matvec(&x).unwrap();
+        let got_csr = csr.matvec(&x).unwrap();
+        let got_csc = csc.matvec(&x).unwrap();
+        for i in 0..r {
+            prop_assert!((want[i] - got_csr[i]).abs() < 1e-9);
+            prop_assert!((want[i] - got_csc[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_matvec_agrees(((r, c, trips), seed) in (arb_matrix(), any::<u64>())) {
+        let coo = CooMatrix::from_triplets(r, c, trips).unwrap();
+        let dense = coo.to_dense();
+        let csr = CsrMatrix::from_coo(&coo);
+        let csc = CscMatrix::from_coo(&coo);
+        let x: Vec<f64> = (0..r)
+            .map(|i| ((seed.wrapping_add(i as u64 * 97) % 512) as f64 - 256.0) / 64.0)
+            .collect();
+        let want = dense.matvec_transpose(&x).unwrap();
+        let got_csr = csr.matvec_transpose(&x).unwrap();
+        let got_csc = csc.matvec_transpose(&x).unwrap();
+        for j in 0..c {
+            prop_assert!((want[j] - got_csr[j]).abs() < 1e-9);
+            prop_assert!((want[j] - got_csc[j]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ell_and_dia_agree_with_dense(((r, c, trips), seed) in (arb_matrix(), any::<u64>())) {
+        let coo = CooMatrix::from_triplets(r, c, trips).unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        let dense = coo.to_dense();
+        let ell = EllMatrix::from_csr(&csr);
+        let dia = DiaMatrix::from_csr(&csr);
+        // Round-trips drop explicit zeros, so compare matvec semantics.
+        let x: Vec<f64> = (0..c)
+            .map(|i| ((seed.wrapping_add(i as u64 * 31) % 256) as f64 - 128.0) / 32.0)
+            .collect();
+        let want = dense.matvec(&x).unwrap();
+        let got_ell = ell.matvec(&x).unwrap();
+        let got_dia = dia.matvec(&x).unwrap();
+        for i in 0..r {
+            prop_assert!((want[i] - got_ell[i]).abs() < 1e-9);
+            prop_assert!((want[i] - got_dia[i]).abs() < 1e-9);
+        }
+        // Structural invariants.
+        prop_assert!(ell.padding_ratio() >= 0.0 && ell.padding_ratio() <= 1.0);
+        prop_assert!(dia.fill_ratio() >= 0.0 && dia.fill_ratio() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity((r, c, trips) in arb_matrix()) {
+        let coo = CooMatrix::from_triplets(r, c, trips).unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        prop_assert_eq!(csr.transpose().transpose().to_dense(), csr.to_dense());
+    }
+
+    #[test]
+    fn matrix_market_roundtrip((r, c, trips) in arb_matrix()) {
+        let coo = CooMatrix::from_triplets(r, c, trips).unwrap();
+        let text = io::write_matrix_market(&coo);
+        let back = io::read_matrix_market(&text).unwrap();
+        let (d1, d2) = (coo.to_dense(), back.to_dense());
+        prop_assert_eq!(d1.n_rows(), d2.n_rows());
+        prop_assert!(d1.max_abs_diff(&d2) < 1e-9);
+    }
+
+    #[test]
+    fn nnz_conserved_across_formats((r, c, trips) in arb_matrix()) {
+        // Filter exact zeros the generator may produce (they stay stored).
+        let coo = CooMatrix::from_triplets(r, c, trips).unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        let csc = CscMatrix::from_coo(&coo);
+        prop_assert_eq!(csr.nnz(), coo.nnz());
+        prop_assert_eq!(csc.nnz(), coo.nnz());
+    }
+
+    #[test]
+    fn generated_spd_matrices_are_symmetric(n in 2usize..40, nnz in 1usize..6, seed in any::<u64>()) {
+        let a = gen::random_spd(n, nnz, seed);
+        prop_assert!(a.is_symmetric(1e-12));
+        // x' A x > 0 for a few random-ish x (diagonal dominance => SPD).
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 5) as f64 - 2.0).collect();
+        let ax = a.matvec(&x).unwrap();
+        let quad: f64 = x.iter().zip(ax.iter()).map(|(u, v)| u * v).sum();
+        let norm: f64 = x.iter().map(|u| u * u).sum();
+        if norm > 0.0 {
+            prop_assert!(quad > 0.0, "quadratic form {quad} not positive");
+        }
+    }
+
+    #[test]
+    fn row_stats_bounds_hold(n in 2usize..60, nnz in 1usize..8, seed in any::<u64>()) {
+        let a = gen::random_spd(n, nnz, seed);
+        let s = stats::row_stats(&a);
+        prop_assert!(s.min <= s.max);
+        prop_assert!(s.mean >= s.min as f64 && s.mean <= s.max as f64);
+        prop_assert!(s.imbalance >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn dense_transpose_involution(rows in 1usize..8, cols in 1usize..8, seed in any::<u64>()) {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| ((seed.wrapping_add(i as u64) % 100) as f64) / 10.0)
+            .collect();
+        let d = DenseMatrix::from_row_major(rows, cols, data).unwrap();
+        prop_assert_eq!(d.transpose().transpose(), d);
+    }
+}

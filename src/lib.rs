@@ -1,0 +1,46 @@
+//! # hpf — facade crate for the HPF-CG paper reproduction
+//!
+//! Re-exports the whole workspace: the simulated multicomputer
+//! ([`machine`]), the distribution layer ([`dist`]), sparse formats
+//! ([`sparse`]), the directive front-end ([`lang`]), the HPF
+//! data-parallel model with the paper's proposed extensions ([`core`]),
+//! and the CG solver family ([`solvers`]).
+//!
+//! ```
+//! use hpf::prelude::*;
+//!
+//! // Solve a 2-D Poisson system with distributed CG on a simulated
+//! // 4-processor hypercube (the paper's Figure 2 program).
+//! let a = hpf::sparse::gen::poisson_2d(8, 8);
+//! let (_, b) = hpf::sparse::gen::rhs_for_known_solution(&a);
+//! let mut machine = Machine::hypercube(4);
+//! let op = RowwiseCsr::block(a, 4, DataArrayLayout::RowAligned);
+//! let (x, stats) = cg_distributed(
+//!     &mut machine, &op, &b, StopCriterion::RelativeResidual(1e-10), 500,
+//! ).unwrap();
+//! assert!(stats.converged);
+//! assert_eq!(x.len(), 64);
+//! ```
+
+pub use hpf_core as core;
+pub use hpf_dist as dist;
+pub use hpf_lang as lang;
+pub use hpf_machine as machine;
+pub use hpf_solvers as solvers;
+pub use hpf_sparse as sparse;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use hpf_core::{
+        ext::{MergeOp, OnProcessor, PrivateRegion, SparseFormat, SparseMatrixDirective},
+        Checkerboard, ColwiseCsc, DataArrayLayout, DistVector, ProcGrid2D, RowwiseCsr,
+    };
+    pub use hpf_dist::{ArrayDescriptor, AtomAssignment, AtomSpec, DistSpec};
+    pub use hpf_lang::{elaborate, parse_program, Env};
+    pub use hpf_machine::{CostModel, Machine, Topology};
+    pub use hpf_solvers::{
+        bicg, bicg_distributed, bicgstab, bicgstab_distributed, cg, cg_distributed, cgs, gmres,
+        pcg, pcg_jacobi_distributed, JacobiPrec, SolveStats, StopCriterion,
+    };
+    pub use hpf_sparse::{CooMatrix, CscMatrix, CsrMatrix, DenseMatrix};
+}

@@ -1,0 +1,90 @@
+//! Integration: the HPF program and the hand-coded message-passing SPMD
+//! program compute the same answers with comparable traffic (E13's
+//! claim, tested end to end).
+
+use hpf::core::spmd_baseline::{spmd_cg, spmd_matvec};
+use hpf::prelude::*;
+use hpf::sparse::gen;
+
+#[test]
+fn matvec_results_identical() {
+    let a = gen::random_spd(96, 4, 8);
+    let p: Vec<f64> = (0..96).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+    let np = 4;
+
+    // HPF (simulated machine).
+    let mut m = Machine::hypercube(np);
+    let op = RowwiseCsr::block(a.clone(), np, DataArrayLayout::RowAligned);
+    let pv = DistVector::from_global(ArrayDescriptor::block(96, np), &p);
+    let (q_hpf, _) = op.matvec(&mut m, &pv);
+
+    // SPMD (real threads).
+    let (q_spmd, _) = spmd_matvec(&a, &p, np);
+
+    for (u, v) in q_hpf.to_global().iter().zip(q_spmd.iter()) {
+        assert!((u - v).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn cg_converges_to_same_solution() {
+    let a = gen::poisson_2d(10, 10);
+    let (x_true, b) = gen::rhs_for_known_solution(&a);
+    let np = 4;
+
+    let mut m = Machine::hypercube(np);
+    let op = RowwiseCsr::block(a.clone(), np, DataArrayLayout::RowAligned);
+    let (x_hpf, s_hpf) = cg_distributed(
+        &mut m,
+        &op,
+        &b,
+        StopCriterion::RelativeResidual(1e-10),
+        2000,
+    )
+    .unwrap();
+    let (res_spmd, _) = spmd_cg(&a, &b, 1e-10, 2000, np);
+
+    assert!(s_hpf.converged && res_spmd.converged);
+    for (u, v) in x_hpf.to_global().iter().zip(res_spmd.x.iter()) {
+        assert!((u - v).abs() < 1e-7);
+    }
+    for (u, v) in x_hpf.to_global().iter().zip(x_true.iter()) {
+        assert!((u - v).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn traffic_volumes_within_factor_two() {
+    let a = gen::random_spd(128, 4, 2);
+    let (_, b) = gen::rhs_for_known_solution(&a);
+    let np = 8;
+
+    let mut m = Machine::hypercube(np);
+    let op = RowwiseCsr::block(a.clone(), np, DataArrayLayout::RowAligned);
+    let (_, s_hpf) =
+        cg_distributed(&mut m, &op, &b, StopCriterion::RelativeResidual(1e-8), 2000).unwrap();
+    let hpf_words = m.total_words_sent() as f64;
+
+    let (res, run) = spmd_cg(&a, &b, 1e-8, 2000, np);
+    let spmd_words = run.total_words_sent() as f64;
+
+    assert!(s_hpf.converged && res.converged);
+    let ratio = hpf_words / spmd_words;
+    assert!(
+        ratio > 0.5 && ratio < 2.0,
+        "HPF {hpf_words} vs SPMD {spmd_words} (ratio {ratio})"
+    );
+}
+
+#[test]
+fn spmd_message_count_grows_with_np() {
+    let a = gen::poisson_2d(8, 8);
+    let (_, b) = gen::rhs_for_known_solution(&a);
+    let mut counts = Vec::new();
+    for np in [2usize, 4, 8] {
+        let (res, run) = spmd_cg(&a, &b, 1e-8, 1000, np);
+        assert!(res.converged);
+        counts.push(run.total_messages());
+    }
+    assert!(counts.windows(2).all(|w| w[1] > w[0]));
+}
