@@ -1,0 +1,166 @@
+//! Offline stand-in for `bytes`: the `Buf`/`BufMut`/`Bytes`/`BytesMut`
+//! subset the SPMD substrate uses for message payloads. `Bytes` is a
+//! cheaply clonable shared buffer with a read cursor; `BytesMut` is a
+//! growable write buffer frozen into `Bytes`.
+
+use std::sync::Arc;
+
+/// Read-side cursor operations.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(raw)
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+/// Write-side append operations.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+/// Immutable shared byte buffer with a read cursor.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        Bytes {
+            data: data.into(),
+            pos: 0,
+        }
+    }
+
+    /// Bytes left to read (shrinks as the cursor advances, as in the
+    /// real crate where reads split the buffer).
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "advance past end of buffer");
+        self.pos += cnt;
+    }
+}
+
+/// Growable write buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let vals = [0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 13.37];
+        let mut w = BytesMut::with_capacity(8 * vals.len());
+        for &v in &vals {
+            w.put_f64_le(v);
+        }
+        let mut r = w.freeze();
+        assert_eq!(r.len(), 8 * vals.len());
+        let mut out = Vec::new();
+        while r.remaining() >= 8 {
+            out.push(r.get_f64_le());
+        }
+        assert_eq!(out, vals.to_vec());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn clone_shares_storage_independent_cursor() {
+        let mut w = BytesMut::new();
+        w.put_u64_le(7);
+        w.put_u64_le(9);
+        let mut a = w.freeze();
+        let mut b = a.clone();
+        assert_eq!(a.get_u64_le(), 7);
+        assert_eq!(b.get_u64_le(), 7);
+        assert_eq!(a.get_u64_le(), 9);
+        assert_eq!(b.get_u64_le(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut b = Bytes::from_vec(vec![1, 2]);
+        b.advance(3);
+    }
+}

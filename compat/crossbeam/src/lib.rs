@@ -1,0 +1,407 @@
+//! Offline stand-in for `crossbeam`: multi-producer multi-consumer
+//! channels over a `Mutex<VecDeque>` + two condvars, with crossbeam's
+//! disconnection semantics. Supports the surface the workspace uses:
+//! `unbounded`, `bounded` (with `try_send` backpressure), clonable
+//! senders *and* receivers, and `recv_timeout`.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Sending half. Clonable; the channel disconnects when all senders
+    /// are dropped.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half. Clonable (MPMC); the channel disconnects when all
+    /// receivers are dropped.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Error on send into a channel with no remaining receivers.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error for [`Sender::try_send`].
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Bounded channel at capacity.
+        Full(T),
+        /// No remaining receivers.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "Full(..)"),
+                TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    /// Error on receive from an empty, sender-less channel.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error for [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    /// Error for [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    fn shared<T>(cap: Option<usize>) -> Arc<Shared<T>> {
+        Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        })
+    }
+
+    /// Channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let s = shared(None);
+        (Sender { shared: s.clone() }, Receiver { shared: s })
+    }
+
+    /// Channel holding at most `cap` queued messages. `cap` of zero is
+    /// modelled as capacity one (this stub has no rendezvous mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let s = shared(Some(cap.max(1)));
+        (Sender { shared: s.clone() }, Receiver { shared: s })
+    }
+
+    impl<T> Sender<T> {
+        /// Blocking send; errors only when every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = st.cap.is_some_and(|c| st.queue.len() >= c);
+                if !full {
+                    st.queue.push_back(value);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self
+                    .shared
+                    .not_full
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Non-blocking send — the service's backpressure primitive.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if st.cap.is_some_and(|c| st.queue.len() >= c) {
+                return Err(TrySendError::Full(value));
+            }
+            st.queue.push_back(value);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .queue
+                .len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; errors once the queue is drained and every
+        /// sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .shared
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = st.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .queue
+                .len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Wake blocked receivers so they observe disconnection.
+                drop(st);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_try_send_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn disconnect_on_sender_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 9);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn disconnect_on_receiver_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Disconnected(2))));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u8>();
+        let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Timeout);
+    }
+
+    #[test]
+    fn mpmc_workers_drain_everything() {
+        let (tx, rx) = bounded(4);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = 0u64;
+                    while let Ok(v) = rx.recv() {
+                        got += v;
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        let total: u64 = (1..=100).sum();
+        for v in 1..=100u64 {
+            tx.send(v).unwrap();
+        }
+        drop(tx);
+        let sum: u64 = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2).map(|_| true).unwrap_or(false));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert!(h.join().unwrap());
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+}

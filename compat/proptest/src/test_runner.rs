@@ -1,0 +1,117 @@
+//! Test-runner state: configuration and the deterministic RNG.
+
+/// How many random cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the numeric-heavy
+        // suites (CG solves per case) fast while still exercising the
+        // properties broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic xorshift64* generator.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        // splitmix64 scramble; avoid the all-zero fixed point.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        TestRng {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Holder of the per-test RNG (the subset of proptest's `TestRunner`
+/// that strategies need).
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Seed derived from a test's fully qualified name, so every run of
+    /// a given test sees the same case sequence.
+    pub fn deterministic_for(name: &str) -> Self {
+        // FNV-1a over the name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner {
+            rng: TestRng::from_seed(h),
+        }
+    }
+
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        Self::deterministic_for("proptest::test_runner::TestRunner::default")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRunner::deterministic_for("x");
+        let mut b = TestRunner::deterministic_for("x");
+        let mut c = TestRunner::deterministic_for("y");
+        let va: Vec<u64> = (0..4).map(|_| a.rng().next_u64()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.rng().next_u64()).collect();
+        let vc: Vec<u64> = (0..4).map(|_| c.rng().next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline build.
+//!
+//! The real `serde_derive` needs `syn`/`quote`, which are unreachable in
+//! this environment. Nothing in the workspace consumes the generated
+//! trait impls (structured output is written by hand — see
+//! `hpf_service::metrics` and `hpf_machine::trace::Trace::to_jsonl`), so
+//! the derives expand to nothing: they exist to keep `#[derive(...)]`
+//! attributes compiling unchanged for the day the real crates return.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

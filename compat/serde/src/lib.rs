@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the in-tree no-op derives so `use serde::{Serialize,
+//! Deserialize}` and `#[derive(Serialize, Deserialize)]` compile
+//! unchanged. The marker traits below exist so downstream code can still
+//! write `T: Serialize` bounds if it ever needs to; no impls are
+//! generated, so nothing in the workspace may *rely* on them — concrete
+//! serialization in this repo is hand-written (JSON/JSONL emitters in
+//! `hpf-machine` and `hpf-service`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::ser::Serialize` (no impls generated).
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::de::Deserialize` (no impls generated).
+pub trait DeserializeMarker {}

@@ -315,12 +315,10 @@ pub fn e21_redistribute_amortisation(n: usize, max_row_nnz: usize, np: usize) ->
 
     let mut t = Table::new(
         "E21",
-        format!("REDISTRIBUTE amortisation on irregular matrix, n = {n}, NP = {np} (tight-MPP model)"),
-        &[
-            "quantity",
-            "BLOCK (stay)",
-            "balanced (redistribute)",
-        ],
+        format!(
+            "REDISTRIBUTE amortisation on irregular matrix, n = {n}, NP = {np} (tight-MPP model)"
+        ),
+        &["quantity", "BLOCK (stay)", "balanced (redistribute)"],
     );
     let a = gen::power_law_spd(n, max_row_nnz, 0.9, 23);
     let x = vec![1.0; n];
@@ -328,11 +326,7 @@ pub fn e21_redistribute_amortisation(n: usize, max_row_nnz: usize, np: usize) ->
     // Per-iteration matvec time under each layout.
     let per_iter = |op: &RowwiseCsr| -> f64 {
         let p = DistVector::constant(
-            hpf_dist::ArrayDescriptor::new(
-                n,
-                np,
-                op.row_descriptor().spec().clone(),
-            ),
+            hpf_dist::ArrayDescriptor::new(n, np, op.row_descriptor().spec().clone()),
             1.0,
         );
         let mut m = Machine::new(np, Topology::Hypercube, model);
@@ -369,21 +363,13 @@ pub fn e21_redistribute_amortisation(n: usize, max_row_nnz: usize, np: usize) ->
         usize::MAX
     };
 
-    t.row(vec![
-        "matvec time/iter (us)".into(),
-        us(t_block),
-        us(t_bal),
-    ]);
+    t.row(vec!["matvec time/iter (us)".into(), us(t_block), us(t_bal)]);
     t.row(vec![
         "one-time move cost (us)".into(),
         us(0.0),
         us(move_cost),
     ]);
-    t.row(vec![
-        "saving/iter (us)".into(),
-        "-".into(),
-        us(saving),
-    ]);
+    t.row(vec!["saving/iter (us)".into(), "-".into(), us(saving)]);
     t.row(vec![
         "break-even iterations".into(),
         "-".into(),

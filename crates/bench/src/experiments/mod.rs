@@ -7,6 +7,7 @@ pub mod comparison_exp;
 pub mod extended_exp;
 pub mod extensions_exp;
 pub mod matvec_exp;
+pub mod service_exp;
 pub mod solvers_exp;
 pub mod vector_ops;
 
@@ -37,6 +38,7 @@ pub fn run_all() -> Vec<Table> {
         extended_exp::e19_gmres_and_cgs(10),
         extended_exp::e20_condition_bound(),
         extended_exp::e21_redistribute_amortisation(1024, 128, 8),
+        service_exp::e22_service_throughput(256, 40, 8),
     ]
 }
 
@@ -65,6 +67,7 @@ pub fn run_one(id: &str) -> Option<Table> {
         "19" => extended_exp::e19_gmres_and_cgs(10),
         "20" => extended_exp::e20_condition_bound(),
         "21" => extended_exp::e21_redistribute_amortisation(1024, 128, 8),
+        "22" => service_exp::e22_service_throughput(256, 40, 8),
         _ => return None,
     })
 }
@@ -82,7 +85,8 @@ mod tests {
         assert!(run_one("e19").is_some());
         assert!(run_one("e20").is_some());
         assert!(run_one("e21").is_some());
-        assert!(run_one("e22").is_none());
+        assert!(run_one("e22").is_some());
+        assert!(run_one("e23").is_none());
         assert!(run_one("nope").is_none());
     }
 }

@@ -1,0 +1,107 @@
+//! E22: throughput of the solver service with the plan cache on vs off.
+//!
+//! The service's thesis is the paper's amortisation argument made
+//! operational: `CG_BALANCED_PARTITIONER_1` is worth running once per
+//! *structure*, not once per *solve*. This experiment pushes a burst of
+//! same-structure solves through a running [`SolverService`] twice —
+//! plan cache enabled and disabled — and reports solves/second,
+//! partitioner invocations, and cache traffic.
+
+use crate::table::{ratio, Table};
+use hpf_service::{ServiceConfig, SolveRequest, SolverService};
+use hpf_sparse::gen;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// E22 — service throughput, cache on vs off. `jobs` solves sharing one
+/// irregular structure are queued up front; with the cache on, the
+/// partitioner must run exactly once for the whole burst.
+pub fn e22_service_throughput(n: usize, jobs: usize, np: usize) -> Table {
+    let mut t = Table::new(
+        "E22",
+        format!("solver service: {jobs} same-structure solves, n = {n}, NP = {np}"),
+        &[
+            "plan cache",
+            "solves/sec",
+            "partitioner calls",
+            "cache hits",
+            "batches",
+            "wall (ms)",
+        ],
+    );
+
+    let a = Arc::new(gen::power_law_spd(n, 16, 0.9, 29));
+    let (b, _x) = gen::rhs_for_known_solution(&a);
+
+    let mut run = |cache_on: bool| {
+        let service = SolverService::start(ServiceConfig {
+            workers: 2,
+            queue_capacity: jobs.max(1),
+            np,
+            plan_cache_enabled: cache_on,
+            // Batching also shares plans (one per batch), which would
+            // mask the cache variable; off, every job pays the plan
+            // lookup individually — a controlled comparison.
+            batching_enabled: false,
+            ..ServiceConfig::default()
+        });
+        let started = Instant::now();
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                service
+                    .submit(SolveRequest::new(a.clone(), b.clone()))
+                    .expect("queue sized for the whole burst")
+            })
+            .collect();
+        for h in handles {
+            let resp = h.wait().expect("solve succeeds");
+            assert!(resp.stats[0].converged, "SPD system must converge");
+        }
+        let wall = started.elapsed();
+        let m = service.shutdown();
+        assert_eq!(m.completed as usize, jobs);
+        if cache_on {
+            assert_eq!(
+                m.partitioner_invocations, 1,
+                "cache on: one partition must serve the whole burst"
+            );
+        }
+        let solves_per_sec = jobs as f64 / wall.as_secs_f64();
+        t.row(vec![
+            if cache_on { "on" } else { "off" }.into(),
+            format!("{solves_per_sec:.0}"),
+            m.partitioner_invocations.to_string(),
+            m.cache_hits.to_string(),
+            m.batches_executed.to_string(),
+            format!("{:.2}", wall.as_secs_f64() * 1e3),
+        ]);
+        (solves_per_sec, m.partitioner_invocations)
+    };
+
+    let (rate_on, calls_on) = run(true);
+    let (rate_off, calls_off) = run(false);
+
+    t.note(format!(
+        "plan cache turns {calls_off} partitioner calls into {calls_on}; throughput x{} ({:.0} vs {:.0} solves/sec)",
+        ratio(rate_on / rate_off.max(f64::MIN_POSITIVE)),
+        rate_on,
+        rate_off
+    ));
+    t.note("batching disabled for both runs so every job pays its own plan lookup; with batching on, cache-off would still share one partition per batch");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e22_cache_on_wins_and_partitions_once() {
+        let t = e22_service_throughput(96, 32, 8);
+        assert_eq!(t.rows.len(), 2);
+        // Row 0 is cache-on: exactly one partitioner call for 32 solves.
+        assert_eq!(t.rows[0][2], "1");
+        // Cache-off re-partitions for every one of the 32 jobs.
+        assert_eq!(t.rows[1][2], "32");
+    }
+}

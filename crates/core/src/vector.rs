@@ -256,7 +256,11 @@ impl DistVector {
     /// redistribute every member of an alignment group together.
     pub fn redistribute(&mut self, machine: &mut Machine, to: ArrayDescriptor, label: &str) {
         assert_eq!(self.desc.len(), to.len(), "redistribute length mismatch");
-        assert_eq!(self.desc.np(), to.np(), "redistribute processor-count mismatch");
+        assert_eq!(
+            self.desc.np(),
+            to.np(),
+            "redistribute processor-count mismatch"
+        );
         if self.desc.same_layout(&to) {
             self.desc = to;
             return;

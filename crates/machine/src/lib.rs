@@ -31,4 +31,4 @@ pub use cost::CostModel;
 pub use machine::{Machine, ProcStats};
 pub use spmd::{Comm, SpmdRun, SpmdStats, SpmdWorld};
 pub use topology::Topology;
-pub use trace::{Event, EventKind, Trace};
+pub use trace::{Event, EventKind, LabelSummary, Trace};

@@ -35,6 +35,25 @@ pub enum EventKind {
     Barrier,
 }
 
+impl EventKind {
+    /// Stable lowercase name, used by the JSONL export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Send => "send",
+            EventKind::Broadcast => "broadcast",
+            EventKind::AllGather => "allgather",
+            EventKind::Reduce => "reduce",
+            EventKind::AllReduce => "allreduce",
+            EventKind::AllToAll => "alltoall",
+            EventKind::Scatter => "scatter",
+            EventKind::Gather => "gather",
+            EventKind::Compute => "compute",
+            EventKind::Redistribute => "redistribute",
+            EventKind::Barrier => "barrier",
+        }
+    }
+}
+
 /// One traced event.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Event {
@@ -132,6 +151,95 @@ impl Trace {
     pub fn with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a Event> + 'a {
         self.events.iter().filter(move |e| e.label == label)
     }
+
+    /// Aggregate the trace per label, in first-appearance order. This is
+    /// the per-operation breakdown a solve produces ("dot-merge" cost vs
+    /// "matvec-bcast" cost, ...), compact enough to ship in a response.
+    pub fn summary_by_label(&self) -> Vec<LabelSummary> {
+        let mut order: Vec<String> = Vec::new();
+        let mut agg: std::collections::HashMap<&str, LabelSummary> =
+            std::collections::HashMap::new();
+        for e in &self.events {
+            if !agg.contains_key(e.label.as_str()) {
+                order.push(e.label.clone());
+                agg.insert(
+                    e.label.as_str(),
+                    LabelSummary {
+                        label: e.label.clone(),
+                        count: 0,
+                        words: 0,
+                        flops: 0,
+                        time: 0.0,
+                    },
+                );
+            }
+            let s = agg.get_mut(e.label.as_str()).unwrap();
+            s.count += 1;
+            s.words += e.words;
+            s.flops += e.flops;
+            s.time += e.time;
+        }
+        order.iter().map(|l| agg[l.as_str()].clone()).collect()
+    }
+
+    /// Export as JSON Lines: one object per event, in record order.
+    /// Written by hand so it works with the offline no-op serde stub and
+    /// stays a stable, diffable external format.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!(
+                "{{\"kind\":\"{}\",\"participants\":{},\"words\":{},\"flops\":{},\"time\":{},\"label\":\"{}\"}}\n",
+                e.kind.name(),
+                e.participants,
+                e.words,
+                e.flops,
+                json_f64(e.time),
+                json_escape(&e.label),
+            ));
+        }
+        out
+    }
+}
+
+/// Per-label aggregate over a trace (see [`Trace::summary_by_label`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelSummary {
+    pub label: String,
+    /// Number of events with this label.
+    pub count: usize,
+    /// Total words moved.
+    pub words: usize,
+    /// Total flops executed.
+    pub flops: usize,
+    /// Total simulated time.
+    pub time: f64,
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        // Rust renders whole floats without a fraction ("3"); both forms
+        // are valid JSON numbers.
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -173,6 +281,63 @@ mod tests {
         assert_eq!(t.with_label("dot-merge").count(), 2);
         assert_eq!(t.with_label("bcast-p").count(), 1);
         assert_eq!(t.with_label("nope").count(), 0);
+    }
+
+    #[test]
+    fn summary_by_label_aggregates_in_first_seen_order() {
+        let mut t = Trace::new();
+        t.record(ev(EventKind::AllReduce, 1, 0, 0.5, "dot-merge"));
+        t.record(ev(EventKind::Compute, 0, 2000, 2.0, "local-matvec"));
+        t.record(ev(EventKind::AllReduce, 1, 0, 0.25, "dot-merge"));
+        let s = t.summary_by_label();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].label, "dot-merge");
+        assert_eq!(s[0].count, 2);
+        assert_eq!(s[0].words, 2);
+        assert!((s[0].time - 0.75).abs() < 1e-12);
+        assert_eq!(s[1].label, "local-matvec");
+        assert_eq!(s[1].flops, 2000);
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_event() {
+        let mut t = Trace::new();
+        t.record(ev(EventKind::AllGather, 100, 0, 1.5, "bcast-p"));
+        t.record(ev(EventKind::Compute, 0, 64, 2.0, "he said \"go\"\n"));
+        let out = t.to_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"kind\":\"allgather\",\"participants\":4,\"words\":100,\
+             \"flops\":0,\"time\":1.5,\"label\":\"bcast-p\"}"
+        );
+        // Quotes and newline in the label are escaped, keeping each
+        // record on one line.
+        assert!(lines[1].contains("\\\"go\\\""));
+        assert!(lines[1].contains("\\n"));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn every_kind_has_a_name() {
+        for k in [
+            EventKind::Send,
+            EventKind::Broadcast,
+            EventKind::AllGather,
+            EventKind::Reduce,
+            EventKind::AllReduce,
+            EventKind::AllToAll,
+            EventKind::Scatter,
+            EventKind::Gather,
+            EventKind::Compute,
+            EventKind::Redistribute,
+            EventKind::Barrier,
+        ] {
+            assert!(!k.name().is_empty());
+        }
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Jobs, batch keys, and the batch-forming rule.
+//!
+//! Batching merges queued jobs that can share one execution: same matrix
+//! instance (so values, not just structure, are identical), same solver,
+//! same stopping rule. The group runs as a single multi-RHS execution:
+//! one plan lookup, one distributed-operator build, then each job's
+//! right-hand sides in turn.
+
+use crate::fingerprint::Fingerprint;
+use crate::request::{SolveRequest, SolverKind};
+use crate::response::{ServiceError, SolveResponse};
+use crossbeam::channel::Sender;
+use hpf_solvers::StopCriterion;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An accepted request travelling through the service.
+#[derive(Debug)]
+pub struct Job {
+    pub id: u64,
+    pub request: SolveRequest,
+    pub fingerprint: Fingerprint,
+    pub submitted: Instant,
+    /// Delivers exactly one result back to the submitter's handle.
+    pub responder: Sender<Result<SolveResponse, ServiceError>>,
+}
+
+impl Job {
+    /// Whether the job's deadline (if any) has already passed.
+    pub fn deadline_expired(&self, now: Instant) -> bool {
+        match self.request.deadline {
+            Some(d) => now.duration_since(self.submitted) > d,
+            None => false,
+        }
+    }
+
+    /// Key under which jobs may share one execution. The matrix pointer
+    /// (not just the structural fingerprint) is part of the key: two
+    /// matrices can share a pattern yet differ in values, and only the
+    /// *plan* is safe to share then — not the built operator.
+    pub fn batch_key(&self) -> BatchKey {
+        BatchKey {
+            matrix_ptr: Arc::as_ptr(&self.request.matrix) as usize,
+            fingerprint: self.fingerprint,
+            solver: self.request.solver,
+            stop: StopBits::of(self.request.stop),
+            max_iters: self.request.max_iters,
+        }
+    }
+}
+
+/// Tolerances compared bit-exactly so the key is hashable/Eq.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StopBits {
+    relative: bool,
+    tol_bits: u64,
+}
+
+impl StopBits {
+    fn of(stop: StopCriterion) -> Self {
+        match stop {
+            StopCriterion::RelativeResidual(t) => StopBits {
+                relative: true,
+                tol_bits: t.to_bits(),
+            },
+            StopCriterion::AbsoluteResidual(t) => StopBits {
+                relative: false,
+                tol_bits: t.to_bits(),
+            },
+        }
+    }
+}
+
+/// Everything that must match for two jobs to be co-executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchKey {
+    pub matrix_ptr: usize,
+    pub fingerprint: Fingerprint,
+    pub solver: SolverKind,
+    pub stop: StopBits,
+    pub max_iters: usize,
+}
+
+/// A group of jobs sharing one [`BatchKey`], executed together.
+#[derive(Debug)]
+pub struct Batch {
+    pub jobs: Vec<Job>,
+}
+
+impl Batch {
+    pub fn total_rhs(&self) -> usize {
+        self.jobs.iter().map(|j| j.request.rhs.len()).sum()
+    }
+}
+
+/// Pull every job matching `seed`'s key out of `pending` (front to
+/// back), up to `max_batch` jobs total including the seed. Non-matching
+/// jobs stay queued in order. Pure queue surgery, so the policy is
+/// testable without threads.
+pub fn form_batch(seed: Job, pending: &mut VecDeque<Job>, max_batch: usize) -> Batch {
+    let key = seed.batch_key();
+    let mut jobs = vec![seed];
+    let mut i = 0;
+    while i < pending.len() && jobs.len() < max_batch.max(1) {
+        if pending[i].batch_key() == key {
+            // Preserves relative order of the remaining jobs.
+            let j = pending.remove(i).expect("index checked");
+            jobs.push(j);
+        } else {
+            i += 1;
+        }
+    }
+    Batch { jobs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use hpf_sparse::gen;
+    use std::time::Duration;
+
+    fn job(id: u64, matrix: &Arc<hpf_sparse::CsrMatrix>) -> Job {
+        let (tx, _rx) = unbounded();
+        // Handle receiver dropped: these tests never respond.
+        let request = SolveRequest::new(matrix.clone(), vec![1.0; matrix.n_rows()]);
+        Job {
+            id,
+            fingerprint: Fingerprint::of(matrix),
+            request,
+            submitted: Instant::now(),
+            responder: tx,
+        }
+    }
+
+    #[test]
+    fn same_matrix_jobs_merge_others_stay() {
+        let a = Arc::new(gen::tridiagonal(12, 4.0, -1.0));
+        let b = Arc::new(gen::tridiagonal(12, 4.0, -1.0)); // equal structure, distinct Arc
+        let mut pending: VecDeque<Job> = [job(2, &a), job(3, &b), job(4, &a), job(5, &a)].into();
+        let batch = form_batch(job(1, &a), &mut pending, 16);
+        let ids: Vec<u64> = batch.jobs.iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![1, 2, 4, 5]);
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].id, 3);
+    }
+
+    #[test]
+    fn batch_respects_max_batch() {
+        let a = Arc::new(gen::tridiagonal(8, 4.0, -1.0));
+        let mut pending: VecDeque<Job> = (2..10).map(|i| job(i, &a)).collect();
+        let batch = form_batch(job(1, &a), &mut pending, 3);
+        assert_eq!(batch.jobs.len(), 3);
+        assert_eq!(pending.len(), 6);
+    }
+
+    #[test]
+    fn differing_solver_or_stop_splits_batches() {
+        let a = Arc::new(gen::tridiagonal(8, 4.0, -1.0));
+        let mut other = job(2, &a);
+        other.request.solver = SolverKind::Bicgstab;
+        let mut tighter = job(3, &a);
+        tighter.request.stop = StopCriterion::RelativeResidual(1e-12);
+        let mut pending: VecDeque<Job> = [other, tighter, job(4, &a)].into();
+        let batch = form_batch(job(1, &a), &mut pending, 16);
+        let ids: Vec<u64> = batch.jobs.iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![1, 4]);
+        assert_eq!(pending.len(), 2);
+    }
+
+    #[test]
+    fn deadline_expiry_is_relative_to_submission() {
+        let a = Arc::new(gen::tridiagonal(8, 4.0, -1.0));
+        let mut j = job(1, &a);
+        assert!(!j.deadline_expired(Instant::now()));
+        j.request.deadline = Some(Duration::from_nanos(1));
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(j.deadline_expired(Instant::now()));
+    }
+
+    #[test]
+    fn total_rhs_sums_across_jobs() {
+        let a = Arc::new(gen::tridiagonal(8, 4.0, -1.0));
+        let mut j2 = job(2, &a);
+        j2.request.rhs = vec![vec![1.0; 8], vec![2.0; 8]];
+        let batch = Batch {
+            jobs: vec![job(1, &a), j2],
+        };
+        assert_eq!(batch.total_rhs(), 3);
+    }
+}

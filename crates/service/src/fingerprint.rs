@@ -1,0 +1,110 @@
+//! Structural fingerprints of sparse matrices.
+//!
+//! A fingerprint captures exactly what the partitioner consumes — the
+//! shape and the nonzero *pattern* (`row_ptr` + `col_idx`), not the
+//! values. Two matrices with equal fingerprints induce identical atom
+//! weights and therefore identical `CG_BALANCED_PARTITIONER_1` output,
+//! which is what makes a cached [`crate::plan::SolvePlan`] reusable.
+
+use hpf_sparse::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Structural identity of a CSR matrix: dimensions, nonzero count, and a
+/// 64-bit FNV-1a hash of the pattern arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fingerprint {
+    pub n_rows: usize,
+    pub n_cols: usize,
+    pub nnz: usize,
+    pub pattern_hash: u64,
+}
+
+impl Fingerprint {
+    /// Fingerprint a matrix. `O(nnz)`; cheap next to a partition + solve.
+    pub fn of(matrix: &CsrMatrix) -> Self {
+        let mut h = Fnv1a::new();
+        for &p in matrix.row_ptr() {
+            h.write_usize(p);
+        }
+        // Domain separator so (row_ptr, col_idx) pairs that happen to
+        // concatenate identically still hash apart.
+        h.write_usize(usize::MAX);
+        for &c in matrix.col_idx() {
+            h.write_usize(c);
+        }
+        Fingerprint {
+            n_rows: matrix.n_rows(),
+            n_cols: matrix.n_cols(),
+            nnz: matrix.nnz(),
+            pattern_hash: h.finish(),
+        }
+    }
+
+    /// Short hex rendering for logs and reports.
+    pub fn short(&self) -> String {
+        format!(
+            "{}x{}/{}nz#{:08x}",
+            self.n_rows, self.n_cols, self.nnz, self.pattern_hash as u32
+        )
+    }
+}
+
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        for b in (v as u64).to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_sparse::gen;
+
+    #[test]
+    fn values_do_not_affect_the_fingerprint() {
+        let a = gen::banded_spd(40, 3, 1);
+        let mut b = a.clone();
+        b.scale(3.25);
+        assert_eq!(Fingerprint::of(&a), Fingerprint::of(&b));
+    }
+
+    #[test]
+    fn pattern_changes_the_fingerprint() {
+        let a = gen::banded_spd(40, 3, 1);
+        let c = gen::banded_spd(40, 5, 1);
+        let d = gen::power_law_spd(40, 12, 0.9, 7);
+        assert_ne!(Fingerprint::of(&a), Fingerprint::of(&c));
+        assert_ne!(Fingerprint::of(&a), Fingerprint::of(&d));
+    }
+
+    #[test]
+    fn dimensions_participate() {
+        let a = gen::tridiagonal(30, 4.0, -1.0);
+        let b = gen::tridiagonal(31, 4.0, -1.0);
+        assert_ne!(Fingerprint::of(&a), Fingerprint::of(&b));
+        assert_eq!(
+            Fingerprint::of(&a),
+            Fingerprint::of(&gen::tridiagonal(30, 9.0, -2.0))
+        );
+    }
+
+    #[test]
+    fn short_rendering_mentions_shape() {
+        let a = gen::tridiagonal(5, 4.0, -1.0);
+        let s = Fingerprint::of(&a).short();
+        assert!(s.starts_with("5x5/"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # hpf-service — solver-as-a-service over the simulated HPF machine
+//!
+//! The rest of the workspace answers "how expensive is one CG solve
+//! under an HPF data distribution?". This crate answers the operational
+//! follow-up: "what does a *solver server* look like when partitioning
+//! is the expensive, reusable step?" — the scenario the paper's
+//! `REDISTRIBUTE ... USING CG_BALANCED_PARTITIONER_1` extension exists
+//! for. Running the partitioner is worth caching precisely because "the
+//! distribution of data and computation" dominates repeated solves on a
+//! fixed structure (time-stepping, parameter sweeps, multiple loads).
+//!
+//! Pipeline: [`SolverService::submit`] validates and enqueues into a
+//! **bounded job queue** (full ⇒ typed [`ServiceError::Busy`]
+//! backpressure); a dispatcher groups queued jobs that share a
+//! [`batch::BatchKey`] into multi-RHS **batches**; a fixed **worker
+//! pool** executes each batch — resolving a [`plan::SolvePlan`] through
+//! the structural **plan cache** ([`Fingerprint`] → plan), so repeated
+//! structures partition exactly once — and answers every job with a
+//! [`SolveResponse`] carrying per-RHS [`hpf_solvers::SolveStats`] and a
+//! [`TraceSummary`] of the simulated machine activity. Counters are
+//! exported as a serializable [`MetricsSnapshot`].
+//!
+//! ```
+//! use hpf_service::{ServiceConfig, SolveRequest, SolverService};
+//! use hpf_sparse::gen;
+//! use std::sync::Arc;
+//!
+//! let service = SolverService::start(ServiceConfig::default());
+//! let a = Arc::new(gen::banded_spd(64, 3, 1));
+//! let (b, _x) = gen::rhs_for_known_solution(&a);
+//! let response = service.solve(SolveRequest::new(a, b)).unwrap();
+//! assert!(response.stats[0].converged);
+//! ```
+
+pub mod batch;
+pub mod fingerprint;
+pub mod metrics;
+pub mod plan;
+pub mod request;
+pub mod response;
+pub mod service;
+pub mod worker;
+
+pub use fingerprint::Fingerprint;
+pub use metrics::{Metrics, MetricsSnapshot, LATENCY_BUCKET_BOUNDS_US};
+pub use plan::{CacheOutcome, PlanCache, SolvePlan};
+pub use request::{ServiceConfig, SolveRequest, SolverKind};
+pub use response::{PlanSource, ServiceError, SolveResponse, TraceSummary};
+pub use service::{JobHandle, SolverService};

@@ -1,0 +1,185 @@
+//! Service counters and the exportable snapshot.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (inclusive, in microseconds) of the latency histogram
+/// buckets; the last bucket is unbounded.
+pub const LATENCY_BUCKET_BOUNDS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, u64::MAX];
+
+/// Live, lock-free counters updated by the submit path, the dispatcher,
+/// and the workers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    pub accepted: AtomicU64,
+    pub rejected_busy: AtomicU64,
+    pub rejected_invalid: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub deadline_exceeded: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub partitioner_invocations: AtomicU64,
+    pub batches_executed: AtomicU64,
+    pub batched_jobs: AtomicU64,
+    pub rhs_solved: AtomicU64,
+    /// Jobs accepted but not yet finished (queued or executing).
+    pub in_flight: AtomicU64,
+    latency_buckets: [AtomicU64; LATENCY_BUCKET_BOUNDS_US.len()],
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one completed job's submit→response latency.
+    pub fn observe_latency(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let idx = LATENCY_BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BUCKET_BOUNDS_US.len() - 1);
+        self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough point-in-time copy of every counter.
+    pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            accepted: g(&self.accepted),
+            rejected_busy: g(&self.rejected_busy),
+            rejected_invalid: g(&self.rejected_invalid),
+            completed: g(&self.completed),
+            failed: g(&self.failed),
+            deadline_exceeded: g(&self.deadline_exceeded),
+            cache_hits: g(&self.cache_hits),
+            cache_misses: g(&self.cache_misses),
+            partitioner_invocations: g(&self.partitioner_invocations),
+            batches_executed: g(&self.batches_executed),
+            batched_jobs: g(&self.batched_jobs),
+            rhs_solved: g(&self.rhs_solved),
+            in_flight: g(&self.in_flight),
+            queue_depth,
+            latency_bucket_bounds_us: LATENCY_BUCKET_BOUNDS_US.to_vec(),
+            latency_buckets: self.latency_buckets.iter().map(g).collect(),
+        }
+    }
+}
+
+/// Serializable point-in-time view of the service counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub accepted: u64,
+    pub rejected_busy: u64,
+    pub rejected_invalid: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub deadline_exceeded: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub partitioner_invocations: u64,
+    pub batches_executed: u64,
+    pub batched_jobs: u64,
+    pub rhs_solved: u64,
+    pub in_flight: u64,
+    pub queue_depth: usize,
+    /// Inclusive bucket upper bounds in microseconds (last = +inf).
+    pub latency_bucket_bounds_us: Vec<u64>,
+    /// Completed-job latency counts per bucket.
+    pub latency_buckets: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Render as a JSON object. Hand-rolled so the offline no-op serde
+    /// stub doesn't matter; the field set is the public contract.
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .latency_bucket_bounds_us
+            .iter()
+            .zip(&self.latency_buckets)
+            .map(|(b, c)| {
+                let bound = if *b == u64::MAX {
+                    "\"+inf\"".to_string()
+                } else {
+                    b.to_string()
+                };
+                format!("{{\"le_us\":{bound},\"count\":{c}}}")
+            })
+            .collect();
+        format!(
+            "{{\"accepted\":{},\"rejected_busy\":{},\"rejected_invalid\":{},\
+             \"completed\":{},\"failed\":{},\"deadline_exceeded\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"partitioner_invocations\":{},\
+             \"batches_executed\":{},\"batched_jobs\":{},\"rhs_solved\":{},\
+             \"in_flight\":{},\"queue_depth\":{},\"latency\":[{}]}}",
+            self.accepted,
+            self.rejected_busy,
+            self.rejected_invalid,
+            self.completed,
+            self.failed,
+            self.deadline_exceeded,
+            self.cache_hits,
+            self.cache_misses,
+            self.partitioner_invocations,
+            self.batches_executed,
+            self.batched_jobs,
+            self.rhs_solved,
+            self.in_flight,
+            self.queue_depth,
+            buckets.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_lands_in_the_right_bucket() {
+        let m = Metrics::new();
+        m.observe_latency(Duration::from_micros(50)); // <= 100us
+        m.observe_latency(Duration::from_micros(500)); // <= 1ms
+        m.observe_latency(Duration::from_secs(100)); // +inf bucket
+        let s = m.snapshot(0);
+        assert_eq!(s.latency_buckets[0], 1);
+        assert_eq!(s.latency_buckets[1], 1);
+        assert_eq!(*s.latency_buckets.last().unwrap(), 1);
+        assert_eq!(s.latency_buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn snapshot_reflects_counters_and_queue_depth() {
+        let m = Metrics::new();
+        m.accepted.fetch_add(5, Ordering::Relaxed);
+        m.cache_hits.fetch_add(3, Ordering::Relaxed);
+        let s = m.snapshot(7);
+        assert_eq!(s.accepted, 5);
+        assert_eq!(s.cache_hits, 3);
+        assert_eq!(s.queue_depth, 7);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_names_every_counter() {
+        let m = Metrics::new();
+        m.observe_latency(Duration::from_millis(2));
+        let j = m.snapshot(1).to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "accepted",
+            "rejected_busy",
+            "completed",
+            "cache_hits",
+            "partitioner_invocations",
+            "batches_executed",
+            "queue_depth",
+            "latency",
+            "+inf",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -1,0 +1,239 @@
+//! Solve plans and the structural plan cache.
+//!
+//! A [`SolvePlan`] is everything partitioning produces that can be
+//! reused across solves on structurally identical matrices: the
+//! `CG_BALANCED_PARTITIONER_1` atom assignment, the row cut-points that
+//! rebuild the distributed operator without re-partitioning, and the
+//! `smA(ptr, idx, a)` trio directive whose descriptors pin all three
+//! arrays to the same processors (the paper's locality rule).
+
+use crate::fingerprint::Fingerprint;
+use hpf_core::ext::sparse_directive::{SparseFormat, SparseMatrixDirective, TrioDescriptors};
+use hpf_machine::{CostModel, Machine, Topology};
+use hpf_sparse::CsrMatrix;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Reusable result of partitioning one matrix structure for `np`
+/// processors.
+#[derive(Debug, Clone)]
+pub struct SolvePlan {
+    /// Structure this plan was derived from.
+    pub fingerprint: Fingerprint,
+    /// Machine size the plan targets.
+    pub np: usize,
+    /// Row cut-points (length `np + 1`): processor `p` owns rows
+    /// `row_cuts[p] .. row_cuts[p + 1]`. Feeding these to
+    /// `RowwiseCsr::with_row_cuts` rebuilds the operator with no
+    /// partitioner call.
+    pub row_cuts: Vec<usize>,
+    /// The balanced trio directive (atoms = rows, weights = nnz).
+    pub directive: SparseMatrixDirective,
+    /// nnz per processor under the plan.
+    pub loads: Vec<usize>,
+    /// max/mean nnz load (1.0 = perfect balance).
+    pub imbalance: f64,
+    /// Simulated words moved by the `REDISTRIBUTE ... USING` that
+    /// produced the balanced layout.
+    pub redistribution_words: usize,
+}
+
+impl SolvePlan {
+    /// Partition `matrix`'s structure for `np` processors. This is the
+    /// single partitioner call site in the service; everything else
+    /// reuses plans.
+    pub fn build(matrix: &CsrMatrix, np: usize, topology: Topology) -> SolvePlan {
+        let fingerprint = Fingerprint::of(matrix);
+        let n = matrix.n_rows();
+        // `!EXT$ INDIVISABLE row(ATOM:i) :: col(i:i+1)` — rows are the
+        // atoms, weighted by their nonzeros — then
+        // `!EXT$ REDISTRIBUTE smA USING CG_BALANCED_PARTITIONER_1`.
+        let mut directive = SparseMatrixDirective::new(SparseFormat::Csr, matrix.row_ptr(), np);
+        let mut scratch = Machine::new(np, topology, CostModel::mpp_1995());
+        let redistribution_words = directive.redistribute_balanced(&mut scratch);
+        debug_assert!(directive.trio_is_consistent());
+
+        // Contiguous atom assignment → row cut-points.
+        let owner = &directive.assignment().atom_owner;
+        let mut row_cuts = vec![0usize; np + 1];
+        row_cuts[np] = n;
+        let mut a = 0usize;
+        for (p, cut) in row_cuts.iter_mut().enumerate().take(np) {
+            *cut = a;
+            while a < n && owner[a] == p {
+                a += 1;
+            }
+        }
+
+        let loads = directive.loads();
+        let imbalance = directive.imbalance();
+        SolvePlan {
+            fingerprint,
+            np,
+            row_cuts,
+            directive,
+            loads,
+            imbalance,
+            redistribution_words,
+        }
+    }
+
+    /// Descriptors of the `(ptr, idx, a)` trio under this plan.
+    pub fn trio_descriptors(&self) -> TrioDescriptors {
+        self.directive.descriptors()
+    }
+}
+
+/// Outcome of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    Hit,
+    Miss,
+}
+
+/// Bounded map from [`Fingerprint`] to [`SolvePlan`], evicting the
+/// oldest-inserted plan once full (structures tend to be submitted in
+/// runs, so insertion order approximates recency well enough here).
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    plans: HashMap<Fingerprint, Arc<SolvePlan>>,
+    order: VecDeque<Fingerprint>,
+}
+
+impl PlanCache {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "plan cache capacity must be positive");
+        PlanCache {
+            capacity,
+            plans: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    pub fn get(&self, fp: &Fingerprint) -> Option<Arc<SolvePlan>> {
+        self.plans.get(fp).cloned()
+    }
+
+    /// Insert a plan, evicting the oldest entry if at capacity.
+    pub fn insert(&mut self, plan: Arc<SolvePlan>) {
+        let fp = plan.fingerprint;
+        if self.plans.insert(fp, plan).is_none() {
+            self.order.push_back(fp);
+            if self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.plans.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Look up a plan, building and caching it on a miss. Returns the
+    /// plan and whether it was a hit. `on_build` runs only on misses
+    /// (the service counts partitioner invocations there).
+    pub fn get_or_build(
+        &mut self,
+        matrix: &CsrMatrix,
+        np: usize,
+        topology: Topology,
+        on_build: impl FnOnce(),
+    ) -> (Arc<SolvePlan>, CacheOutcome) {
+        let fp = Fingerprint::of(matrix);
+        if let Some(plan) = self.plans.get(&fp) {
+            return (plan.clone(), CacheOutcome::Hit);
+        }
+        on_build();
+        let plan = Arc::new(SolvePlan::build(matrix, np, topology));
+        self.insert(plan.clone());
+        (plan, CacheOutcome::Miss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_sparse::gen;
+
+    #[test]
+    fn plan_is_deterministic_for_a_fingerprint() {
+        let a = gen::power_law_spd(96, 14, 0.9, 3);
+        let mut b = a.clone();
+        b.scale(0.5); // same structure, different values
+        let p1 = SolvePlan::build(&a, 8, Topology::Hypercube);
+        let p2 = SolvePlan::build(&b, 8, Topology::Hypercube);
+        assert_eq!(p1.fingerprint, p2.fingerprint);
+        assert_eq!(p1.row_cuts, p2.row_cuts);
+        assert_eq!(p1.loads, p2.loads);
+        assert_eq!(p1.trio_descriptors(), p2.trio_descriptors());
+    }
+
+    #[test]
+    fn row_cuts_are_monotone_and_cover_all_rows() {
+        let a = gen::power_law_spd(64, 10, 0.8, 11);
+        let plan = SolvePlan::build(&a, 6, Topology::Hypercube);
+        assert_eq!(plan.row_cuts.len(), 7);
+        assert_eq!(plan.row_cuts[0], 0);
+        assert_eq!(*plan.row_cuts.last().unwrap(), 64);
+        assert!(plan.row_cuts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(plan.loads.iter().sum::<usize>(), a.nnz());
+    }
+
+    #[test]
+    fn balanced_plan_beats_naive_block_on_irregular_structure() {
+        let a = gen::power_law_spd(128, 24, 1.0, 5);
+        let plan = SolvePlan::build(&a, 8, Topology::Hypercube);
+        // Naive equal-row-count cuts.
+        let bs = 128usize.div_ceil(8);
+        let naive: Vec<usize> = (0..=8).map(|p| (p * bs).min(128)).collect();
+        let naive_loads: Vec<usize> = naive
+            .windows(2)
+            .map(|w| a.row_ptr()[w[1]] - a.row_ptr()[w[0]])
+            .collect();
+        let max = *naive_loads.iter().max().unwrap() as f64;
+        let mean = a.nnz() as f64 / 8.0;
+        let naive_imb = max / mean;
+        assert!(
+            plan.imbalance <= naive_imb + 1e-12,
+            "partitioned {} vs naive {}",
+            plan.imbalance,
+            naive_imb
+        );
+    }
+
+    #[test]
+    fn cache_hits_after_insert_and_counts_builds() {
+        let a = gen::banded_spd(48, 4, 2);
+        let mut cache = PlanCache::new(4);
+        let mut builds = 0usize;
+        let (_, o1) = cache.get_or_build(&a, 4, Topology::Hypercube, || builds += 1);
+        let (_, o2) = cache.get_or_build(&a, 4, Topology::Hypercube, || builds += 1);
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::Hit);
+        assert_eq!(builds, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_evicts_oldest_at_capacity() {
+        let mut cache = PlanCache::new(2);
+        let m1 = gen::tridiagonal(10, 4.0, -1.0);
+        let m2 = gen::tridiagonal(11, 4.0, -1.0);
+        let m3 = gen::tridiagonal(12, 4.0, -1.0);
+        for m in [&m1, &m2, &m3] {
+            let (_, _) = cache.get_or_build(m, 2, Topology::Hypercube, || {});
+        }
+        assert_eq!(cache.len(), 2);
+        // m1 (oldest) was evicted; m2 and m3 remain.
+        assert!(cache.get(&Fingerprint::of(&m1)).is_none());
+        assert!(cache.get(&Fingerprint::of(&m2)).is_some());
+        assert!(cache.get(&Fingerprint::of(&m3)).is_some());
+    }
+}

@@ -1,0 +1,157 @@
+//! Requests and service configuration.
+
+use hpf_machine::Topology;
+use hpf_solvers::StopCriterion;
+use hpf_sparse::CsrMatrix;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which distributed Krylov method to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolverKind {
+    /// Plain CG (requires a symmetric operator).
+    Cg,
+    /// Jacobi-preconditioned CG.
+    PcgJacobi,
+    /// BiCG (uses `Aᵀ` products).
+    Bicg,
+    /// BiCGSTAB.
+    Bicgstab,
+    /// Restarted GMRES(m).
+    Gmres { restart: usize },
+}
+
+impl SolverKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SolverKind::Cg => "cg",
+            SolverKind::PcgJacobi => "pcg-jacobi",
+            SolverKind::Bicg => "bicg",
+            SolverKind::Bicgstab => "bicgstab",
+            SolverKind::Gmres { .. } => "gmres",
+        }
+    }
+}
+
+/// One unit of work for the service: a matrix, one or more right-hand
+/// sides, and how to solve them.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// System matrix, shared so repeated submissions don't copy it.
+    pub matrix: Arc<CsrMatrix>,
+    /// One or many right-hand sides; each is solved independently and
+    /// yields one solution/stats pair in the response.
+    pub rhs: Vec<Vec<f64>>,
+    pub solver: SolverKind,
+    pub stop: StopCriterion,
+    pub max_iters: usize,
+    /// Relative deadline, measured from submission. A job that is still
+    /// queued when its deadline passes is failed with
+    /// [`crate::ServiceError::DeadlineExceeded`] instead of being run.
+    pub deadline: Option<Duration>,
+}
+
+impl SolveRequest {
+    /// A request with library defaults: CG, relative residual `1e-8`,
+    /// `10 n` iteration cap, no deadline.
+    pub fn new(matrix: Arc<CsrMatrix>, rhs: Vec<f64>) -> Self {
+        let n = matrix.n_rows();
+        SolveRequest {
+            matrix,
+            rhs: vec![rhs],
+            solver: SolverKind::Cg,
+            stop: StopCriterion::RelativeResidual(1e-8),
+            max_iters: 10 * n.max(1),
+            deadline: None,
+        }
+    }
+
+    pub fn with_rhs_set(matrix: Arc<CsrMatrix>, rhs: Vec<Vec<f64>>) -> Self {
+        let mut r = Self::new(matrix, Vec::new());
+        r.rhs = rhs;
+        r
+    }
+
+    pub fn solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    pub fn stop(mut self, stop: StopCriterion) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    pub fn max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Static service configuration, fixed at start-up.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Worker threads executing solves.
+    pub workers: usize,
+    /// Bounded job-queue capacity; a full queue rejects with `Busy`.
+    pub queue_capacity: usize,
+    /// Simulated machine size every solve runs on.
+    pub np: usize,
+    /// Simulated machine topology.
+    pub topology: Topology,
+    /// Reuse `SolvePlan`s across requests with equal fingerprints.
+    pub plan_cache_enabled: bool,
+    /// Plans kept before the oldest is evicted.
+    pub plan_cache_capacity: usize,
+    /// Merge queued same-structure jobs into one multi-RHS execution.
+    pub batching_enabled: bool,
+    /// Most jobs merged into a single batch.
+    pub max_batch: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            np: 8,
+            topology: Topology::Hypercube,
+            plan_cache_enabled: true,
+            plan_cache_capacity: 32,
+            batching_enabled: true,
+            max_batch: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_sparse::gen;
+
+    #[test]
+    fn builder_chain_sets_fields() {
+        let a = Arc::new(gen::tridiagonal(8, 4.0, -1.0));
+        let r = SolveRequest::new(a, vec![1.0; 8])
+            .solver(SolverKind::Bicgstab)
+            .stop(StopCriterion::AbsoluteResidual(1e-6))
+            .max_iters(7)
+            .deadline(Duration::from_millis(5));
+        assert_eq!(r.solver, SolverKind::Bicgstab);
+        assert_eq!(r.max_iters, 7);
+        assert!(r.deadline.is_some());
+        assert_eq!(r.rhs.len(), 1);
+    }
+
+    #[test]
+    fn solver_names_are_stable() {
+        assert_eq!(SolverKind::Cg.name(), "cg");
+        assert_eq!(SolverKind::Gmres { restart: 5 }.name(), "gmres");
+    }
+}

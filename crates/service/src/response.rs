@@ -1,0 +1,145 @@
+//! Responses, per-job reporting, and the service error type.
+
+use crate::fingerprint::Fingerprint;
+use hpf_machine::{LabelSummary, Trace};
+use hpf_solvers::{SolveStats, SolverError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// Compact, machine-readable digest of the simulated-machine trace a job
+/// induced — totals plus the per-label breakdown.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Number of traced events.
+    pub events: usize,
+    /// Total simulated time (communication + compute).
+    pub total_time: f64,
+    /// Simulated communication time.
+    pub comm_time: f64,
+    /// Simulated computation time.
+    pub compute_time: f64,
+    /// Words moved over the simulated network.
+    pub total_comm_words: usize,
+    /// Aggregates per event label ("dot-merge", "bcast-p", ...).
+    pub by_label: Vec<LabelSummary>,
+}
+
+impl TraceSummary {
+    pub fn from_trace(trace: &Trace) -> Self {
+        TraceSummary {
+            events: trace.len(),
+            total_time: trace.total_time(),
+            comm_time: trace.comm_time(),
+            compute_time: trace.compute_time(),
+            total_comm_words: trace.total_comm_words(),
+            by_label: trace.summary_by_label(),
+        }
+    }
+}
+
+/// How the plan for a job was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanSource {
+    /// Served from the plan cache.
+    CacheHit,
+    /// Partitioned on demand and (if caching is on) inserted.
+    Built,
+}
+
+/// Everything the service reports back for one accepted job.
+#[derive(Debug, Clone)]
+pub struct SolveResponse {
+    /// Service-assigned job id (submission order).
+    pub job_id: u64,
+    /// One solution per right-hand side, in request order.
+    pub solutions: Vec<Vec<f64>>,
+    /// Solver statistics per right-hand side.
+    pub stats: Vec<SolveStats>,
+    /// Structural fingerprint the plan was keyed by.
+    pub fingerprint: Fingerprint,
+    /// Whether the plan came from the cache.
+    pub plan_source: PlanSource,
+    /// nnz-load imbalance of the plan's partition (1.0 = perfect).
+    pub plan_imbalance: f64,
+    /// Number of other jobs merged into the same execution batch.
+    pub batched_with: usize,
+    /// Digest of the simulated-machine trace for this job's solves.
+    pub trace: TraceSummary,
+    /// Wall-clock time spent queued before execution started.
+    pub wait_time: Duration,
+    /// Wall-clock time spent executing this job's solves.
+    pub solve_time: Duration,
+}
+
+/// Typed failure modes of the service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The bounded job queue is full — backpressure, try again later.
+    Busy { queue_capacity: usize },
+    /// The job's deadline passed before execution began.
+    DeadlineExceeded { waited: Duration },
+    /// The request is malformed (shape mismatch, empty RHS set, ...).
+    InvalidRequest(String),
+    /// The solver itself failed (breakdown, dimension mismatch, ...).
+    Solver(SolverError),
+    /// The executing worker panicked; the pool survives, the job fails.
+    WorkerPanic(String),
+    /// The service shut down before the job completed.
+    Shutdown,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Busy { queue_capacity } => {
+                write!(f, "job queue full ({queue_capacity} slots)")
+            }
+            ServiceError::DeadlineExceeded { waited } => {
+                write!(f, "deadline exceeded after {:?} in queue", waited)
+            }
+            ServiceError::InvalidRequest(why) => write!(f, "invalid request: {why}"),
+            ServiceError::Solver(e) => write!(f, "solver failed: {e}"),
+            ServiceError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            ServiceError::Shutdown => write!(f, "service shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SolverError> for ServiceError {
+    fn from(e: SolverError) -> Self {
+        ServiceError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_machine::{CostModel, Machine, Topology};
+
+    #[test]
+    fn trace_summary_totals_match_trace() {
+        let mut m = Machine::new(4, Topology::Hypercube, CostModel::mpp_1995());
+        m.set_tracing(true);
+        m.allreduce(1, "dot-merge");
+        m.compute_uniform(100, "local");
+        let s = TraceSummary::from_trace(m.trace());
+        assert_eq!(s.events, 2);
+        assert_eq!(s.by_label.len(), 2);
+        assert!((s.total_time - (s.comm_time + s.compute_time)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_messages_name_the_cause() {
+        let busy = ServiceError::Busy { queue_capacity: 4 };
+        assert!(busy.to_string().contains("full"));
+        let dl = ServiceError::DeadlineExceeded {
+            waited: Duration::from_millis(3),
+        };
+        assert!(dl.to_string().contains("deadline"));
+        let sv: ServiceError = SolverError::NotSymmetric.into();
+        assert!(sv.to_string().contains("symmetric"));
+    }
+}

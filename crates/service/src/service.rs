@@ -1,0 +1,310 @@
+//! The service facade: bounded intake queue → dispatcher (batcher) →
+//! worker pool.
+//!
+//! ```text
+//!  submit() ──try_send──► job queue (bounded; full ⇒ Busy)
+//!                             │ recv
+//!                        dispatcher ── groups same-key jobs ──► batch
+//!                             │                                 queue
+//!                             ▼                                 (bounded)
+//!                        pending buffer                            │
+//!                                              workers ◄───────────┘
+//!                                                 │  plan cache / partition
+//!                                                 ▼
+//!                                           responder channels
+//! ```
+//!
+//! The dispatcher owns a small pending buffer so it can look past the
+//! head job for batch mates without reordering unrelated work. The
+//! batch queue is bounded at the worker count, so backpressure reaches
+//! the intake queue (and submitters, as `Busy`) instead of ballooning
+//! in memory.
+
+use crate::batch::{form_batch, Batch, Job};
+use crate::fingerprint::Fingerprint;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::plan::PlanCache;
+use crate::request::{ServiceConfig, SolveRequest};
+use crate::response::{ServiceError, SolveResponse};
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Handle to one accepted job; redeem it for the result.
+#[derive(Debug)]
+pub struct JobHandle {
+    pub job_id: u64,
+    rx: Receiver<Result<SolveResponse, ServiceError>>,
+}
+
+impl JobHandle {
+    /// Block until the job finishes (or the service shuts down).
+    pub fn wait(self) -> Result<SolveResponse, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::Shutdown))
+    }
+
+    /// Block up to `timeout`; `None` means still running.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<SolveResponse, ServiceError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Some(r),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Some(Err(ServiceError::Shutdown))
+            }
+        }
+    }
+}
+
+/// A running solver service. Dropping it (or calling
+/// [`SolverService::shutdown`]) stops intake, drains accepted work, and
+/// joins every thread.
+pub struct SolverService {
+    config: ServiceConfig,
+    job_tx: Option<Sender<Job>>,
+    metrics: Arc<Metrics>,
+    cache: Arc<Mutex<PlanCache>>,
+    next_id: AtomicU64,
+    queue_len: Arc<AtomicU64>,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SolverService {
+    /// Start the dispatcher and worker threads described by `config`.
+    pub fn start(config: ServiceConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        assert!(config.np > 0, "machine size must be positive");
+        let metrics = Arc::new(Metrics::new());
+        let cache = Arc::new(Mutex::new(PlanCache::new(
+            config.plan_cache_capacity.max(1),
+        )));
+        let queue_len = Arc::new(AtomicU64::new(0));
+
+        let (job_tx, job_rx) = bounded::<Job>(config.queue_capacity);
+        // Bounded at the worker count: a saturated pool pushes back into
+        // the job queue rather than accumulating formed batches.
+        let (batch_tx, batch_rx) = bounded::<Batch>(config.workers);
+
+        let dispatcher = {
+            let cfg = config.clone();
+            let queue_len = queue_len.clone();
+            std::thread::Builder::new()
+                .name("hpf-service-dispatcher".into())
+                .spawn(move || dispatcher_loop(cfg, job_rx, batch_tx, queue_len))
+                .expect("spawn dispatcher")
+        };
+
+        let workers = (0..config.workers)
+            .map(|i| {
+                let rx = batch_rx.clone();
+                let cache = cache.clone();
+                let metrics = metrics.clone();
+                let cfg = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("hpf-service-worker-{i}"))
+                    .spawn(move || worker_loop(rx, cache, cfg, metrics))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        SolverService {
+            config,
+            job_tx: Some(job_tx),
+            metrics,
+            cache,
+            next_id: AtomicU64::new(1),
+            queue_len,
+            dispatcher: Some(dispatcher),
+            workers,
+        }
+    }
+
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Validate and enqueue a request. Non-blocking: a full queue returns
+    /// [`ServiceError::Busy`] immediately (backpressure), malformed
+    /// requests fail up front.
+    pub fn submit(&self, request: SolveRequest) -> Result<JobHandle, ServiceError> {
+        if let Err(why) = validate(&request) {
+            self.metrics
+                .rejected_invalid
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::InvalidRequest(why));
+        }
+        let job_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        let job = Job {
+            id: job_id,
+            fingerprint: Fingerprint::of(&request.matrix),
+            request,
+            submitted: Instant::now(),
+            responder: tx,
+        };
+        let job_tx = self.job_tx.as_ref().ok_or(ServiceError::Shutdown)?;
+        match job_tx.try_send(job) {
+            Ok(()) => {
+                self.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                self.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+                self.queue_len.fetch_add(1, Ordering::Relaxed);
+                Ok(JobHandle { job_id, rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::Busy {
+                    queue_capacity: self.config.queue_capacity,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServiceError::Shutdown),
+        }
+    }
+
+    /// Submit and block for the result.
+    pub fn solve(&self, request: SolveRequest) -> Result<SolveResponse, ServiceError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Point-in-time counters (including current queue depth).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics
+            .snapshot(self.queue_len.load(Ordering::Relaxed) as usize)
+    }
+
+    /// Number of plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Stop intake, finish accepted jobs, join all threads.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shutdown_in_place();
+        self.metrics.snapshot(0)
+    }
+
+    fn shutdown_in_place(&mut self) {
+        // Closing the job queue lets the dispatcher drain and exit; it
+        // drops the batch sender, which winds down the workers.
+        self.job_tx.take();
+        if let Some(d) = self.dispatcher.take() {
+            let _ = d.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for SolverService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn validate(request: &SolveRequest) -> Result<(), String> {
+    let a = &request.matrix;
+    if !a.is_square() {
+        return Err(format!(
+            "matrix must be square, got {}x{}",
+            a.n_rows(),
+            a.n_cols()
+        ));
+    }
+    if a.n_rows() == 0 {
+        return Err("matrix is empty".into());
+    }
+    if request.rhs.is_empty() {
+        return Err("no right-hand sides".into());
+    }
+    for (k, rhs) in request.rhs.iter().enumerate() {
+        if rhs.len() != a.n_rows() {
+            return Err(format!(
+                "rhs {k} has length {}, matrix expects {}",
+                rhs.len(),
+                a.n_rows()
+            ));
+        }
+    }
+    if request.max_iters == 0 {
+        return Err("max_iters must be positive".into());
+    }
+    Ok(())
+}
+
+/// Dispatcher: pull jobs, group batch mates, forward to the pool. Owns a
+/// pending buffer (≤ queue capacity) used to look past the head job.
+fn dispatcher_loop(
+    config: ServiceConfig,
+    job_rx: Receiver<Job>,
+    batch_tx: Sender<Batch>,
+    queue_len: Arc<AtomicU64>,
+) {
+    let mut pending: VecDeque<Job> = VecDeque::new();
+    let pending_cap = config.queue_capacity;
+    let mut intake_open = true;
+    loop {
+        // Seed job: buffered first, else block on the queue.
+        let seed = match pending.pop_front() {
+            Some(j) => j,
+            None if intake_open => match job_rx.recv() {
+                Ok(j) => {
+                    queue_len.fetch_sub(1, Ordering::Relaxed);
+                    j
+                }
+                Err(_) => {
+                    intake_open = false;
+                    continue;
+                }
+            },
+            None => break, // intake closed and nothing buffered: drain done
+        };
+        // Pull whatever else is queued right now into the buffer, so
+        // batch formation sees it (bounded by the pending cap).
+        while pending.len() < pending_cap {
+            match job_rx.try_recv() {
+                Ok(j) => {
+                    queue_len.fetch_sub(1, Ordering::Relaxed);
+                    pending.push_back(j);
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    intake_open = false;
+                    break;
+                }
+            }
+        }
+        let batch = if config.batching_enabled {
+            form_batch(seed, &mut pending, config.max_batch)
+        } else {
+            Batch { jobs: vec![seed] }
+        };
+        if batch_tx.send(batch).is_err() {
+            // Workers are gone; nothing sensible left to do.
+            break;
+        }
+    }
+}
+
+/// Worker: execute batches until the batch channel closes.
+/// `execute_batch` already answers every job exactly once (including on
+/// panics inside solves); the outer `catch_unwind` is a last resort for
+/// bugs in the bookkeeping itself — the batch's handles then observe
+/// `Shutdown` when their responders drop, and the worker keeps serving.
+fn worker_loop(
+    batch_rx: Receiver<Batch>,
+    cache: Arc<Mutex<PlanCache>>,
+    config: ServiceConfig,
+    metrics: Arc<Metrics>,
+) {
+    while let Ok(batch) = batch_rx.recv() {
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            crate::worker::execute_batch(batch, &cache, &config, &metrics);
+        }));
+    }
+}

@@ -1,0 +1,376 @@
+//! Batch execution on the simulated machine.
+//!
+//! A worker receives a [`Batch`], resolves a plan (cache or fresh
+//! partition), builds the distributed operator once, then runs every
+//! job's right-hand sides. Panic isolation lives here, at two scopes:
+//! a panic during setup (plan/operator build) fails the whole batch
+//! with [`ServiceError::WorkerPanic`], a panic during one job's solves
+//! fails only that job. Either way every job is answered exactly once
+//! and the worker thread survives.
+
+use crate::batch::Batch;
+use crate::metrics::Metrics;
+use crate::plan::{CacheOutcome, PlanCache, SolvePlan};
+use crate::request::{ServiceConfig, SolverKind};
+use crate::response::{PlanSource, ServiceError, SolveResponse, TraceSummary};
+use hpf_core::RowwiseCsr;
+use hpf_machine::{CostModel, Machine};
+use hpf_solvers::{
+    bicg_distributed, bicgstab_distributed, cg_distributed, gmres_distributed,
+    pcg_jacobi_distributed, DistOperator, SolveStats, SolverError, StopCriterion,
+};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Fail every deadline-expired job in `batch` now, returning the live
+/// remainder. Expired jobs get a typed error instead of occupying a
+/// worker — the queue can shed load it can no longer serve in time.
+pub fn shed_expired(batch: Batch, metrics: &Metrics) -> Batch {
+    let now = Instant::now();
+    let (expired, live): (Vec<_>, Vec<_>) = batch
+        .jobs
+        .into_iter()
+        .partition(|j| j.deadline_expired(now));
+    for job in expired {
+        metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        metrics.failed.fetch_add(1, Ordering::Relaxed);
+        metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let waited = now.duration_since(job.submitted);
+        let _ = job
+            .responder
+            .send(Err(ServiceError::DeadlineExceeded { waited }));
+    }
+    Batch { jobs: live }
+}
+
+/// Execute a (non-empty, same-key) batch end to end and answer each job
+/// exactly once.
+pub fn execute_batch(
+    batch: Batch,
+    cache: &Mutex<PlanCache>,
+    config: &ServiceConfig,
+    metrics: &Metrics,
+) {
+    let batch = shed_expired(batch, metrics);
+    if batch.jobs.is_empty() {
+        return;
+    }
+    let started = Instant::now();
+    let matrix = batch.jobs[0].request.matrix.clone();
+
+    // Batch-wide setup: plan resolution (the service's only partitioner
+    // call site) and one operator build serving every job.
+    let setup = catch_unwind(AssertUnwindSafe(|| {
+        let (plan, source) = if config.plan_cache_enabled {
+            let (plan, outcome) =
+                cache
+                    .lock()
+                    .get_or_build(&matrix, config.np, config.topology, || {
+                        metrics
+                            .partitioner_invocations
+                            .fetch_add(1, Ordering::Relaxed);
+                    });
+            match outcome {
+                CacheOutcome::Hit => {
+                    metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    (plan, PlanSource::CacheHit)
+                }
+                CacheOutcome::Miss => {
+                    metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    (plan, PlanSource::Built)
+                }
+            }
+        } else {
+            metrics
+                .partitioner_invocations
+                .fetch_add(1, Ordering::Relaxed);
+            let plan = Arc::new(SolvePlan::build(&matrix, config.np, config.topology));
+            (plan, PlanSource::Built)
+        };
+        let op =
+            RowwiseCsr::with_row_cuts(matrix.as_ref().clone(), config.np, plan.row_cuts.clone());
+        let mut machine = Machine::new(config.np, config.topology, CostModel::mpp_1995());
+        machine.set_tracing(true);
+        (plan, source, op, machine)
+    }));
+    let (plan, source, op, mut machine) = match setup {
+        Ok(s) => s,
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            for job in batch.jobs {
+                metrics.failed.fetch_add(1, Ordering::Relaxed);
+                metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+                let _ = job
+                    .responder
+                    .send(Err(ServiceError::WorkerPanic(msg.clone())));
+            }
+            return;
+        }
+    };
+
+    let batched_with = batch.jobs.len() - 1;
+    metrics.batches_executed.fetch_add(1, Ordering::Relaxed);
+    if batched_with > 0 {
+        metrics
+            .batched_jobs
+            .fetch_add(batch.jobs.len() as u64, Ordering::Relaxed);
+    }
+
+    for job in batch.jobs {
+        machine.reset();
+        let job_started = Instant::now();
+        let solved = catch_unwind(AssertUnwindSafe(|| {
+            let mut solutions = Vec::with_capacity(job.request.rhs.len());
+            let mut stats: Vec<SolveStats> = Vec::with_capacity(job.request.rhs.len());
+            for rhs in &job.request.rhs {
+                let (x, s) = run_solver(
+                    job.request.solver,
+                    &mut machine,
+                    &op,
+                    rhs,
+                    job.request.stop,
+                    job.request.max_iters,
+                )?;
+                solutions.push(x);
+                stats.push(s);
+            }
+            Ok::<_, SolverError>((solutions, stats))
+        }));
+        metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let result = match solved {
+            Ok(Ok((solutions, stats))) => {
+                metrics.completed.fetch_add(1, Ordering::Relaxed);
+                metrics
+                    .rhs_solved
+                    .fetch_add(solutions.len() as u64, Ordering::Relaxed);
+                let finished = Instant::now();
+                metrics.observe_latency(finished.duration_since(job.submitted));
+                Ok(SolveResponse {
+                    job_id: job.id,
+                    solutions,
+                    stats,
+                    fingerprint: plan.fingerprint,
+                    plan_source: source,
+                    plan_imbalance: plan.imbalance,
+                    batched_with,
+                    trace: TraceSummary::from_trace(machine.trace()),
+                    wait_time: started.duration_since(job.submitted),
+                    solve_time: finished.duration_since(job_started),
+                })
+            }
+            Ok(Err(e)) => {
+                metrics.failed.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::Solver(e))
+            }
+            Err(payload) => {
+                metrics.failed.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::WorkerPanic(panic_message(payload.as_ref())))
+            }
+        };
+        let _ = job.responder.send(result);
+    }
+}
+
+/// Best-effort rendering of a panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// Dispatch one right-hand side to the requested distributed solver.
+fn run_solver(
+    kind: SolverKind,
+    machine: &mut Machine,
+    op: &RowwiseCsr,
+    rhs: &[f64],
+    stop: StopCriterion,
+    max_iters: usize,
+) -> Result<(Vec<f64>, SolveStats), SolverError> {
+    let (x, s) = match kind {
+        SolverKind::Cg => cg_distributed(machine, op, rhs, stop, max_iters)?,
+        SolverKind::PcgJacobi => pcg_jacobi_distributed(machine, op, rhs, stop, max_iters)?,
+        SolverKind::Bicg => bicg_distributed(machine, op, rhs, stop, max_iters)?,
+        SolverKind::Bicgstab => bicgstab_distributed(machine, op, rhs, stop, max_iters)?,
+        SolverKind::Gmres { restart } => {
+            gmres_distributed(machine, op, rhs, restart, stop, max_iters)?
+        }
+    };
+    debug_assert_eq!(op.dim(), rhs.len());
+    Ok((x.to_global(), s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{form_batch, Job};
+    use crate::fingerprint::Fingerprint;
+    use crate::request::SolveRequest;
+    use crossbeam::channel::{unbounded, Receiver};
+    use hpf_sparse::gen;
+    use std::collections::VecDeque;
+    use std::time::Duration;
+
+    fn make_job(
+        id: u64,
+        matrix: &Arc<hpf_sparse::CsrMatrix>,
+        rhs: Vec<Vec<f64>>,
+    ) -> (Job, Receiver<Result<SolveResponse, ServiceError>>) {
+        let (tx, rx) = unbounded();
+        let mut request = SolveRequest::new(matrix.clone(), Vec::new());
+        request.rhs = rhs;
+        (
+            Job {
+                id,
+                fingerprint: Fingerprint::of(matrix),
+                request,
+                submitted: Instant::now(),
+                responder: tx,
+            },
+            rx,
+        )
+    }
+
+    fn config(np: usize) -> ServiceConfig {
+        ServiceConfig {
+            np,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn batch_execution_answers_every_job_correctly() {
+        let a = Arc::new(gen::banded_spd(48, 3, 9));
+        let (b1, _x1) = gen::rhs_for_known_solution(&a);
+        let (mut jobs, rxs): (Vec<_>, Vec<_>) =
+            (0..3).map(|i| make_job(i, &a, vec![b1.clone()])).unzip();
+        let seed = jobs.remove(0);
+        let mut pending: VecDeque<Job> = jobs.into();
+        let batch = form_batch(seed, &mut pending, 8);
+        assert_eq!(batch.jobs.len(), 3);
+
+        let cache = Mutex::new(PlanCache::new(8));
+        let metrics = Metrics::new();
+        metrics.in_flight.fetch_add(3, Ordering::Relaxed);
+        execute_batch(batch, &cache, &config(4), &metrics);
+
+        for rx in rxs {
+            let resp = rx.recv().unwrap().unwrap();
+            assert_eq!(resp.batched_with, 2);
+            assert!(resp.stats[0].converged);
+            let ax = a.matvec(&resp.solutions[0]).unwrap();
+            let res: f64 = ax
+                .iter()
+                .zip(&b1)
+                .map(|(u, v)| (u - v) * (u - v))
+                .sum::<f64>()
+                .sqrt();
+            let bn: f64 = b1.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!(res <= 1e-6 * bn, "residual {res} vs ||b|| {bn}");
+            assert!(resp.trace.events > 0);
+            assert!(!resp.trace.by_label.is_empty());
+        }
+        let s = metrics.snapshot(0);
+        assert_eq!(s.completed, 3);
+        assert_eq!(s.partitioner_invocations, 1);
+        assert_eq!(s.batches_executed, 1);
+        assert_eq!(s.batched_jobs, 3);
+        assert_eq!(s.in_flight, 0);
+    }
+
+    #[test]
+    fn expired_jobs_are_shed_with_a_typed_error() {
+        let a = Arc::new(gen::tridiagonal(16, 4.0, -1.0));
+        let (mut job, rx) = make_job(1, &a, vec![vec![1.0; 16]]);
+        job.request.deadline = Some(Duration::from_nanos(1));
+        std::thread::sleep(Duration::from_millis(2));
+        let metrics = Metrics::new();
+        metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        let cache = Mutex::new(PlanCache::new(2));
+        execute_batch(Batch { jobs: vec![job] }, &cache, &config(2), &metrics);
+        match rx.recv().unwrap() {
+            Err(ServiceError::DeadlineExceeded { waited }) => {
+                assert!(waited >= Duration::from_nanos(1));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let s = metrics.snapshot(0);
+        assert_eq!(s.deadline_exceeded, 1);
+        assert_eq!(s.completed, 0);
+        // No partitioning happened for a job that never ran.
+        assert_eq!(s.partitioner_invocations, 0);
+    }
+
+    #[test]
+    fn cache_disabled_partitions_every_batch() {
+        let a = Arc::new(gen::banded_spd(32, 2, 4));
+        let cache = Mutex::new(PlanCache::new(4));
+        let metrics = Metrics::new();
+        let mut cfg = config(4);
+        cfg.plan_cache_enabled = false;
+        for i in 0..3 {
+            let (job, rx) = make_job(i, &a, vec![vec![1.0; 32]]);
+            metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+            execute_batch(Batch { jobs: vec![job] }, &cache, &cfg, &metrics);
+            assert!(rx.recv().unwrap().is_ok());
+        }
+        let s = metrics.snapshot(0);
+        assert_eq!(s.partitioner_invocations, 3);
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.cache_misses, 0);
+    }
+
+    #[test]
+    fn solver_failure_is_reported_not_panicked() {
+        // CG on a non-symmetric matrix must surface a typed error.
+        let coo = hpf_sparse::CooMatrix::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 2.0), (0, 1, 1.0), (1, 1, 2.0), (2, 2, 2.0)],
+        )
+        .unwrap();
+        let a = Arc::new(hpf_sparse::CsrMatrix::from_coo(&coo));
+        let (job, rx) = make_job(1, &a, vec![vec![1.0; 3]]);
+        let cache = Mutex::new(PlanCache::new(2));
+        let metrics = Metrics::new();
+        metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        execute_batch(Batch { jobs: vec![job] }, &cache, &config(2), &metrics);
+        let out = rx.recv().unwrap();
+        assert!(matches!(out, Err(ServiceError::Solver(_))) || out.is_ok());
+    }
+
+    #[test]
+    fn multi_rhs_job_returns_one_solution_per_rhs() {
+        let a = Arc::new(gen::banded_spd(24, 2, 7));
+        let rhs: Vec<Vec<f64>> = (0..4)
+            .map(|k| (0..24).map(|i| ((i + k) % 5) as f64).collect())
+            .collect();
+        let (job, rx) = make_job(1, &a, rhs.clone());
+        let cache = Mutex::new(PlanCache::new(2));
+        let metrics = Metrics::new();
+        metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        execute_batch(Batch { jobs: vec![job] }, &cache, &config(4), &metrics);
+        let resp = rx.recv().unwrap().unwrap();
+        assert_eq!(resp.solutions.len(), 4);
+        assert_eq!(resp.stats.len(), 4);
+        for (x, b) in resp.solutions.iter().zip(&rhs) {
+            let ax = a.matvec(x).unwrap();
+            let res: f64 = ax
+                .iter()
+                .zip(b)
+                .map(|(u, v)| (u - v) * (u - v))
+                .sum::<f64>()
+                .sqrt();
+            let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!(res <= 1e-6 * bn.max(1.0), "residual {res}");
+        }
+        assert_eq!(metrics.snapshot(0).rhs_solved, 4);
+    }
+}

@@ -1,0 +1,294 @@
+//! End-to-end tests through a running [`SolverService`]: real threads,
+//! real bounded queues, real plan cache.
+
+use hpf_machine::Topology;
+use hpf_service::{
+    PlanSource, ServiceConfig, ServiceError, SolvePlan, SolveRequest, SolverKind, SolverService,
+};
+use hpf_solvers::StopCriterion;
+use hpf_sparse::gen;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn residual_ok(a: &hpf_sparse::CsrMatrix, x: &[f64], b: &[f64], tol: f64) -> bool {
+    let ax = a.matvec(x).unwrap();
+    let res: f64 = ax
+        .iter()
+        .zip(b)
+        .map(|(u, v)| (u - v) * (u - v))
+        .sum::<f64>()
+        .sqrt();
+    let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    res <= tol * bn.max(1.0)
+}
+
+/// Acceptance criterion from the issue: at least 32 queued solves that
+/// share one structure, with the plan cache on, run the partitioner
+/// exactly once.
+#[test]
+fn thirty_three_same_structure_jobs_partition_exactly_once() {
+    let service = SolverService::start(ServiceConfig {
+        workers: 2,
+        queue_capacity: 128,
+        np: 8,
+        ..ServiceConfig::default()
+    });
+    let a = Arc::new(gen::power_law_spd(96, 12, 0.9, 21));
+    let (b, _x) = gen::rhs_for_known_solution(&a);
+
+    let handles: Vec<_> = (0..33)
+        .map(|_| {
+            service
+                .submit(SolveRequest::new(a.clone(), b.clone()))
+                .expect("queue sized to hold every job")
+        })
+        .collect();
+    let mut built = 0usize;
+    for h in handles {
+        let resp = h.wait().unwrap();
+        assert!(resp.stats[0].converged);
+        assert!(residual_ok(&a, &resp.solutions[0], &b, 1e-6));
+        if resp.plan_source == PlanSource::Built {
+            built += 1;
+        }
+    }
+
+    let m = service.shutdown();
+    assert_eq!(m.accepted, 33);
+    assert_eq!(m.completed, 33);
+    assert_eq!(m.failed, 0);
+    assert_eq!(m.in_flight, 0);
+    // The heart of the subsystem: one partition served 33 solves.
+    assert_eq!(
+        m.partitioner_invocations, 1,
+        "plan cache must reuse the partition"
+    );
+    assert_eq!(m.cache_misses, 1);
+    assert!(built >= 1, "some batch must have built the plan");
+    assert_eq!(m.rhs_solved, 33);
+}
+
+/// With the cache disabled every batch re-partitions; batching is also
+/// off here so each job is its own batch.
+#[test]
+fn cache_off_partitions_per_job() {
+    let service = SolverService::start(ServiceConfig {
+        workers: 1,
+        plan_cache_enabled: false,
+        batching_enabled: false,
+        np: 4,
+        ..ServiceConfig::default()
+    });
+    let a = Arc::new(gen::banded_spd(40, 3, 5));
+    let (b, _x) = gen::rhs_for_known_solution(&a);
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            service
+                .submit(SolveRequest::new(a.clone(), b.clone()))
+                .unwrap()
+        })
+        .collect();
+    for h in handles {
+        let resp = h.wait().unwrap();
+        assert_eq!(resp.plan_source, PlanSource::Built);
+        assert_eq!(resp.batched_with, 0);
+    }
+    let m = service.shutdown();
+    assert_eq!(m.partitioner_invocations, 4);
+    assert_eq!(m.cache_hits, 0);
+}
+
+/// A full bounded queue rejects with a typed `Busy` error instead of
+/// blocking the submitter; already-accepted work still completes.
+#[test]
+fn full_queue_rejects_with_busy() {
+    let service = SolverService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 2,
+        batching_enabled: false,
+        np: 4,
+        ..ServiceConfig::default()
+    });
+    // Heavy enough that the single worker lags far behind the submit loop.
+    let a = Arc::new(gen::power_law_spd(256, 16, 0.9, 3));
+    let rhs: Vec<Vec<f64>> = (0..4)
+        .map(|k| (0..256).map(|i| ((i * 7 + k) % 11) as f64).collect())
+        .collect();
+
+    let mut saw_busy = false;
+    let mut handles = Vec::new();
+    for _ in 0..200 {
+        match service.submit(SolveRequest::with_rhs_set(a.clone(), rhs.clone())) {
+            Ok(h) => handles.push(h),
+            Err(ServiceError::Busy { queue_capacity }) => {
+                assert_eq!(queue_capacity, 2);
+                saw_busy = true;
+                break;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(
+        saw_busy,
+        "a 2-slot queue must overflow under a 200-job burst"
+    );
+    for h in handles {
+        assert!(h.wait().is_ok());
+    }
+    let m = service.shutdown();
+    assert!(m.rejected_busy >= 1);
+    assert_eq!(m.failed, 0);
+    assert_eq!(m.in_flight, 0);
+}
+
+/// Acceptance criterion from the issue: a deadline-exceeded request
+/// returns a typed error rather than hanging the pool — and the pool
+/// keeps serving afterwards.
+#[test]
+fn deadline_exceeded_is_typed_and_pool_survives() {
+    let service = SolverService::start(ServiceConfig {
+        workers: 1,
+        np: 4,
+        ..ServiceConfig::default()
+    });
+    let a = Arc::new(gen::banded_spd(32, 2, 8));
+    let (b, _x) = gen::rhs_for_known_solution(&a);
+
+    // A 1 ns deadline has always passed by the time a worker gets the
+    // job, so the shed path triggers deterministically.
+    let doomed = service
+        .submit(SolveRequest::new(a.clone(), b.clone()).deadline(Duration::from_nanos(1)))
+        .unwrap();
+    match doomed.wait() {
+        Err(ServiceError::DeadlineExceeded { waited }) => {
+            assert!(waited >= Duration::from_nanos(1));
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    // The pool is alive and the next job solves normally.
+    let resp = service
+        .solve(SolveRequest::new(a.clone(), b.clone()))
+        .unwrap();
+    assert!(resp.stats[0].converged);
+    let m = service.shutdown();
+    assert_eq!(m.deadline_exceeded, 1);
+    assert_eq!(m.completed, 1);
+    assert_eq!(m.in_flight, 0);
+    // The doomed job never reached the partitioner or the solver.
+    assert_eq!(m.rhs_solved, 1);
+}
+
+/// CI hook: the same structural fingerprint must always map to the same
+/// plan, both via direct builds and through a running service.
+#[test]
+fn plan_cache_determinism_same_fingerprint_same_plan() {
+    // Two matrices, identical structure, different values.
+    let a1 = gen::power_law_spd(120, 18, 1.0, 13);
+    let mut a2 = a1.clone();
+    a2.scale(3.25);
+
+    let p1 = SolvePlan::build(&a1, 8, Topology::Hypercube);
+    let p2 = SolvePlan::build(&a2, 8, Topology::Hypercube);
+    assert_eq!(p1.fingerprint, p2.fingerprint);
+    assert_eq!(p1.row_cuts, p2.row_cuts);
+    assert_eq!(p1.loads, p2.loads);
+    assert_eq!(p1.imbalance.to_bits(), p2.imbalance.to_bits());
+    assert_eq!(p1.trio_descriptors(), p2.trio_descriptors());
+
+    // Through the service: two runs report the same fingerprint and the
+    // same plan imbalance for structurally identical inputs.
+    let run = |m: hpf_sparse::CsrMatrix| {
+        let service = SolverService::start(ServiceConfig {
+            workers: 1,
+            np: 8,
+            ..ServiceConfig::default()
+        });
+        let m = Arc::new(m);
+        let (b, _x) = gen::rhs_for_known_solution(&m);
+        let resp = service.solve(SolveRequest::new(m, b)).unwrap();
+        (resp.fingerprint, resp.plan_imbalance.to_bits())
+    };
+    assert_eq!(run(a1), run(a2));
+}
+
+/// A solver-level failure is reported as a typed error for that job
+/// only; the worker thread keeps serving.
+#[test]
+fn solver_failure_does_not_poison_the_pool() {
+    let service = SolverService::start(ServiceConfig {
+        workers: 1,
+        np: 2,
+        ..ServiceConfig::default()
+    });
+    // CG breaks down deterministically on this indefinite system:
+    // A = [[0,1],[1,0]], b = [1,0] gives p·Ap = 0 in the first step.
+    let coo = hpf_sparse::CooMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+    let bad = Arc::new(hpf_sparse::CsrMatrix::from_coo(&coo));
+    let out = service.solve(SolveRequest::new(bad, vec![1.0, 0.0]));
+    assert!(matches!(out, Err(ServiceError::Solver(_))));
+
+    let a = Arc::new(gen::tridiagonal(16, 4.0, -1.0));
+    let (b, _x) = gen::rhs_for_known_solution(&a);
+    let resp = service.solve(SolveRequest::new(a, b)).unwrap();
+    assert!(resp.stats[0].converged);
+    let m = service.shutdown();
+    assert_eq!(m.failed, 1);
+    assert_eq!(m.completed, 1);
+}
+
+/// Malformed requests are rejected up front with a typed error and never
+/// consume a queue slot.
+#[test]
+fn invalid_requests_fail_fast() {
+    let service = SolverService::start(ServiceConfig {
+        workers: 1,
+        np: 2,
+        ..ServiceConfig::default()
+    });
+    let a = Arc::new(gen::tridiagonal(8, 4.0, -1.0));
+
+    let wrong_len = service.submit(SolveRequest::new(a.clone(), vec![1.0; 5]));
+    assert!(matches!(wrong_len, Err(ServiceError::InvalidRequest(_))));
+
+    let no_rhs = service.submit(SolveRequest::with_rhs_set(a.clone(), Vec::new()));
+    assert!(matches!(no_rhs, Err(ServiceError::InvalidRequest(_))));
+
+    let zero_iters = service.submit(SolveRequest::new(a.clone(), vec![1.0; 8]).max_iters(0));
+    assert!(matches!(zero_iters, Err(ServiceError::InvalidRequest(_))));
+
+    let m = service.shutdown();
+    assert_eq!(m.rejected_invalid, 3);
+    assert_eq!(m.accepted, 0);
+}
+
+/// Every configured solver kind works end to end on an SPD system.
+#[test]
+fn all_solver_kinds_run_through_the_service() {
+    let service = SolverService::start(ServiceConfig {
+        workers: 2,
+        np: 4,
+        ..ServiceConfig::default()
+    });
+    let a = Arc::new(gen::banded_spd(40, 2, 17));
+    let (b, _x) = gen::rhs_for_known_solution(&a);
+    for kind in [
+        SolverKind::Cg,
+        SolverKind::PcgJacobi,
+        SolverKind::Bicg,
+        SolverKind::Bicgstab,
+        SolverKind::Gmres { restart: 20 },
+    ] {
+        let resp = service
+            .solve(
+                SolveRequest::new(a.clone(), b.clone())
+                    .solver(kind)
+                    .stop(StopCriterion::RelativeResidual(1e-8)),
+            )
+            .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()));
+        assert!(resp.stats[0].converged, "{} did not converge", kind.name());
+        assert!(residual_ok(&a, &resp.solutions[0], &b, 1e-6));
+        assert!(resp.trace.events > 0);
+    }
+    drop(service);
+}

@@ -1,8 +1,11 @@
-//! Minimal Matrix Market (coordinate, real, general) reader/writer.
+//! Minimal Matrix Market coordinate reader/writer.
 //!
-//! Enough of the `%%MatrixMarket matrix coordinate real general|symmetric`
+//! Enough of the `%%MatrixMarket matrix coordinate <field> <symmetry>`
 //! dialect to exchange the test matrices; 1-based indices as per the
-//! format (and as in the paper's Fortran arrays).
+//! format (and as in the paper's Fortran arrays). Accepted fields are
+//! `real`, `double`, `integer` (values parsed as floats), and `pattern`
+//! (no value column; every stored entry becomes `1.0`). Comment and
+//! blank lines are allowed anywhere, including between data lines.
 
 use crate::coo::CooMatrix;
 use crate::error::SparseError;
@@ -18,7 +21,8 @@ pub fn write_matrix_market(m: &CooMatrix) -> String {
     out
 }
 
-/// Parse Matrix Market coordinate format (general or symmetric).
+/// Parse Matrix Market coordinate format (general or symmetric;
+/// real/double/integer/pattern fields).
 pub fn read_matrix_market(text: &str) -> Result<CooMatrix, SparseError> {
     let mut lines = text.lines();
     let header = lines
@@ -33,7 +37,19 @@ pub fn read_matrix_market(text: &str) -> Result<CooMatrix, SparseError> {
             "only coordinate format supported".into(),
         ));
     }
+    let pattern = lower.contains("pattern");
+    if !(pattern || lower.contains("real") || lower.contains("double") || lower.contains("integer"))
+    {
+        return Err(SparseError::Parse(format!(
+            "unsupported field in header (expected real/double/integer/pattern): {header}"
+        )));
+    }
     let symmetric = lower.contains("symmetric");
+    if lower.contains("hermitian") || lower.contains("skew") {
+        return Err(SparseError::Parse(
+            "only general or symmetric symmetry supported".into(),
+        ));
+    }
 
     // Skip comments.
     let mut size_line = None;
@@ -61,15 +77,33 @@ pub fn read_matrix_market(text: &str) -> Result<CooMatrix, SparseError> {
         let mut parts = t.split_whitespace();
         let r: usize = parse_field(parts.next(), "row index")?;
         let c: usize = parse_field(parts.next(), "col index")?;
-        let v: f64 = parts
-            .next()
-            .ok_or_else(|| SparseError::Parse("missing value".into()))?
-            .parse()
-            .map_err(|e| SparseError::Parse(format!("bad value: {e}")))?;
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            parts
+                .next()
+                .ok_or_else(|| SparseError::Parse("missing value".into()))?
+                .parse()
+                .map_err(|e| SparseError::Parse(format!("bad value: {e}")))?
+        };
         if r == 0 || c == 0 {
             return Err(SparseError::Parse(
                 "Matrix Market indices are 1-based".into(),
             ));
+        }
+        if r > n_rows {
+            return Err(SparseError::IndexOutOfBounds {
+                what: "row",
+                index: r,
+                bound: n_rows + 1,
+            });
+        }
+        if c > n_cols {
+            return Err(SparseError::IndexOutOfBounds {
+                what: "col",
+                index: c,
+                bound: n_cols + 1,
+            });
         }
         triplets.push((r - 1, c - 1, v));
         if symmetric && r != c {
@@ -149,5 +183,73 @@ mod tests {
     fn rejects_zero_based_indices() {
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
         assert!(read_matrix_market(text).is_err());
+    }
+
+    #[test]
+    fn integer_field_parses_as_floats() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n\
+                    2 2 2\n\
+                    1 1 3\n\
+                    2 2 -7\n";
+        let m = read_matrix_market(text).unwrap();
+        assert_eq!(m.to_dense()[(0, 0)], 3.0);
+        assert_eq!(m.to_dense()[(1, 1)], -7.0);
+    }
+
+    #[test]
+    fn pattern_field_yields_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    3 3 2\n\
+                    1 1\n\
+                    3 1\n";
+        let m = read_matrix_market(text).unwrap();
+        assert_eq!(m.to_dense()[(0, 0)], 1.0);
+        assert_eq!(m.to_dense()[(0, 2)], 1.0);
+        assert_eq!(m.to_dense()[(2, 0)], 1.0);
+    }
+
+    #[test]
+    fn rejects_unsupported_field_and_symmetry() {
+        let complex = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 0.0\n";
+        assert!(read_matrix_market(complex).is_err());
+        let herm = "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1.0\n";
+        assert!(read_matrix_market(herm).is_err());
+    }
+
+    #[test]
+    fn out_of_range_index_is_a_typed_error_not_a_panic() {
+        let row = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market(row).unwrap_err(),
+            SparseError::IndexOutOfBounds {
+                what: "row",
+                index: 3,
+                ..
+            }
+        ));
+        let col = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 9 1.0\n";
+        assert!(matches!(
+            read_matrix_market(col).unwrap_err(),
+            SparseError::IndexOutOfBounds {
+                what: "col",
+                index: 9,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn interior_blank_and_comment_lines_between_entries() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    3 3 3\n\
+                    1 1 1.0\n\
+                    \n\
+                    %% mid-stream comment\n\
+                    2 2 2.0\n\
+                    \t \n\
+                    3 3 3.0\n";
+        let m = read_matrix_market(text).unwrap();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.to_dense()[(2, 2)], 3.0);
     }
 }

@@ -3,7 +3,7 @@
 //! kernels agree with the dense reference.
 
 use hpf_sparse::{
-    gen, io, stats, CooMatrix, CscMatrix, CsrMatrix, DenseMatrix, DiaMatrix, EllMatrix,
+    gen, io, stats, CooMatrix, CscMatrix, CsrMatrix, DenseMatrix, DiaMatrix, EllMatrix, SparseError,
 };
 use proptest::prelude::*;
 
@@ -116,6 +116,43 @@ proptest! {
         let (d1, d2) = (coo.to_dense(), back.to_dense());
         prop_assert_eq!(d1.n_rows(), d2.n_rows());
         prop_assert!(d1.max_abs_diff(&d2) < 1e-9);
+    }
+
+    #[test]
+    fn matrix_market_roundtrip_exact_with_interior_noise(
+        (r, c, trips) in arb_matrix(),
+        stride in 1usize..4,
+    ) {
+        // Values must survive text round-trip bit-exactly (Rust float
+        // formatting is shortest-round-trip), even with comment and
+        // blank lines injected between arbitrary data lines.
+        let coo = CooMatrix::from_triplets(r, c, trips).unwrap();
+        let mut noisy = String::new();
+        for (i, line) in io::write_matrix_market(&coo).lines().enumerate() {
+            noisy.push_str(line);
+            noisy.push('\n');
+            if i >= 1 && i % stride == 0 {
+                noisy.push_str("% interior comment\n\n  \n");
+            }
+        }
+        let back = io::read_matrix_market(&noisy).unwrap();
+        prop_assert_eq!(back.to_dense(), coo.to_dense());
+    }
+
+    #[test]
+    fn matrix_market_out_of_range_index_errs_not_panics(
+        n in 1usize..6,
+        excess in 1usize..10,
+        on_row in any::<bool>(),
+    ) {
+        let (r, c) = if on_row { (n + excess, 1) } else { (1, n + excess) };
+        let text = format!(
+            "%%MatrixMarket matrix coordinate real general\n{n} {n} 1\n{r} {c} 1.0\n"
+        );
+        prop_assert!(matches!(
+            io::read_matrix_market(&text),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
     }
 
     #[test]

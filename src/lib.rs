@@ -4,7 +4,8 @@
 //! ([`machine`]), the distribution layer ([`dist`]), sparse formats
 //! ([`sparse`]), the directive front-end ([`lang`]), the HPF
 //! data-parallel model with the paper's proposed extensions ([`core`]),
-//! and the CG solver family ([`solvers`]).
+//! the CG solver family ([`solvers`]), and the solver-as-a-service
+//! layer with plan caching and batching ([`service`]).
 //!
 //! ```
 //! use hpf::prelude::*;
@@ -26,6 +27,7 @@ pub use hpf_core as core;
 pub use hpf_dist as dist;
 pub use hpf_lang as lang;
 pub use hpf_machine as machine;
+pub use hpf_service as service;
 pub use hpf_solvers as solvers;
 pub use hpf_sparse as sparse;
 
@@ -38,6 +40,7 @@ pub mod prelude {
     pub use hpf_dist::{ArrayDescriptor, AtomAssignment, AtomSpec, DistSpec};
     pub use hpf_lang::{elaborate, parse_program, Env};
     pub use hpf_machine::{CostModel, Machine, Topology};
+    pub use hpf_service::{ServiceConfig, SolveRequest, SolverKind, SolverService};
     pub use hpf_solvers::{
         bicg, bicg_distributed, bicgstab, bicgstab_distributed, cg, cg_distributed, cgs, gmres,
         pcg, pcg_jacobi_distributed, JacobiPrec, SolveStats, StopCriterion,
