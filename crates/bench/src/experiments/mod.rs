@@ -6,6 +6,7 @@ pub mod balance_exp;
 pub mod comparison_exp;
 pub mod extended_exp;
 pub mod extensions_exp;
+pub mod fault_exp;
 pub mod matvec_exp;
 pub mod service_exp;
 pub mod solvers_exp;
@@ -39,6 +40,7 @@ pub fn run_all() -> Vec<Table> {
         extended_exp::e20_condition_bound(),
         extended_exp::e21_redistribute_amortisation(1024, 128, 8),
         service_exp::e22_service_throughput(256, 40, 8),
+        fault_exp::e23_fault_sweep(96, 4, 5),
     ]
 }
 
@@ -68,6 +70,7 @@ pub fn run_one(id: &str) -> Option<Table> {
         "20" => extended_exp::e20_condition_bound(),
         "21" => extended_exp::e21_redistribute_amortisation(1024, 128, 8),
         "22" => service_exp::e22_service_throughput(256, 40, 8),
+        "23" => fault_exp::e23_fault_sweep(96, 4, 5),
         _ => return None,
     })
 }
@@ -86,7 +89,8 @@ mod tests {
         assert!(run_one("e20").is_some());
         assert!(run_one("e21").is_some());
         assert!(run_one("e22").is_some());
-        assert!(run_one("e23").is_none());
+        assert!(run_one("e23").is_some());
+        assert!(run_one("e24").is_none());
         assert!(run_one("nope").is_none());
     }
 }

@@ -175,10 +175,11 @@ impl RowwiseCsr {
         machine.allreduce(n, "s1t-merge-q");
         machine.compute_all(&vec![n; self.np()], "s1t-merge-combine");
 
-        let q_global = self
+        let mut q_global = self
             .matrix
             .matvec_transpose(&p.to_global())
             .expect("validated dims");
+        machine.corrupt_slice(&mut q_global);
         let q = DistVector::from_global(self.row_desc.clone(), &q_global);
 
         let stats = MatvecStats {
@@ -212,8 +213,12 @@ impl RowwiseCsr {
         // Phase 3: local row dot-products (parallel FORALL over rows).
         machine.compute_all(&self.flops_per_proc(), "s1-local-matvec");
 
-        // Real arithmetic, laid out as q aligned with rows.
-        let q_global = self.matrix.matvec(&p_global).expect("validated dims");
+        // Real arithmetic, laid out as q aligned with rows. The bulk
+        // result passes through the fault layer so an armed corruption
+        // damages one element of q, as a flipped bit in a local
+        // row-block product would.
+        let mut q_global = self.matrix.matvec(&p_global).expect("validated dims");
+        machine.corrupt_slice(&mut q_global);
         let q = DistVector::from_global(self.row_desc.clone(), &q_global);
 
         let stats = MatvecStats {

@@ -217,8 +217,11 @@ impl DistVector {
         let flops = self.local_flops(2);
         machine.compute_all(&flops, "dot-local");
         machine.allreduce(1, "dot-merge");
-        // Deterministic merge order: processor rank order.
-        partials.iter().sum()
+        // Deterministic merge order: processor rank order. The merged
+        // scalar passes through the fault layer: an armed corruption
+        // (bit flip, crash) lands here, exactly where a real machine
+        // would deliver a damaged reduction result.
+        machine.corrupt_scalar(partials.iter().sum())
     }
 
     /// HPF `SUM(self)` intrinsic: local sums + scalar merge.
@@ -230,7 +233,7 @@ impl DistVector {
         let flops = self.local_flops(1);
         machine.compute_all(&flops, "sum-local");
         machine.allreduce(1, "sum-merge");
-        total
+        machine.corrupt_scalar(total)
     }
 
     /// Euclidean norm via `DOT_PRODUCT` (plus one scalar sqrt).

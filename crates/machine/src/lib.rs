@@ -22,12 +22,14 @@
 
 pub mod cost;
 pub mod exec;
+pub mod fault;
 pub mod machine;
 pub mod spmd;
 pub mod topology;
 pub mod trace;
 
 pub use cost::CostModel;
+pub use fault::{Fault, FaultKind, FaultPlan, FaultRates};
 pub use machine::{Machine, ProcStats};
 pub use spmd::{Comm, SpmdRun, SpmdStats, SpmdWorld};
 pub use topology::Topology;

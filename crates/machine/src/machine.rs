@@ -16,6 +16,10 @@
 //! paper's Section 4 analysis.
 
 use crate::cost::CostModel;
+use crate::fault::{
+    Fault, FaultInjector, FaultKind, FaultPlan, PendingCorruption, CRASH_RESTART_STARTUPS,
+    DROP_RETRANSMIT_STARTUPS,
+};
 use crate::topology::Topology;
 use crate::trace::{Event, EventKind, Trace};
 
@@ -51,6 +55,28 @@ pub struct Machine {
     stats: Vec<ProcStats>,
     trace: Trace,
     tracing: bool,
+    /// Global operation counter: advances once per public machine
+    /// operation; fault plans key off it.
+    op_index: usize,
+    injector: Option<FaultInjector>,
+    /// Armed value corruption, drained by the next `corrupt_*` call.
+    pending: Option<PendingCorruption>,
+    /// Per-processor straggler state (compute-time multiplier).
+    skew: Vec<Skew>,
+}
+
+/// Straggler slowdown applied to one processor's compute phases.
+#[derive(Debug, Clone, Copy)]
+struct Skew {
+    factor: f64,
+    remaining: usize,
+}
+
+impl Skew {
+    const NONE: Skew = Skew {
+        factor: 1.0,
+        remaining: 0,
+    };
 }
 
 impl Machine {
@@ -66,6 +92,10 @@ impl Machine {
             stats: vec![ProcStats::default(); np],
             trace: Trace::new(),
             tracing: true,
+            op_index: 0,
+            injector: None,
+            pending: None,
+            skew: vec![Skew::NONE; np],
         }
     }
 
@@ -137,13 +167,146 @@ impl Machine {
         &mut self.trace
     }
 
-    /// Reset clocks, counters and trace (the machine keeps its shape).
+    /// Reset clocks, counters, trace and fault state (the machine keeps
+    /// its shape; an installed fault plan rewinds to its start, so a
+    /// reset machine replays the identical fault schedule).
     pub fn reset(&mut self) {
         self.clocks.iter_mut().for_each(|c| *c = 0.0);
         self.stats
             .iter_mut()
             .for_each(|s| *s = ProcStats::default());
         self.trace.clear();
+        self.op_index = 0;
+        self.pending = None;
+        self.skew.iter_mut().for_each(|s| *s = Skew::NONE);
+        if let Some(inj) = &mut self.injector {
+            inj.rewind();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Install a deterministic fault plan. The plan's operation indices
+    /// are relative to this moment: the operation counter restarts at 0.
+    /// Replaces any previous plan and clears armed corruption/skew.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = Some(FaultInjector::new(plan));
+        self.op_index = 0;
+        self.pending = None;
+        self.skew.iter_mut().for_each(|s| *s = Skew::NONE);
+    }
+
+    /// Remove the fault plan along with any armed corruption or
+    /// straggler skew. Subsequent operations run fault-free.
+    pub fn clear_fault_plan(&mut self) {
+        self.injector = None;
+        self.pending = None;
+        self.skew.iter_mut().for_each(|s| *s = Skew::NONE);
+    }
+
+    /// Number of faults injected since the plan was installed (or the
+    /// machine last reset).
+    pub fn faults_injected(&self) -> usize {
+        self.injector.as_ref().map_or(0, |i| i.injected())
+    }
+
+    /// The global operation counter (one tick per public machine
+    /// operation; fault plans are keyed to it).
+    pub fn op_index(&self) -> usize {
+        self.op_index
+    }
+
+    /// Pass a freshly produced scalar (a reduction result, e.g. a dot
+    /// product) through the fault layer: identity unless a value
+    /// corruption is armed, in which case the corruption is consumed.
+    pub fn corrupt_scalar(&mut self, v: f64) -> f64 {
+        match self.pending.take() {
+            Some(c) => c.apply_scalar(v),
+            None => v,
+        }
+    }
+
+    /// Pass a freshly produced bulk result (a matvec output) through the
+    /// fault layer: corrupts at most one element, consuming the armed
+    /// corruption.
+    pub fn corrupt_slice(&mut self, values: &mut [f64]) {
+        if let Some(c) = self.pending.take() {
+            if values.is_empty() {
+                // Nothing to corrupt here; stay armed for the next
+                // value-producing operation.
+                self.pending = Some(c);
+                return;
+            }
+            let i = c.target() % values.len();
+            values[i] = c.apply_scalar(values[i]);
+        }
+    }
+
+    /// Advance the operation counter and fire any faults due at this
+    /// operation. Near-zero cost when no plan is installed.
+    fn begin_op(&mut self) {
+        let op = self.op_index;
+        self.op_index += 1;
+        if self.injector.is_none() {
+            return;
+        }
+        for s in &mut self.skew {
+            if s.remaining > 0 {
+                s.remaining -= 1;
+            }
+        }
+        let due = self
+            .injector
+            .as_mut()
+            .map(|i| i.due(op))
+            .unwrap_or_default();
+        for f in due {
+            self.apply_fault(op, f);
+        }
+    }
+
+    fn apply_fault(&mut self, op: usize, f: Fault) {
+        let proc = f.proc % self.np;
+        let (penalty, label) = match f.kind {
+            FaultKind::BitFlip { bit, target } => {
+                self.pending = Some(PendingCorruption::Flip { bit, target });
+                (0.0, format!("fault:bitflip:p{proc}:op{op}:bit{bit}"))
+            }
+            FaultKind::MessageDrop => {
+                // Timeout + retransmit: everyone in the collective waits.
+                let t = DROP_RETRANSMIT_STARTUPS * self.cost.t_startup;
+                self.clocks.iter_mut().for_each(|c| *c += t);
+                (t, format!("fault:drop:p{proc}:op{op}"))
+            }
+            FaultKind::Straggler { factor, ops } => {
+                self.skew[proc] = Skew {
+                    factor,
+                    remaining: ops,
+                };
+                (0.0, format!("fault:straggler:p{proc}:op{op}:x{factor}"))
+            }
+            FaultKind::Crash => {
+                // Fail-stop with immediate restart: the in-flight
+                // contribution is lost and the machine stalls while the
+                // processor rejoins.
+                self.pending = Some(PendingCorruption::Lost { target: proc });
+                let t = CRASH_RESTART_STARTUPS * self.cost.t_startup;
+                self.synchronise();
+                self.clocks.iter_mut().for_each(|c| *c += t);
+                (t, format!("fault:crash:p{proc}:op{op}"))
+            }
+        };
+        self.record(EventKind::Fault, 0, 0, penalty, &label);
+    }
+
+    fn skew_factor(&self, p: usize) -> f64 {
+        if self.skew[p].remaining > 0 {
+            self.skew[p].factor
+        } else {
+            1.0
+        }
     }
 
     fn record(&mut self, kind: EventKind, words: usize, flops: usize, time: f64, label: &str) {
@@ -175,8 +338,9 @@ impl Machine {
     /// that processor's clock; no trace event — use [`Machine::compute_all`]
     /// for traced bulk phases).
     pub fn compute(&mut self, p: usize, flops: usize) {
+        self.begin_op();
         self.stats[p].flops += flops as u64;
-        self.clocks[p] += self.cost.flops(flops);
+        self.clocks[p] += self.cost.flops(flops) * self.skew_factor(p);
     }
 
     /// Charge a bulk owner-computes phase: `flops_per_proc[p]` flops on
@@ -189,11 +353,12 @@ impl Machine {
             self.np,
             "one flop count per processor"
         );
+        self.begin_op();
         let mut max_t: f64 = 0.0;
         let mut total = 0usize;
         for (p, &f) in flops_per_proc.iter().enumerate() {
             self.stats[p].flops += f as u64;
-            let t = self.cost.flops(f);
+            let t = self.cost.flops(f) * self.skew_factor(p);
             self.clocks[p] += t;
             max_t = max_t.max(t);
             total += f;
@@ -214,7 +379,8 @@ impl Machine {
     /// in parallel"). Every processor waits for the single serial thread:
     /// all clocks advance by the full `flops` time.
     pub fn compute_serial(&mut self, flops: usize, label: &str) -> f64 {
-        let t = self.cost.flops(flops);
+        self.begin_op();
+        let t = self.cost.flops(flops) * self.skew_factor(0);
         self.stats[0].flops += flops as u64;
         self.synchronise();
         self.clocks.iter_mut().for_each(|c| *c += t);
@@ -232,6 +398,7 @@ impl Machine {
         if from == to {
             return 0.0;
         }
+        self.begin_op();
         let hops = self.topology.hops(from, to, self.np);
         let t = self.cost.message(words, hops);
         self.stats[from].words_sent += words as u64;
@@ -245,6 +412,7 @@ impl Machine {
 
     /// Barrier: synchronise all clocks plus a small allreduce-style cost.
     pub fn barrier(&mut self, label: &str) -> f64 {
+        self.begin_op();
         let t = self.topology.allreduce_time(self.np, 0, &self.cost);
         self.synchronise();
         self.clocks.iter_mut().for_each(|c| *c += t);
@@ -255,6 +423,7 @@ impl Machine {
     /// One-to-all broadcast of `words` elements from `root`.
     pub fn broadcast(&mut self, root: usize, words: usize, label: &str) -> f64 {
         assert!(root < self.np);
+        self.begin_op();
         let t = self.topology.broadcast_time(self.np, words, &self.cost);
         self.stats[root].words_sent += words as u64;
         self.stats[root].messages += Topology::log2_ceil(self.np) as u64;
@@ -268,6 +437,7 @@ impl Machine {
     /// `words_each` and ends holding all of them. This is the replication
     /// of the distributed vector `p` in Scenario 1 of the paper.
     pub fn allgather(&mut self, words_each: usize, label: &str) -> f64 {
+        self.begin_op();
         let t = self
             .topology
             .allgather_time(self.np, words_each, &self.cost);
@@ -288,6 +458,7 @@ impl Machine {
     /// the topology cost).
     pub fn reduce(&mut self, root: usize, words: usize, label: &str) -> f64 {
         assert!(root < self.np);
+        self.begin_op();
         let t = self.topology.reduce_time(self.np, words, &self.cost);
         for (p, s) in self.stats.iter_mut().enumerate() {
             if p != root {
@@ -305,6 +476,7 @@ impl Machine {
     /// followed by replication of the scalar — on a hypercube this is the
     /// paper's `t_startup * log N_P` term.
     pub fn allreduce(&mut self, words: usize, label: &str) -> f64 {
+        self.begin_op();
         let t = self.topology.allreduce_time(self.np, words, &self.cost);
         // Butterfly: every processor exchanges `words` in each of the
         // log NP rounds.
@@ -331,6 +503,7 @@ impl Machine {
     /// communication-optimal allreduce, and the row phase of the 2-D
     /// `(BLOCK, BLOCK)` matvec.
     pub fn reduce_scatter(&mut self, words_each: usize, label: &str) -> f64 {
+        self.begin_op();
         let t = self
             .topology
             .reduce_scatter_time(self.np, words_each, &self.cost);
@@ -366,6 +539,7 @@ impl Machine {
         if g <= 1 {
             return 0.0;
         }
+        self.begin_op();
         let t = match kind {
             EventKind::AllGather => self.topology.allgather_time(g, words_each, &self.cost),
             EventKind::AllReduce => self.topology.allreduce_time(g, words_each, &self.cost),
@@ -391,6 +565,7 @@ impl Machine {
     /// Personalised all-to-all exchange of `words_each` per pair (used by
     /// REDISTRIBUTE).
     pub fn alltoall(&mut self, words_each: usize, label: &str) -> f64 {
+        self.begin_op();
         let t = self.topology.alltoall_time(self.np, words_each, &self.cost);
         for s in &mut self.stats {
             s.words_sent += (words_each * (self.np - 1)) as u64;
@@ -415,6 +590,7 @@ impl Machine {
     /// redistributions where traffic is data-dependent.
     pub fn exchange(&mut self, matrix: &[Vec<usize>], label: &str) -> f64 {
         assert_eq!(matrix.len(), self.np);
+        self.begin_op();
         let mut max_t: f64 = 0.0;
         let mut total_words = 0usize;
         for p in 0..self.np {
@@ -439,6 +615,7 @@ impl Machine {
     /// Gather `words_each` elements from every processor to `root`.
     pub fn gather(&mut self, root: usize, words_each: usize, label: &str) -> f64 {
         assert!(root < self.np);
+        self.begin_op();
         // Binomial-tree gather: log P rounds, data grows toward the root.
         let t = if self.np <= 1 {
             0.0
@@ -461,6 +638,7 @@ impl Machine {
     /// Scatter `words_each` elements from `root` to every processor.
     pub fn scatter(&mut self, root: usize, words_each: usize, label: &str) -> f64 {
         assert!(root < self.np);
+        self.begin_op();
         let t = if self.np <= 1 {
             0.0
         } else {
@@ -676,6 +854,122 @@ mod tests {
         let mut m = Machine::hypercube(1);
         assert_eq!(m.gather(0, 100, "g"), 0.0);
         assert_eq!(m.scatter(0, 100, "s"), 0.0);
+    }
+
+    #[test]
+    fn bit_flip_arms_and_corrupts_next_scalar() {
+        let mut m = Machine::new(4, Topology::Hypercube, unit_cost());
+        m.set_fault_plan(FaultPlan::new().with_bit_flip(1, 0, 52, 0));
+        m.compute_uniform(10, "w"); // op 0: nothing due
+        assert_eq!(m.corrupt_scalar(1.0), 1.0);
+        m.allreduce(1, "dot-merge"); // op 1: arms the corruption
+        let v = m.corrupt_scalar(1.0);
+        assert_ne!(v, 1.0);
+        assert!(v.is_finite());
+        // The corruption is consumed: the next drain is the identity.
+        assert_eq!(m.corrupt_scalar(1.0), 1.0);
+        assert_eq!(m.trace().count(EventKind::Fault), 1);
+        assert_eq!(m.faults_injected(), 1);
+    }
+
+    #[test]
+    fn corrupt_slice_perturbs_exactly_one_element() {
+        let mut m = Machine::new(2, Topology::Hypercube, unit_cost());
+        m.set_fault_plan(FaultPlan::new().with_bit_flip(0, 0, 50, 5));
+        m.compute_uniform(1, "w"); // fires
+        let mut v = vec![1.0; 4];
+        m.corrupt_slice(&mut v);
+        let changed = v.iter().filter(|&&x| x != 1.0).count();
+        assert_eq!(changed, 1);
+        assert_ne!(v[5 % 4], 1.0);
+    }
+
+    #[test]
+    fn straggler_skews_compute_times() {
+        let mut m = Machine::new(4, Topology::Hypercube, unit_cost());
+        m.set_fault_plan(FaultPlan::new().with_straggler(0, 1, 4.0, 10));
+        m.compute_uniform(10, "w");
+        assert_eq!(m.clocks()[0], 10.0);
+        assert_eq!(m.clocks()[1], 40.0);
+        assert!(m.imbalance() > 1.0);
+    }
+
+    #[test]
+    fn straggler_window_expires() {
+        let mut m = Machine::new(2, Topology::Hypercube, unit_cost());
+        m.set_fault_plan(FaultPlan::new().with_straggler(0, 0, 10.0, 2));
+        m.compute_uniform(1, "a"); // op 0: skewed (10x)
+        m.compute_uniform(1, "b"); // op 1: skewed
+        let before = m.clocks()[0];
+        m.compute_uniform(1, "c"); // op 2: window expired
+        assert_eq!(m.clocks()[0] - before, 1.0);
+    }
+
+    #[test]
+    fn message_drop_charges_retransmit_time() {
+        let mut m = Machine::new(4, Topology::Hypercube, unit_cost());
+        m.set_fault_plan(FaultPlan::new().with_message_drop(0, 2));
+        let mut clean = Machine::new(4, Topology::Hypercube, unit_cost());
+        m.allgather(1, "ag");
+        clean.allgather(1, "ag");
+        let penalty = crate::fault::DROP_RETRANSMIT_STARTUPS * 1.0;
+        assert!((m.elapsed() - (clean.elapsed() + penalty)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crash_poisons_value_and_stalls_machine() {
+        let mut m = Machine::new(4, Topology::Hypercube, unit_cost());
+        m.set_fault_plan(FaultPlan::new().with_crash(0, 3));
+        m.allreduce(1, "dot-merge");
+        assert!(m.elapsed() >= crate::fault::CRASH_RESTART_STARTUPS);
+        assert!(m.corrupt_scalar(2.0).is_nan());
+        assert_eq!(m.trace().count(EventKind::Fault), 1);
+    }
+
+    #[test]
+    fn reset_rewinds_the_fault_plan() {
+        let mut m = Machine::new(2, Topology::Hypercube, unit_cost());
+        m.set_fault_plan(FaultPlan::new().with_bit_flip(0, 0, 52, 0));
+        m.compute_uniform(1, "w");
+        assert_eq!(m.faults_injected(), 1);
+        m.reset();
+        assert_eq!(m.faults_injected(), 0);
+        m.compute_uniform(1, "w");
+        assert_eq!(m.faults_injected(), 1, "reset replays the plan");
+    }
+
+    #[test]
+    fn clear_fault_plan_disarms_everything() {
+        let mut m = Machine::new(2, Topology::Hypercube, unit_cost());
+        m.set_fault_plan(FaultPlan::new().with_bit_flip(0, 0, 52, 0).with_crash(1, 1));
+        m.compute_uniform(1, "w"); // arms the bit flip
+        m.clear_fault_plan();
+        assert_eq!(m.corrupt_scalar(1.0), 1.0);
+        m.compute_uniform(1, "w"); // crash no longer scheduled
+        assert_eq!(m.trace().count(EventKind::Fault), 1);
+    }
+
+    #[test]
+    fn identical_seed_and_plan_give_byte_identical_traces() {
+        let run = || {
+            let mut m = Machine::new(8, Topology::Hypercube, unit_cost());
+            m.set_fault_plan(FaultPlan::random(
+                9,
+                8,
+                64,
+                crate::fault::FaultRates::transient(0.2),
+            ));
+            for i in 0..32 {
+                m.compute_uniform(100 + i, "work");
+                m.allreduce(1, "merge");
+            }
+            let _ = m.corrupt_scalar(1.0);
+            m.trace().to_jsonl()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.contains("\"kind\":\"fault\""), "plan should have fired");
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub enum EventKind {
     Redistribute,
     /// Synchronisation barrier.
     Barrier,
+    /// An injected fault (bit flip, message drop, straggler, crash).
+    Fault,
 }
 
 impl EventKind {
@@ -50,6 +52,7 @@ impl EventKind {
             EventKind::Compute => "compute",
             EventKind::Redistribute => "redistribute",
             EventKind::Barrier => "barrier",
+            EventKind::Fault => "fault",
         }
     }
 }
@@ -335,6 +338,7 @@ mod tests {
             EventKind::Compute,
             EventKind::Redistribute,
             EventKind::Barrier,
+            EventKind::Fault,
         ] {
             assert!(!k.name().is_empty());
         }

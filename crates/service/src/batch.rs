@@ -53,20 +53,28 @@ impl Job {
 /// Tolerances compared bit-exactly so the key is hashable/Eq.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StopBits {
-    relative: bool,
+    kind: u8,
     tol_bits: u64,
+    window: usize,
 }
 
 impl StopBits {
     fn of(stop: StopCriterion) -> Self {
         match stop {
             StopCriterion::RelativeResidual(t) => StopBits {
-                relative: true,
+                kind: 0,
                 tol_bits: t.to_bits(),
+                window: 0,
             },
             StopCriterion::AbsoluteResidual(t) => StopBits {
-                relative: false,
+                kind: 1,
                 tol_bits: t.to_bits(),
+                window: 0,
+            },
+            StopCriterion::Stagnation { window, min_drop } => StopBits {
+                kind: 2,
+                tol_bits: min_drop.to_bits(),
+                window,
             },
         }
     }

@@ -38,6 +38,7 @@ pub mod metrics;
 pub mod plan;
 pub mod request;
 pub mod response;
+pub mod retry;
 pub mod service;
 pub mod worker;
 
@@ -46,4 +47,5 @@ pub use metrics::{Metrics, MetricsSnapshot, LATENCY_BUCKET_BOUNDS_US};
 pub use plan::{CacheOutcome, PlanCache, SolvePlan};
 pub use request::{ServiceConfig, SolveRequest, SolverKind};
 pub use response::{PlanSource, ServiceError, SolveResponse, TraceSummary};
+pub use retry::{backoff_delay, escalate, is_retryable, Admission, CircuitBreaker};
 pub use service::{JobHandle, SolverService};

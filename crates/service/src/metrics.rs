@@ -26,6 +26,18 @@ pub struct Metrics {
     pub rhs_solved: AtomicU64,
     /// Jobs accepted but not yet finished (queued or executing).
     pub in_flight: AtomicU64,
+    /// Faults the simulated machine injected from per-job fault plans.
+    pub faults_injected: AtomicU64,
+    /// Corruption events the protected solvers detected.
+    pub faults_detected: AtomicU64,
+    /// Checkpoint rollbacks the protected solvers performed.
+    pub rollbacks: AtomicU64,
+    /// Re-attempts after a retryable solver failure.
+    pub retries: AtomicU64,
+    /// Retries that stepped down the solver escalation chain.
+    pub escalations: AtomicU64,
+    /// Jobs refused because a structure's circuit breaker was open.
+    pub breaker_open: AtomicU64,
     latency_buckets: [AtomicU64; LATENCY_BUCKET_BOUNDS_US.len()],
 }
 
@@ -61,6 +73,12 @@ impl Metrics {
             batched_jobs: g(&self.batched_jobs),
             rhs_solved: g(&self.rhs_solved),
             in_flight: g(&self.in_flight),
+            faults_injected: g(&self.faults_injected),
+            faults_detected: g(&self.faults_detected),
+            rollbacks: g(&self.rollbacks),
+            retries: g(&self.retries),
+            escalations: g(&self.escalations),
+            breaker_open: g(&self.breaker_open),
             queue_depth,
             latency_bucket_bounds_us: LATENCY_BUCKET_BOUNDS_US.to_vec(),
             latency_buckets: self.latency_buckets.iter().map(g).collect(),
@@ -84,6 +102,12 @@ pub struct MetricsSnapshot {
     pub batched_jobs: u64,
     pub rhs_solved: u64,
     pub in_flight: u64,
+    pub faults_injected: u64,
+    pub faults_detected: u64,
+    pub rollbacks: u64,
+    pub retries: u64,
+    pub escalations: u64,
+    pub breaker_open: u64,
     pub queue_depth: usize,
     /// Inclusive bucket upper bounds in microseconds (last = +inf).
     pub latency_bucket_bounds_us: Vec<u64>,
@@ -113,7 +137,9 @@ impl MetricsSnapshot {
              \"completed\":{},\"failed\":{},\"deadline_exceeded\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"partitioner_invocations\":{},\
              \"batches_executed\":{},\"batched_jobs\":{},\"rhs_solved\":{},\
-             \"in_flight\":{},\"queue_depth\":{},\"latency\":[{}]}}",
+             \"in_flight\":{},\"faults_injected\":{},\"faults_detected\":{},\
+             \"rollbacks\":{},\"retries\":{},\"escalations\":{},\
+             \"breaker_open\":{},\"queue_depth\":{},\"latency\":[{}]}}",
             self.accepted,
             self.rejected_busy,
             self.rejected_invalid,
@@ -127,6 +153,12 @@ impl MetricsSnapshot {
             self.batched_jobs,
             self.rhs_solved,
             self.in_flight,
+            self.faults_injected,
+            self.faults_detected,
+            self.rollbacks,
+            self.retries,
+            self.escalations,
+            self.breaker_open,
             self.queue_depth,
             buckets.join(",")
         )
@@ -174,6 +206,12 @@ mod tests {
             "cache_hits",
             "partitioner_invocations",
             "batches_executed",
+            "faults_injected",
+            "faults_detected",
+            "rollbacks",
+            "retries",
+            "escalations",
+            "breaker_open",
             "queue_depth",
             "latency",
             "+inf",

@@ -1,7 +1,7 @@
 //! Requests and service configuration.
 
-use hpf_machine::Topology;
-use hpf_solvers::StopCriterion;
+use hpf_machine::{FaultPlan, Topology};
+use hpf_solvers::{RecoveryConfig, StopCriterion};
 use hpf_sparse::CsrMatrix;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -50,6 +50,10 @@ pub struct SolveRequest {
     /// queued when its deadline passes is failed with
     /// [`crate::ServiceError::DeadlineExceeded`] instead of being run.
     pub deadline: Option<Duration>,
+    /// Deterministic fault plan installed on the simulated machine for
+    /// this job's first attempt (chaos testing). Retries run on a clean
+    /// machine — the faults model a transient environment, not the job.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl SolveRequest {
@@ -64,6 +68,7 @@ impl SolveRequest {
             stop: StopCriterion::RelativeResidual(1e-8),
             max_iters: 10 * n.max(1),
             deadline: None,
+            fault_plan: None,
         }
     }
 
@@ -92,6 +97,11 @@ impl SolveRequest {
         self.deadline = Some(deadline);
         self
     }
+
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
 }
 
 /// Static service configuration, fixed at start-up.
@@ -113,6 +123,23 @@ pub struct ServiceConfig {
     pub batching_enabled: bool,
     /// Most jobs merged into a single batch.
     pub max_batch: usize,
+    /// Total solve attempts per job (1 = no retries).
+    pub max_attempts: usize,
+    /// First-retry backoff delay; doubles per retry.
+    pub backoff_base: Duration,
+    /// Backoff delay ceiling.
+    pub backoff_cap: Duration,
+    /// Step retries down the CG → BiCGSTAB → GMRES escalation chain on
+    /// numerical breakdown instead of re-running the same method.
+    pub escalation_enabled: bool,
+    /// Consecutive job failures per structure before its circuit opens
+    /// (0 disables the breaker).
+    pub breaker_threshold: u32,
+    /// How long an open circuit refuses jobs before a half-open trial.
+    pub breaker_cooldown: Duration,
+    /// Run CG/PCG jobs through the checkpoint/rollback protected
+    /// solvers; `None` uses the unprotected recurrences.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -126,6 +153,13 @@ impl Default for ServiceConfig {
             plan_cache_capacity: 32,
             batching_enabled: true,
             max_batch: 16,
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(100),
+            escalation_enabled: true,
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_millis(250),
+            recovery: Some(RecoveryConfig::default()),
         }
     }
 }

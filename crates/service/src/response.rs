@@ -64,6 +64,13 @@ pub struct SolveResponse {
     pub plan_imbalance: f64,
     /// Number of other jobs merged into the same execution batch.
     pub batched_with: usize,
+    /// Solver that actually produced the answer (differs from the
+    /// requested one after escalation).
+    pub solver_used: crate::request::SolverKind,
+    /// Solve attempts consumed (1 = first try succeeded).
+    pub attempts: usize,
+    /// Checkpoint/rollback activity, when the protected solvers ran.
+    pub recovery: Option<hpf_solvers::RecoveryStats>,
     /// Digest of the simulated-machine trace for this job's solves.
     pub trace: TraceSummary,
     /// Wall-clock time spent queued before execution started.
@@ -87,6 +94,9 @@ pub enum ServiceError {
     WorkerPanic(String),
     /// The service shut down before the job completed.
     Shutdown,
+    /// This structure's circuit breaker is open: its recent jobs kept
+    /// failing, so the service refuses new ones until the cooldown.
+    CircuitOpen { fingerprint: Fingerprint },
 }
 
 impl fmt::Display for ServiceError {
@@ -102,6 +112,9 @@ impl fmt::Display for ServiceError {
             ServiceError::Solver(e) => write!(f, "solver failed: {e}"),
             ServiceError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
             ServiceError::Shutdown => write!(f, "service shut down"),
+            ServiceError::CircuitOpen { fingerprint } => {
+                write!(f, "circuit open for structure {}", fingerprint.short())
+            }
         }
     }
 }

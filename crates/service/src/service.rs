@@ -26,11 +26,12 @@ use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::plan::PlanCache;
 use crate::request::{ServiceConfig, SolveRequest};
 use crate::response::{ServiceError, SolveResponse};
+use crate::retry::CircuitBreaker;
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -70,6 +71,8 @@ pub struct SolverService {
     cache: Arc<Mutex<PlanCache>>,
     next_id: AtomicU64,
     queue_len: Arc<AtomicU64>,
+    shutting_down: Arc<AtomicBool>,
+    breaker: Arc<CircuitBreaker>,
     dispatcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -85,6 +88,11 @@ impl SolverService {
             config.plan_cache_capacity.max(1),
         )));
         let queue_len = Arc::new(AtomicU64::new(0));
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let breaker = Arc::new(CircuitBreaker::new(
+            config.breaker_threshold,
+            config.breaker_cooldown,
+        ));
 
         let (job_tx, job_rx) = bounded::<Job>(config.queue_capacity);
         // Bounded at the worker count: a saturated pool pushes back into
@@ -94,9 +102,13 @@ impl SolverService {
         let dispatcher = {
             let cfg = config.clone();
             let queue_len = queue_len.clone();
+            let shutting_down = shutting_down.clone();
+            let metrics = metrics.clone();
             std::thread::Builder::new()
                 .name("hpf-service-dispatcher".into())
-                .spawn(move || dispatcher_loop(cfg, job_rx, batch_tx, queue_len))
+                .spawn(move || {
+                    dispatcher_loop(cfg, job_rx, batch_tx, queue_len, shutting_down, metrics)
+                })
                 .expect("spawn dispatcher")
         };
 
@@ -106,9 +118,10 @@ impl SolverService {
                 let cache = cache.clone();
                 let metrics = metrics.clone();
                 let cfg = config.clone();
+                let breaker = breaker.clone();
                 std::thread::Builder::new()
                     .name(format!("hpf-service-worker-{i}"))
-                    .spawn(move || worker_loop(rx, cache, cfg, metrics))
+                    .spawn(move || worker_loop(rx, cache, cfg, metrics, breaker))
                     .expect("spawn worker")
             })
             .collect();
@@ -120,6 +133,8 @@ impl SolverService {
             cache,
             next_id: AtomicU64::new(1),
             queue_len,
+            shutting_down,
+            breaker,
             dispatcher: Some(dispatcher),
             workers,
         }
@@ -182,15 +197,30 @@ impl SolverService {
         self.cache.lock().len()
     }
 
-    /// Stop intake, finish accepted jobs, join all threads.
+    /// Stop intake, answer every still-queued job with
+    /// [`ServiceError::Shutdown`], join all threads. Jobs already handed
+    /// to a worker run to completion.
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.shutdown_in_place();
         self.metrics.snapshot(0)
     }
 
+    /// True once shutdown has begun (visible to the dispatcher).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Relaxed)
+    }
+
+    /// Number of structures whose circuit breaker is currently open.
+    pub fn open_circuits(&self) -> usize {
+        self.breaker.open_circuits()
+    }
+
     fn shutdown_in_place(&mut self) {
-        // Closing the job queue lets the dispatcher drain and exit; it
+        // Raise the flag first so the dispatcher refuses (rather than
+        // executes) whatever is still queued, then close the job queue:
+        // the dispatcher drains, answers the stragglers, and exits; that
         // drops the batch sender, which winds down the workers.
+        self.shutting_down.store(true, Ordering::SeqCst);
         self.job_tx.take();
         if let Some(d) = self.dispatcher.take() {
             let _ = d.join();
@@ -239,12 +269,22 @@ fn validate(request: &SolveRequest) -> Result<(), String> {
 
 /// Dispatcher: pull jobs, group batch mates, forward to the pool. Owns a
 /// pending buffer (≤ queue capacity) used to look past the head job.
+/// During shutdown it stops forwarding and instead answers every job
+/// still queued or buffered with a typed [`ServiceError::Shutdown`], so
+/// no submitter is left hanging on a silently dropped responder.
 fn dispatcher_loop(
     config: ServiceConfig,
     job_rx: Receiver<Job>,
     batch_tx: Sender<Batch>,
     queue_len: Arc<AtomicU64>,
+    shutting_down: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
 ) {
+    let refuse = |job: Job| {
+        metrics.failed.fetch_add(1, Ordering::Relaxed);
+        metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let _ = job.responder.send(Err(ServiceError::Shutdown));
+    };
     let mut pending: VecDeque<Job> = VecDeque::new();
     let pending_cap = config.queue_capacity;
     let mut intake_open = true;
@@ -264,6 +304,11 @@ fn dispatcher_loop(
             },
             None => break, // intake closed and nothing buffered: drain done
         };
+        if shutting_down.load(Ordering::SeqCst) {
+            // Drain mode: answer this job and everything behind it.
+            refuse(seed);
+            continue;
+        }
         // Pull whatever else is queued right now into the buffer, so
         // batch formation sees it (bounded by the pending cap).
         while pending.len() < pending_cap {
@@ -284,8 +329,15 @@ fn dispatcher_loop(
         } else {
             Batch { jobs: vec![seed] }
         };
-        if batch_tx.send(batch).is_err() {
-            // Workers are gone; nothing sensible left to do.
+        if let Err(send_err) = batch_tx.send(batch) {
+            // Workers are gone; answer the batch and whatever is still
+            // buffered rather than dropping responders silently.
+            for job in send_err.0.jobs {
+                refuse(job);
+            }
+            while let Some(job) = pending.pop_front() {
+                refuse(job);
+            }
             break;
         }
     }
@@ -301,10 +353,11 @@ fn worker_loop(
     cache: Arc<Mutex<PlanCache>>,
     config: ServiceConfig,
     metrics: Arc<Metrics>,
+    breaker: Arc<CircuitBreaker>,
 ) {
     while let Ok(batch) = batch_rx.recv() {
         let _ = catch_unwind(AssertUnwindSafe(|| {
-            crate::worker::execute_batch(batch, &cache, &config, &metrics);
+            crate::worker::execute_batch(batch, &cache, &config, &metrics, &breaker);
         }));
     }
 }

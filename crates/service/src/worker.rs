@@ -7,17 +7,25 @@
 //! with [`ServiceError::WorkerPanic`], a panic during one job's solves
 //! fails only that job. Either way every job is answered exactly once
 //! and the worker thread survives.
+//!
+//! Robustness policies also live here: the batch is refused outright
+//! when its structure's circuit breaker is open, each job's fault plan
+//! (if any) is installed on the simulated machine for the first
+//! attempt, and a retryable solver failure re-runs the job — with
+//! backoff, on a clean machine, escalating CG → BiCGSTAB → GMRES.
 
 use crate::batch::Batch;
 use crate::metrics::Metrics;
 use crate::plan::{CacheOutcome, PlanCache, SolvePlan};
 use crate::request::{ServiceConfig, SolverKind};
 use crate::response::{PlanSource, ServiceError, SolveResponse, TraceSummary};
+use crate::retry::{backoff_delay, escalate, is_retryable, Admission, CircuitBreaker};
 use hpf_core::RowwiseCsr;
 use hpf_machine::{CostModel, Machine};
 use hpf_solvers::{
-    bicg_distributed, bicgstab_distributed, cg_distributed, gmres_distributed,
-    pcg_jacobi_distributed, DistOperator, SolveStats, SolverError, StopCriterion,
+    bicg_distributed, bicgstab_distributed, cg_distributed, cg_distributed_protected,
+    gmres_distributed, pcg_jacobi_distributed, pcg_jacobi_distributed_protected, DistOperator,
+    RecoveryStats, SolveStats, SolverError, StopCriterion,
 };
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -53,9 +61,22 @@ pub fn execute_batch(
     cache: &Mutex<PlanCache>,
     config: &ServiceConfig,
     metrics: &Metrics,
+    breaker: &CircuitBreaker,
 ) {
     let batch = shed_expired(batch, metrics);
     if batch.jobs.is_empty() {
+        return;
+    }
+    let fingerprint = batch.jobs[0].fingerprint;
+    if breaker.admit(fingerprint) == Admission::Refuse {
+        for job in batch.jobs {
+            metrics.breaker_open.fetch_add(1, Ordering::Relaxed);
+            metrics.failed.fetch_add(1, Ordering::Relaxed);
+            metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+            let _ = job
+                .responder
+                .send(Err(ServiceError::CircuitOpen { fingerprint }));
+        }
         return;
     }
     let started = Instant::now();
@@ -120,28 +141,89 @@ pub fn execute_batch(
     }
 
     for job in batch.jobs {
-        machine.reset();
         let job_started = Instant::now();
-        let solved = catch_unwind(AssertUnwindSafe(|| {
-            let mut solutions = Vec::with_capacity(job.request.rhs.len());
-            let mut stats: Vec<SolveStats> = Vec::with_capacity(job.request.rhs.len());
-            for rhs in &job.request.rhs {
-                let (x, s) = run_solver(
-                    job.request.solver,
-                    &mut machine,
-                    &op,
-                    rhs,
-                    job.request.stop,
-                    job.request.max_iters,
-                )?;
-                solutions.push(x);
-                stats.push(s);
+        let max_attempts = config.max_attempts.max(1);
+        let mut kind = job.request.solver;
+        let mut attempts = 0usize;
+        let outcome = loop {
+            attempts += 1;
+            machine.reset();
+            // The fault plan models a hostile environment for the first
+            // attempt only; retries run on a clean machine. A stale
+            // injector from a previous job in the batch is cleared too.
+            match (&job.request.fault_plan, attempts) {
+                (Some(plan), 1) => machine.set_fault_plan(plan.clone()),
+                _ => machine.clear_fault_plan(),
             }
-            Ok::<_, SolverError>((solutions, stats))
-        }));
+            let solved = catch_unwind(AssertUnwindSafe(|| {
+                let mut solutions = Vec::with_capacity(job.request.rhs.len());
+                let mut stats: Vec<SolveStats> = Vec::with_capacity(job.request.rhs.len());
+                let mut recovery: Option<RecoveryStats> = None;
+                for rhs in &job.request.rhs {
+                    let (x, s, rec) = run_solver(
+                        kind,
+                        &mut machine,
+                        &op,
+                        rhs,
+                        job.request.stop,
+                        job.request.max_iters,
+                        config.recovery,
+                    )?;
+                    if let Some(rec) = rec {
+                        let agg = recovery.get_or_insert_with(RecoveryStats::default);
+                        agg.checkpoints += rec.checkpoints;
+                        agg.rollbacks += rec.rollbacks;
+                        agg.faults_detected += rec.faults_detected;
+                        agg.residual_replacements += rec.residual_replacements;
+                    }
+                    solutions.push(x);
+                    stats.push(s);
+                }
+                Ok::<_, SolverError>((solutions, stats, recovery))
+            }));
+            // Per-attempt: reset() rewinds the injector, clear removes it.
+            metrics
+                .faults_injected
+                .fetch_add(machine.faults_injected() as u64, Ordering::Relaxed);
+            match solved {
+                Ok(Ok((solutions, stats, recovery))) => {
+                    if let Some(rec) = &recovery {
+                        metrics
+                            .faults_detected
+                            .fetch_add(rec.faults_detected as u64, Ordering::Relaxed);
+                        metrics
+                            .rollbacks
+                            .fetch_add(rec.rollbacks as u64, Ordering::Relaxed);
+                    }
+                    break Ok((solutions, stats, recovery));
+                }
+                Ok(Err(e)) => {
+                    if attempts < max_attempts && is_retryable(&e) {
+                        metrics.retries.fetch_add(1, Ordering::Relaxed);
+                        if config.escalation_enabled {
+                            if let Some(next) = escalate(kind) {
+                                kind = next;
+                                metrics.escalations.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        std::thread::sleep(backoff_delay(
+                            config.backoff_base,
+                            config.backoff_cap,
+                            attempts as u32,
+                        ));
+                        continue;
+                    }
+                    break Err(ServiceError::Solver(e));
+                }
+                Err(payload) => {
+                    break Err(ServiceError::WorkerPanic(panic_message(payload.as_ref())))
+                }
+            }
+        };
         metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
-        let result = match solved {
-            Ok(Ok((solutions, stats))) => {
+        let result = match outcome {
+            Ok((solutions, stats, recovery)) => {
+                breaker.record_success(fingerprint);
                 metrics.completed.fetch_add(1, Ordering::Relaxed);
                 metrics
                     .rhs_solved
@@ -156,18 +238,18 @@ pub fn execute_batch(
                     plan_source: source,
                     plan_imbalance: plan.imbalance,
                     batched_with,
+                    solver_used: kind,
+                    attempts,
+                    recovery,
                     trace: TraceSummary::from_trace(machine.trace()),
                     wait_time: started.duration_since(job.submitted),
                     solve_time: finished.duration_since(job_started),
                 })
             }
-            Ok(Err(e)) => {
+            Err(e) => {
+                breaker.record_failure(fingerprint);
                 metrics.failed.fetch_add(1, Ordering::Relaxed);
-                Err(ServiceError::Solver(e))
-            }
-            Err(payload) => {
-                metrics.failed.fetch_add(1, Ordering::Relaxed);
-                Err(ServiceError::WorkerPanic(panic_message(payload.as_ref())))
+                Err(e)
             }
         };
         let _ = job.responder.send(result);
@@ -186,6 +268,8 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Dispatch one right-hand side to the requested distributed solver.
+/// CG-family solves go through the checkpoint/rollback protected
+/// variants when a recovery config is set.
 fn run_solver(
     kind: SolverKind,
     machine: &mut Machine,
@@ -193,18 +277,41 @@ fn run_solver(
     rhs: &[f64],
     stop: StopCriterion,
     max_iters: usize,
-) -> Result<(Vec<f64>, SolveStats), SolverError> {
-    let (x, s) = match kind {
-        SolverKind::Cg => cg_distributed(machine, op, rhs, stop, max_iters)?,
-        SolverKind::PcgJacobi => pcg_jacobi_distributed(machine, op, rhs, stop, max_iters)?,
-        SolverKind::Bicg => bicg_distributed(machine, op, rhs, stop, max_iters)?,
-        SolverKind::Bicgstab => bicgstab_distributed(machine, op, rhs, stop, max_iters)?,
-        SolverKind::Gmres { restart } => {
-            gmres_distributed(machine, op, rhs, restart, stop, max_iters)?
+    recovery: Option<hpf_solvers::RecoveryConfig>,
+) -> Result<(Vec<f64>, SolveStats, Option<RecoveryStats>), SolverError> {
+    let (x, s, rec) = match (kind, recovery) {
+        (SolverKind::Cg, Some(cfg)) => {
+            let (x, s, r) = cg_distributed_protected(machine, op, rhs, stop, max_iters, cfg)?;
+            (x, s, Some(r))
+        }
+        (SolverKind::PcgJacobi, Some(cfg)) => {
+            let (x, s, r) =
+                pcg_jacobi_distributed_protected(machine, op, rhs, stop, max_iters, cfg)?;
+            (x, s, Some(r))
+        }
+        (SolverKind::Cg, None) => {
+            let (x, s) = cg_distributed(machine, op, rhs, stop, max_iters)?;
+            (x, s, None)
+        }
+        (SolverKind::PcgJacobi, None) => {
+            let (x, s) = pcg_jacobi_distributed(machine, op, rhs, stop, max_iters)?;
+            (x, s, None)
+        }
+        (SolverKind::Bicg, _) => {
+            let (x, s) = bicg_distributed(machine, op, rhs, stop, max_iters)?;
+            (x, s, None)
+        }
+        (SolverKind::Bicgstab, _) => {
+            let (x, s) = bicgstab_distributed(machine, op, rhs, stop, max_iters)?;
+            (x, s, None)
+        }
+        (SolverKind::Gmres { restart }, _) => {
+            let (x, s) = gmres_distributed(machine, op, rhs, restart, stop, max_iters)?;
+            (x, s, None)
         }
     };
     debug_assert_eq!(op.dim(), rhs.len());
-    Ok((x.to_global(), s))
+    Ok((x.to_global(), s, rec))
 }
 
 #[cfg(test)]
@@ -245,6 +352,10 @@ mod tests {
         }
     }
 
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(0, Duration::ZERO)
+    }
+
     #[test]
     fn batch_execution_answers_every_job_correctly() {
         let a = Arc::new(gen::banded_spd(48, 3, 9));
@@ -259,7 +370,7 @@ mod tests {
         let cache = Mutex::new(PlanCache::new(8));
         let metrics = Metrics::new();
         metrics.in_flight.fetch_add(3, Ordering::Relaxed);
-        execute_batch(batch, &cache, &config(4), &metrics);
+        execute_batch(batch, &cache, &config(4), &metrics, &breaker());
 
         for rx in rxs {
             let resp = rx.recv().unwrap().unwrap();
@@ -294,7 +405,13 @@ mod tests {
         let metrics = Metrics::new();
         metrics.in_flight.fetch_add(1, Ordering::Relaxed);
         let cache = Mutex::new(PlanCache::new(2));
-        execute_batch(Batch { jobs: vec![job] }, &cache, &config(2), &metrics);
+        execute_batch(
+            Batch { jobs: vec![job] },
+            &cache,
+            &config(2),
+            &metrics,
+            &breaker(),
+        );
         match rx.recv().unwrap() {
             Err(ServiceError::DeadlineExceeded { waited }) => {
                 assert!(waited >= Duration::from_nanos(1));
@@ -318,7 +435,13 @@ mod tests {
         for i in 0..3 {
             let (job, rx) = make_job(i, &a, vec![vec![1.0; 32]]);
             metrics.in_flight.fetch_add(1, Ordering::Relaxed);
-            execute_batch(Batch { jobs: vec![job] }, &cache, &cfg, &metrics);
+            execute_batch(
+                Batch { jobs: vec![job] },
+                &cache,
+                &cfg,
+                &metrics,
+                &breaker(),
+            );
             assert!(rx.recv().unwrap().is_ok());
         }
         let s = metrics.snapshot(0);
@@ -341,7 +464,13 @@ mod tests {
         let cache = Mutex::new(PlanCache::new(2));
         let metrics = Metrics::new();
         metrics.in_flight.fetch_add(1, Ordering::Relaxed);
-        execute_batch(Batch { jobs: vec![job] }, &cache, &config(2), &metrics);
+        execute_batch(
+            Batch { jobs: vec![job] },
+            &cache,
+            &config(2),
+            &metrics,
+            &breaker(),
+        );
         let out = rx.recv().unwrap();
         assert!(matches!(out, Err(ServiceError::Solver(_))) || out.is_ok());
     }
@@ -356,7 +485,13 @@ mod tests {
         let cache = Mutex::new(PlanCache::new(2));
         let metrics = Metrics::new();
         metrics.in_flight.fetch_add(1, Ordering::Relaxed);
-        execute_batch(Batch { jobs: vec![job] }, &cache, &config(4), &metrics);
+        execute_batch(
+            Batch { jobs: vec![job] },
+            &cache,
+            &config(4),
+            &metrics,
+            &breaker(),
+        );
         let resp = rx.recv().unwrap().unwrap();
         assert_eq!(resp.solutions.len(), 4);
         assert_eq!(resp.stats.len(), 4);

@@ -216,9 +216,13 @@ fn plan_cache_determinism_same_fingerprint_same_plan() {
 /// only; the worker thread keeps serving.
 #[test]
 fn solver_failure_does_not_poison_the_pool() {
+    // Retry/escalation off so the breakdown surfaces instead of being
+    // healed by the fallback chain (which has its own test).
     let service = SolverService::start(ServiceConfig {
         workers: 1,
         np: 2,
+        max_attempts: 1,
+        escalation_enabled: false,
         ..ServiceConfig::default()
     });
     // CG breaks down deterministically on this indefinite system:
@@ -291,4 +295,165 @@ fn all_solver_kinds_run_through_the_service() {
         assert!(resp.trace.events > 0);
     }
     drop(service);
+}
+
+/// CG breakdown on an indefinite system is healed by the escalation
+/// chain: the job is answered (by GMRES, the chain's end) and the retry
+/// and escalation counters record the path taken.
+#[test]
+fn breakdown_is_healed_by_escalation() {
+    let service = SolverService::start(ServiceConfig {
+        workers: 1,
+        np: 2,
+        ..ServiceConfig::default()
+    });
+    // p·Ap = 0 on the first CG step; BiCGSTAB also breaks down here, so
+    // the chain must walk CG → BiCGSTAB → GMRES.
+    let coo = hpf_sparse::CooMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+    let a = Arc::new(hpf_sparse::CsrMatrix::from_coo(&coo));
+    let b = vec![1.0, 0.0];
+    let resp = service
+        .solve(SolveRequest::new(a.clone(), b.clone()))
+        .expect("escalation must answer the job");
+    assert!(resp.stats[0].converged);
+    assert!(matches!(resp.solver_used, SolverKind::Gmres { .. }));
+    assert!(resp.attempts >= 2);
+    assert!(residual_ok(&a, &resp.solutions[0], &b, 1e-6));
+
+    let m = service.shutdown();
+    assert_eq!(m.completed, 1);
+    assert_eq!(m.failed, 0);
+    assert!(m.retries >= 1, "retries: {}", m.retries);
+    assert!(m.escalations >= 1, "escalations: {}", m.escalations);
+}
+
+/// A structure that keeps failing trips its circuit breaker: further
+/// jobs on the same fingerprint are refused with a typed error instead
+/// of burning a worker.
+#[test]
+fn repeated_failures_open_the_circuit_breaker() {
+    let service = SolverService::start(ServiceConfig {
+        workers: 1,
+        np: 2,
+        max_attempts: 1,
+        escalation_enabled: false,
+        breaker_threshold: 2,
+        breaker_cooldown: Duration::from_secs(30),
+        ..ServiceConfig::default()
+    });
+    let coo = hpf_sparse::CooMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+    let a = Arc::new(hpf_sparse::CsrMatrix::from_coo(&coo));
+    let b = vec![1.0, 0.0];
+
+    for _ in 0..2 {
+        let out = service.solve(SolveRequest::new(a.clone(), b.clone()));
+        assert!(matches!(out, Err(ServiceError::Solver(_))));
+    }
+    let refused = service.solve(SolveRequest::new(a.clone(), b.clone()));
+    assert!(
+        matches!(refused, Err(ServiceError::CircuitOpen { .. })),
+        "third job must be refused: {refused:?}"
+    );
+    assert_eq!(service.open_circuits(), 1);
+
+    // A different (healthy) structure is unaffected.
+    let good = Arc::new(gen::tridiagonal(16, 4.0, -1.0));
+    let (gb, _x) = gen::rhs_for_known_solution(&good);
+    assert!(service.solve(SolveRequest::new(good, gb)).is_ok());
+
+    let m = service.shutdown();
+    assert_eq!(m.breaker_open, 1);
+    assert_eq!(m.failed, 3);
+    assert_eq!(m.completed, 1);
+}
+
+/// A request carrying a fault plan runs under injection on the first
+/// attempt; the protected solver rides it out and the response reports
+/// the recovery work.
+#[test]
+fn fault_plan_jobs_recover_and_report() {
+    let service = SolverService::start(ServiceConfig {
+        workers: 1,
+        np: 4,
+        ..ServiceConfig::default()
+    });
+    let a = Arc::new(gen::banded_spd(64, 3, 9));
+    let (b, _x) = gen::rhs_for_known_solution(&a);
+    let plan = hpf_machine::FaultPlan::new()
+        .with_crash(25, 1)
+        .with_message_drop(60, 2);
+    let resp = service
+        .solve(SolveRequest::new(a.clone(), b.clone()).fault_plan(plan))
+        .expect("protected CG must survive the plan");
+    assert!(resp.stats[0].converged);
+    assert!(residual_ok(&a, &resp.solutions[0], &b, 1e-6));
+    let rec = resp.recovery.expect("protected solver reports recovery");
+    assert!(rec.checkpoints >= 1);
+    assert!(rec.faults_detected >= 1);
+
+    let m = service.shutdown();
+    assert!(
+        m.faults_injected >= 2,
+        "faults_injected: {}",
+        m.faults_injected
+    );
+    assert!(m.faults_detected >= 1);
+    assert_eq!(m.completed, 1);
+}
+
+/// Shutdown answers still-queued jobs with a typed `Shutdown` error —
+/// nobody hangs on a dropped responder — while jobs already executing
+/// run to completion.
+#[test]
+fn shutdown_drains_queued_jobs_with_typed_errors() {
+    let service = SolverService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 64,
+        np: 4,
+        batching_enabled: false,
+        ..ServiceConfig::default()
+    });
+    // A deliberately slow head job: one structure, many right-hand
+    // sides, tight tolerance.
+    let slow_a = Arc::new(gen::poisson_2d(40, 40));
+    let (sb, _x) = gen::rhs_for_known_solution(&slow_a);
+    let slow = service
+        .submit(SolveRequest::with_rhs_set(
+            slow_a.clone(),
+            vec![sb.clone(); 24],
+        ))
+        .unwrap();
+    // Wait until the worker has actually picked the slow job up, so
+    // "in-flight work finishes" is deterministic below.
+    while service.metrics().batches_executed == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // Distinct structures behind it, so each is its own batch.
+    let queued: Vec<_> = (0..8)
+        .map(|i| {
+            let a = Arc::new(gen::banded_spd(32, 2, 100 + i));
+            let (b, _x) = gen::rhs_for_known_solution(&a);
+            service.submit(SolveRequest::new(a, b)).unwrap()
+        })
+        .collect();
+
+    let metrics = service.shutdown();
+
+    let slow_out = slow.wait();
+    assert!(
+        matches!(&slow_out, Ok(r) if r.stats.len() == 24),
+        "the in-flight job finishes: {slow_out:?}"
+    );
+    let mut drained = 0usize;
+    for h in queued {
+        match h.wait() {
+            Ok(r) => assert!(r.stats[0].converged),
+            Err(ServiceError::Shutdown) => drained += 1,
+            Err(e) => panic!("unexpected error during drain: {e}"),
+        }
+    }
+    assert!(drained >= 1, "at least one queued job is drained");
+    assert_eq!(metrics.completed + metrics.failed, 9);
+    assert_eq!(metrics.in_flight, 0);
+    assert_eq!(metrics.failed as usize, drained);
 }

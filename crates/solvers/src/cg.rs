@@ -24,7 +24,7 @@
 
 use crate::error::SolverError;
 use crate::operator::{DistOperator, SerialOperator};
-use crate::stopping::{SolveStats, StopCriterion};
+use crate::stopping::{ResidualMonitor, SolveStats, StopCriterion};
 use hpf_core::DistVector;
 use hpf_machine::Machine;
 
@@ -73,6 +73,7 @@ pub fn cg<A: SerialOperator + ?Sized>(
     let mut stats = SolveStats::new();
     let b_norm = norm2(b);
     stats.dots += 1;
+    let mut monitor = ResidualMonitor::new(stop);
 
     // Initial guess x = 0, so r = p = b (the paper's initialisation).
     let mut x = vec![0.0; n];
@@ -81,7 +82,7 @@ pub fn cg<A: SerialOperator + ?Sized>(
     let mut rho = dot(&r, &r);
     stats.dots += 1;
     stats.residual_norm = rho.sqrt();
-    if stop.satisfied(stats.residual_norm, b_norm) {
+    if monitor.observe(stats.residual_norm, b_norm)? {
         stats.converged = true;
         return Ok((x, stats));
     }
@@ -102,7 +103,7 @@ pub fn cg<A: SerialOperator + ?Sized>(
         stats.dots += 1;
         stats.iterations += 1;
         stats.residual_norm = rho_new.sqrt();
-        if stop.satisfied(stats.residual_norm, b_norm) {
+        if monitor.observe(stats.residual_norm, b_norm)? {
             stats.converged = true;
             return Ok((x, stats));
         }
@@ -136,6 +137,7 @@ pub fn cg_distributed<A: DistOperator + ?Sized>(
     }
     let desc = a.descriptor();
     let mut stats = SolveStats::new();
+    let mut monitor = ResidualMonitor::new(stop);
 
     // !HPF$ ALIGN (:) WITH p(:) :: q, r, x, b
     let b = DistVector::from_global(desc.clone(), b_global);
@@ -148,7 +150,7 @@ pub fn cg_distributed<A: DistOperator + ?Sized>(
     let mut rho = r.dot(machine, &r);
     stats.dots += 1;
     stats.residual_norm = rho.sqrt();
-    if stop.satisfied(stats.residual_norm, b_norm) {
+    if monitor.observe(stats.residual_norm, b_norm)? {
         stats.converged = true;
         return Ok((x, stats));
     }
@@ -167,7 +169,7 @@ pub fn cg_distributed<A: DistOperator + ?Sized>(
         stats.dots += 1;
         stats.iterations += 1;
         stats.residual_norm = rho_new.sqrt();
-        if stop.satisfied(stats.residual_norm, b_norm) {
+        if monitor.observe(stats.residual_norm, b_norm)? {
             stats.converged = true;
             return Ok((x, stats));
         }

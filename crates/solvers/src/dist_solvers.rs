@@ -10,7 +10,7 @@
 use crate::cg::check_breakdown;
 use crate::error::SolverError;
 use crate::operator::DistOperator;
-use crate::stopping::{SolveStats, StopCriterion};
+use crate::stopping::{ResidualMonitor, SolveStats, StopCriterion};
 use hpf_core::DistVector;
 use hpf_machine::Machine;
 
@@ -41,11 +41,12 @@ pub fn bicg_distributed<A: DistOperator + ?Sized>(
 
     let b_norm = b.dot(machine, &b).sqrt();
     stats.dots += 1;
+    let mut monitor = ResidualMonitor::new(stop);
     let mut rho = r_hat.dot(machine, &r);
     stats.dots += 1;
     stats.residual_norm = r.dot(machine, &r).sqrt();
     stats.dots += 1;
-    if stop.satisfied(stats.residual_norm, b_norm) {
+    if monitor.observe(stats.residual_norm, b_norm)? {
         stats.converged = true;
         return Ok((x, stats));
     }
@@ -67,7 +68,7 @@ pub fn bicg_distributed<A: DistOperator + ?Sized>(
         stats.iterations += 1;
         stats.residual_norm = r.dot(machine, &r).sqrt();
         stats.dots += 1;
-        if stop.satisfied(stats.residual_norm, b_norm) {
+        if monitor.observe(stats.residual_norm, b_norm)? {
             stats.converged = true;
             return Ok((x, stats));
         }
@@ -109,10 +110,11 @@ pub fn bicgstab_distributed<A: DistOperator + ?Sized>(
 
     let b_norm = b.dot(machine, &b).sqrt();
     stats.dots += 1;
+    let mut monitor = ResidualMonitor::new(stop);
     let mut rho = r_hat.dot(machine, &r);
     stats.dots += 1;
     stats.residual_norm = rho.sqrt().abs();
-    if stop.satisfied(stats.residual_norm, b_norm) {
+    if monitor.observe(stats.residual_norm, b_norm)? {
         stats.converged = true;
         return Ok((x, stats));
     }
@@ -130,7 +132,7 @@ pub fn bicgstab_distributed<A: DistOperator + ?Sized>(
         stats.axpys += 1;
         let s_norm = s.dot(machine, &s).sqrt();
         stats.dots += 1;
-        if stop.satisfied(s_norm, b_norm) {
+        if monitor.observe(s_norm, b_norm)? {
             x.axpy(machine, alpha, &p);
             stats.axpys += 1;
             stats.iterations += 1;
@@ -155,7 +157,7 @@ pub fn bicgstab_distributed<A: DistOperator + ?Sized>(
         stats.iterations += 1;
         stats.residual_norm = r.dot(machine, &r).sqrt();
         stats.dots += 1;
-        if stop.satisfied(stats.residual_norm, b_norm) {
+        if monitor.observe(stats.residual_norm, b_norm)? {
             stats.converged = true;
             return Ok((x, stats));
         }
@@ -214,11 +216,12 @@ pub fn pcg_jacobi_distributed<A: DistOperator + ?Sized>(
     let mut p = z.clone();
     let b_norm = b.dot(machine, &b).sqrt();
     stats.dots += 1;
+    let mut monitor = ResidualMonitor::new(stop);
     let mut rho = r.dot(machine, &z);
     stats.dots += 1;
     stats.residual_norm = r.dot(machine, &r).sqrt();
     stats.dots += 1;
-    if stop.satisfied(stats.residual_norm, b_norm) {
+    if monitor.observe(stats.residual_norm, b_norm)? {
         stats.converged = true;
         return Ok((x, stats));
     }
@@ -236,7 +239,7 @@ pub fn pcg_jacobi_distributed<A: DistOperator + ?Sized>(
         stats.iterations += 1;
         stats.residual_norm = r.dot(machine, &r).sqrt();
         stats.dots += 1;
-        if stop.satisfied(stats.residual_norm, b_norm) {
+        if monitor.observe(stats.residual_norm, b_norm)? {
             stats.converged = true;
             return Ok((x, stats));
         }
@@ -282,6 +285,7 @@ pub fn gmres_distributed<A: DistOperator + ?Sized>(
     let b = DistVector::from_global(desc.clone(), b_global);
     let b_norm = b.dot(machine, &b).sqrt();
     stats.dots += 1;
+    let mut monitor = ResidualMonitor::new(stop);
     let mut x = DistVector::zeros(desc.clone());
 
     loop {
@@ -294,7 +298,7 @@ pub fn gmres_distributed<A: DistOperator + ?Sized>(
         let beta = r.dot(machine, &r).sqrt();
         stats.dots += 1;
         stats.residual_norm = beta;
-        if stop.satisfied(beta, b_norm) {
+        if monitor.observe(beta, b_norm)? {
             stats.converged = true;
             return Ok((x, stats));
         }
@@ -353,7 +357,7 @@ pub fn gmres_distributed<A: DistOperator + ?Sized>(
             k_used = j + 1;
             stats.residual_norm = g[j + 1].abs();
             let lucky = h_next < 1e-14 * b_norm.max(1.0);
-            if stop.satisfied(stats.residual_norm, b_norm) || lucky {
+            if monitor.observe(stats.residual_norm, b_norm)? || lucky {
                 break;
             }
             let mut vn = w;

@@ -18,6 +18,23 @@ pub enum SolverError {
     /// A matrix factorisation failed (singular pivot in LU, negative
     /// pivot in Cholesky).
     SingularMatrix { pivot: usize, value: f64 },
+    /// A non-finite value (NaN or infinity) appeared in the recurrence —
+    /// overflow, or injected corruption that slipped past recovery.
+    NonFinite { what: &'static str, value: f64 },
+    /// The residual failed to drop by the required factor over a
+    /// trailing window of iterations (see
+    /// `StopCriterion::Stagnation`).
+    Stagnation {
+        iterations: usize,
+        window: usize,
+        residual_norm: f64,
+    },
+    /// Checkpoint/rollback recovery gave up: corruption kept being
+    /// detected after the maximum number of rollbacks.
+    RecoveryExhausted {
+        rollbacks: usize,
+        residual_norm: f64,
+    },
 }
 
 impl fmt::Display for SolverError {
@@ -36,6 +53,26 @@ impl fmt::Display for SolverError {
             SolverError::SingularMatrix { pivot, value } => {
                 write!(f, "singular matrix: pivot {pivot} = {value:e}")
             }
+            SolverError::NonFinite { what, value } => {
+                write!(f, "non-finite value in iteration: {what} = {value}")
+            }
+            SolverError::Stagnation {
+                iterations,
+                window,
+                residual_norm,
+            } => write!(
+                f,
+                "residual stagnated at {residual_norm:e} over a window of \
+                 {window} iterations (after {iterations} iterations)"
+            ),
+            SolverError::RecoveryExhausted {
+                rollbacks,
+                residual_norm,
+            } => write!(
+                f,
+                "recovery exhausted after {rollbacks} rollbacks \
+                 (residual {residual_norm:e})"
+            ),
         }
     }
 }
@@ -63,5 +100,24 @@ mod tests {
         }
         .to_string()
         .contains("pivot 2"));
+        assert!(SolverError::NonFinite {
+            what: "residual norm",
+            value: f64::NAN
+        }
+        .to_string()
+        .contains("residual norm"));
+        assert!(SolverError::Stagnation {
+            iterations: 40,
+            window: 20,
+            residual_norm: 1e-3
+        }
+        .to_string()
+        .contains("window of 20"));
+        assert!(SolverError::RecoveryExhausted {
+            rollbacks: 9,
+            residual_norm: 1.0
+        }
+        .to_string()
+        .contains("9 rollbacks"));
     }
 }

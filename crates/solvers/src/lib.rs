@@ -30,6 +30,7 @@ pub mod gmres;
 pub mod history;
 pub mod operator;
 pub mod pcg;
+pub mod recovery;
 pub mod spectral;
 pub mod stopping;
 
@@ -45,10 +46,13 @@ pub use gmres::{gmres, gmres_storage_vectors};
 pub use history::{nonmonotonicity, residual_history, Method};
 pub use operator::{ColwiseOperator, CscVariant, DistOperator, SerialOperator};
 pub use pcg::{pcg, IdentityPrec, JacobiPrec, Preconditioner, SsorPrec};
+pub use recovery::{
+    cg_distributed_protected, pcg_jacobi_distributed_protected, RecoveryConfig, RecoveryStats,
+};
 pub use spectral::{
     cg_error_bound, cg_iterations_for, estimate_spd_spectrum, power_method, SpdSpectrum,
 };
 pub use stopping::{
-    AlgorithmProfile, SolveStats, StopCriterion, BICGSTAB_PROFILE, BICG_PROFILE, CGS_PROFILE,
-    CG_PROFILE,
+    AlgorithmProfile, ResidualMonitor, SolveStats, StopCriterion, BICGSTAB_PROFILE, BICG_PROFILE,
+    CGS_PROFILE, CG_PROFILE,
 };

@@ -7,7 +7,9 @@
 //! a single matrix-vector multiplication ..., two inner products ..., and
 //! several SAXPY operations").
 
+use crate::error::SolverError;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// When to declare convergence.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -16,6 +18,14 @@ pub enum StopCriterion {
     RelativeResidual(f64),
     /// `||r|| <= tol`.
     AbsoluteResidual(f64),
+    /// A progress *guard* rather than a tolerance: the solve keeps
+    /// iterating while the residual drops by at least the fraction
+    /// `min_drop` over each trailing `window` of iterations, and a
+    /// [`ResidualMonitor`] aborts with [`SolverError::Stagnation`] when
+    /// it stops doing so — a hostile input terminates with a typed error
+    /// instead of burning `max_iters`. As a convergence test it only
+    /// fires at the machine-precision floor `||r|| <= ε·||b||`.
+    Stagnation { window: usize, min_drop: f64 },
 }
 
 impl StopCriterion {
@@ -25,7 +35,68 @@ impl StopCriterion {
                 residual_norm <= tol * b_norm.max(f64::MIN_POSITIVE)
             }
             StopCriterion::AbsoluteResidual(tol) => residual_norm <= tol,
+            StopCriterion::Stagnation { .. } => {
+                residual_norm <= f64::EPSILON * b_norm.max(f64::MIN_POSITIVE)
+            }
         }
+    }
+}
+
+/// Stateful residual watcher used by the iterative solvers: combines the
+/// convergence test with two abort guards — a non-finite residual is a
+/// typed [`SolverError::NonFinite`] (never silently iterated on), and
+/// under [`StopCriterion::Stagnation`] a residual that stops improving
+/// becomes a typed [`SolverError::Stagnation`].
+#[derive(Debug, Clone)]
+pub struct ResidualMonitor {
+    criterion: StopCriterion,
+    history: VecDeque<f64>,
+    observed: usize,
+}
+
+impl ResidualMonitor {
+    pub fn new(criterion: StopCriterion) -> Self {
+        ResidualMonitor {
+            criterion,
+            history: VecDeque::new(),
+            observed: 0,
+        }
+    }
+
+    /// Feed one residual norm. `Ok(true)` means converged, `Ok(false)`
+    /// means keep iterating, `Err` is a typed abort.
+    pub fn observe(&mut self, residual_norm: f64, b_norm: f64) -> Result<bool, SolverError> {
+        if !residual_norm.is_finite() {
+            return Err(SolverError::NonFinite {
+                what: "residual norm",
+                value: residual_norm,
+            });
+        }
+        if self.criterion.satisfied(residual_norm, b_norm) {
+            return Ok(true);
+        }
+        if let StopCriterion::Stagnation { window, min_drop } = self.criterion {
+            let window = window.max(1);
+            self.history.push_back(residual_norm);
+            if self.history.len() > window {
+                let oldest = self.history.pop_front().expect("non-empty");
+                if residual_norm > oldest * (1.0 - min_drop) {
+                    return Err(SolverError::Stagnation {
+                        iterations: self.observed,
+                        window,
+                        residual_norm,
+                    });
+                }
+            }
+        }
+        self.observed += 1;
+        Ok(false)
+    }
+
+    /// Forget the trailing history (rollback support: replayed
+    /// iterations should not be compared against pre-fault residuals).
+    pub fn reset_window(&mut self) {
+        self.history.clear();
     }
 }
 
@@ -146,6 +217,79 @@ mod tests {
         let c = StopCriterion::RelativeResidual(1e-6);
         assert!(c.satisfied(0.0, 0.0));
         assert!(!c.satisfied(1.0, 0.0));
+    }
+
+    #[test]
+    fn stagnation_guard_aborts_flat_residuals() {
+        let mut mon = ResidualMonitor::new(StopCriterion::Stagnation {
+            window: 4,
+            min_drop: 0.1,
+        });
+        // Healthy start: residual halves each step.
+        let mut r = 1.0;
+        for _ in 0..6 {
+            assert_eq!(mon.observe(r, 1.0), Ok(false));
+            r *= 0.5;
+        }
+        // Then it flatlines: after `window` flat observations, abort.
+        let mut aborted = false;
+        for _ in 0..6 {
+            match mon.observe(r, 1.0) {
+                Ok(false) => {}
+                Err(SolverError::Stagnation { window, .. }) => {
+                    assert_eq!(window, 4);
+                    aborted = true;
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(aborted, "flat residual must trip the guard");
+    }
+
+    #[test]
+    fn stagnation_window_reset_forgives_history() {
+        let mut mon = ResidualMonitor::new(StopCriterion::Stagnation {
+            window: 2,
+            min_drop: 0.5,
+        });
+        assert_eq!(mon.observe(1.0, 1.0), Ok(false));
+        assert_eq!(mon.observe(1.0, 1.0), Ok(false));
+        mon.reset_window(); // rollback happened; start the window over
+        assert_eq!(mon.observe(1.0, 1.0), Ok(false));
+        assert_eq!(mon.observe(1.0, 1.0), Ok(false));
+        assert!(mon.observe(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn monitor_rejects_non_finite_residuals() {
+        let mut mon = ResidualMonitor::new(StopCriterion::RelativeResidual(1e-8));
+        assert_eq!(mon.observe(0.5, 1.0), Ok(false));
+        assert!(matches!(
+            mon.observe(f64::NAN, 1.0),
+            Err(SolverError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            mon.observe(f64::INFINITY, 1.0),
+            Err(SolverError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn monitor_reports_convergence_like_the_criterion() {
+        let mut mon = ResidualMonitor::new(StopCriterion::AbsoluteResidual(1e-6));
+        assert_eq!(mon.observe(1e-3, 1.0), Ok(false));
+        assert_eq!(mon.observe(1e-7, 1.0), Ok(true));
+    }
+
+    #[test]
+    fn stagnation_converges_only_at_machine_precision() {
+        let c = StopCriterion::Stagnation {
+            window: 10,
+            min_drop: 0.01,
+        };
+        assert!(!c.satisfied(1e-8, 1.0));
+        assert!(c.satisfied(1e-17, 1.0));
     }
 
     #[test]

@@ -39,11 +39,13 @@ pub mod prelude {
     };
     pub use hpf_dist::{ArrayDescriptor, AtomAssignment, AtomSpec, DistSpec};
     pub use hpf_lang::{elaborate, parse_program, Env};
-    pub use hpf_machine::{CostModel, Machine, Topology};
+    pub use hpf_machine::{CostModel, FaultPlan, FaultRates, Machine, Topology};
     pub use hpf_service::{ServiceConfig, SolveRequest, SolverKind, SolverService};
     pub use hpf_solvers::{
-        bicg, bicg_distributed, bicgstab, bicgstab_distributed, cg, cg_distributed, cgs, gmres,
-        pcg, pcg_jacobi_distributed, JacobiPrec, SolveStats, StopCriterion,
+        bicg, bicg_distributed, bicgstab, bicgstab_distributed, cg, cg_distributed,
+        cg_distributed_protected, cgs, gmres, pcg, pcg_jacobi_distributed,
+        pcg_jacobi_distributed_protected, JacobiPrec, RecoveryConfig, RecoveryStats, SolveStats,
+        SolverError, StopCriterion,
     };
     pub use hpf_sparse::{CooMatrix, CscMatrix, CsrMatrix, DenseMatrix};
 }
