@@ -13,7 +13,7 @@ fn main() {
             match experiments::run_one(&a.to_lowercase()) {
                 Some(t) => out.push(t),
                 None => {
-                    eprintln!("unknown experiment id '{a}' (expected e1..e23)");
+                    eprintln!("unknown experiment id '{a}' (expected e1..e24)");
                     std::process::exit(2);
                 }
             }

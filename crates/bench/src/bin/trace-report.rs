@@ -1,0 +1,183 @@
+//! `trace-report` — turn saved observability artifacts into exports
+//! and human-readable analysis.
+//!
+//! ```text
+//! trace-report --trace trace.jsonl --format summary
+//! trace-report --trace trace.jsonl --format perfetto --format prom \
+//!              --metrics metrics.json --out target/obs
+//! ```
+//!
+//! Inputs:
+//! - `--trace FILE`    machine event trace in JSONL (`Trace::to_jsonl`)
+//! - `--metrics FILE`  service metrics JSON (`MetricsSnapshot::to_json`)
+//!
+//! Formats (repeatable; default `summary`):
+//! - `perfetto`  Chrome/Perfetto trace-event JSON (needs `--trace`)
+//! - `prom`      Prometheus text exposition (needs `--metrics`)
+//! - `csv`       per-span cost attribution CSV (needs `--trace`)
+//! - `summary`   critical path, load imbalance, top spans (needs `--trace`)
+//!
+//! Without `--out DIR` every export goes to stdout in the order
+//! requested; with it, each lands in its own file and the path is
+//! printed. Exit status is non-zero on unreadable input or an export
+//! that validates as empty/malformed.
+
+use hpf_machine::Trace;
+use hpf_obs::{critical_path, load_imbalance, snapshot_from_json, span_costs, Timeline};
+use std::path::PathBuf;
+
+struct Args {
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    formats: Vec<String>,
+    out: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace-report [--trace FILE] [--metrics FILE] \
+         [--format perfetto|prom|csv|summary]... [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        trace: None,
+        metrics: None,
+        formats: Vec::new(),
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--trace" => args.trace = Some(PathBuf::from(value("--trace"))),
+            "--metrics" => args.metrics = Some(PathBuf::from(value("--metrics"))),
+            "--format" => args.formats.push(value("--format")),
+            "--out" => args.out = Some(PathBuf::from(value("--out"))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    if args.formats.is_empty() {
+        args.formats.push("summary".to_string());
+    }
+    args
+}
+
+fn fail(why: &str) -> ! {
+    eprintln!("trace-report: {why}");
+    std::process::exit(1);
+}
+
+fn load_trace(args: &Args) -> Trace {
+    let path = args
+        .trace
+        .as_ref()
+        .unwrap_or_else(|| fail("this format needs --trace FILE"));
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+    let trace = Trace::from_jsonl(&text)
+        .unwrap_or_else(|e| fail(&format!("cannot parse {}: {e}", path.display())));
+    if trace.events().is_empty() {
+        fail(&format!("{} contains no events", path.display()));
+    }
+    trace
+}
+
+fn render_summary(trace: &Trace) -> String {
+    let report = critical_path(trace);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "critical path: {:.6e} s (compute {:.1}%, comm {:.1}%, fault {:.1}%) over {} events\n",
+        report.total_seconds,
+        100.0 * report.compute_seconds / report.total_seconds.max(f64::MIN_POSITIVE),
+        100.0 * report.comm_seconds / report.total_seconds.max(f64::MIN_POSITIVE),
+        100.0 * report.fault_seconds / report.total_seconds.max(f64::MIN_POSITIVE),
+        trace.events().len(),
+    ));
+    match load_imbalance(trace) {
+        Some(li) => out.push_str(&format!(
+            "load imbalance: {:.3} (max/mean compute time over {} processors)\n",
+            li.ratio,
+            li.busy.len()
+        )),
+        None => out.push_str("load imbalance: n/a (no per-processor compute timings)\n"),
+    }
+    out.push_str("top spans by critical-path seconds:\n");
+    for cost in report.by_span.iter().take(10) {
+        let key = if cost.key.is_empty() {
+            "(no span)"
+        } else {
+            &cost.key
+        };
+        out.push_str(&format!(
+            "  {:<40} {:>12.6e} s  x{:<6} {:>10} words {:>12} flops\n",
+            key, cost.seconds, cost.count, cost.words, cost.flops
+        ));
+    }
+    out
+}
+
+fn render_csv(trace: &Trace) -> String {
+    let mut out = String::from("span,count,seconds,words,flops\n");
+    for c in span_costs(trace) {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            c.key, c.count, c.seconds, c.words, c.flops
+        ));
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    for format in &args.formats {
+        let (content, filename) = match format.as_str() {
+            "perfetto" => {
+                let trace = load_trace(&args);
+                let doc = hpf_obs::trace_events_json(&Timeline::from_trace(&trace));
+                hpf_obs::json::validate(&doc)
+                    .unwrap_or_else(|e| fail(&format!("perfetto export invalid: {e}")));
+                (doc, "trace.perfetto.json")
+            }
+            "prom" => {
+                let path = args
+                    .metrics
+                    .as_ref()
+                    .unwrap_or_else(|| fail("prom needs --metrics FILE"));
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+                let snap = snapshot_from_json(&text)
+                    .unwrap_or_else(|e| fail(&format!("cannot parse {}: {e}", path.display())));
+                (hpf_obs::render_prometheus(&snap), "metrics.prom")
+            }
+            "csv" => (render_csv(&load_trace(&args)), "spans.csv"),
+            "summary" => (render_summary(&load_trace(&args)), "summary.txt"),
+            other => fail(&format!("unknown format {other:?}")),
+        };
+        if content.is_empty() {
+            fail(&format!("{format} export is empty"));
+        }
+        match &args.out {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", dir.display())));
+                let path = dir.join(filename);
+                std::fs::write(&path, content)
+                    .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+                println!("{}", path.display());
+            }
+            None => print!("{content}"),
+        }
+    }
+}

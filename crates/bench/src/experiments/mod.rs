@@ -8,6 +8,7 @@ pub mod extended_exp;
 pub mod extensions_exp;
 pub mod fault_exp;
 pub mod matvec_exp;
+pub mod obs_exp;
 pub mod service_exp;
 pub mod solvers_exp;
 pub mod vector_ops;
@@ -41,10 +42,11 @@ pub fn run_all() -> Vec<Table> {
         extended_exp::e21_redistribute_amortisation(1024, 128, 8),
         service_exp::e22_service_throughput(256, 40, 8),
         fault_exp::e23_fault_sweep(96, 4, 5),
+        obs_exp::e24_observability_overhead(10_000, 8, 3),
     ]
 }
 
-/// Run one experiment by its lowercase id (`"e1"`, `"e01"`, ... `"e15"`).
+/// Run one experiment by its lowercase id (`"e1"`, `"e01"`, ... `"e24"`).
 pub fn run_one(id: &str) -> Option<Table> {
     let norm = id.trim_start_matches('e').trim_start_matches('0');
     Some(match norm {
@@ -71,6 +73,7 @@ pub fn run_one(id: &str) -> Option<Table> {
         "21" => extended_exp::e21_redistribute_amortisation(1024, 128, 8),
         "22" => service_exp::e22_service_throughput(256, 40, 8),
         "23" => fault_exp::e23_fault_sweep(96, 4, 5),
+        "24" => obs_exp::e24_observability_overhead(10_000, 8, 3),
         _ => return None,
     })
 }
@@ -90,7 +93,8 @@ mod tests {
         assert!(run_one("e21").is_some());
         assert!(run_one("e22").is_some());
         assert!(run_one("e23").is_some());
-        assert!(run_one("e24").is_none());
+        assert!(run_one("e24").is_some());
+        assert!(run_one("e25").is_none());
         assert!(run_one("nope").is_none());
     }
 }

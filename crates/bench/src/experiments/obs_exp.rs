@@ -1,0 +1,147 @@
+//! E24: observability overhead.
+//!
+//! Telemetry must be cheap enough to leave on: the per-iteration
+//! observer hook plus event tracing with span capture must cost under
+//! 5% wall-clock on a production-sized solve. This experiment times a
+//! CG solve two ways — bare (tracing off, no observer) and with full
+//! telemetry on (tracing + spans + `ConvergenceLog`) — and asserts the
+//! budget on the difference. The exporter pass (timeline, Perfetto
+//! JSON, convergence CSV, critical path) is recorded as a third row:
+//! it runs *once per trace*, offline in `trace-report`, not inside the
+//! solve loop, so its cost is reported in absolute terms rather than
+//! charged against the per-solve budget.
+
+use crate::table::Table;
+use hpf_core::{DataArrayLayout, RowwiseCsr};
+use hpf_machine::{CostModel, Machine, Topology};
+use hpf_obs::{critical_path, ConvergenceLog, Timeline};
+use hpf_solvers::{cg_distributed, cg_distributed_with_observer, StopCriterion};
+use hpf_sparse::gen;
+use std::time::Instant;
+
+fn machine(np: usize, tracing: bool) -> Machine {
+    let mut m = Machine::new(np, Topology::Hypercube, CostModel::mpp_1995());
+    m.set_tracing(tracing);
+    m
+}
+
+/// E24 — observability overhead: wall-clock cost of leave-on telemetry
+/// (event trace + spans + per-iteration observer) on a CG solve of `n`
+/// rows on `np` processors, best of `reps` repetitions per
+/// configuration, plus the one-shot exporter pass over the resulting
+/// trace. For report-sized runs (`n >= 4096`) the telemetry-on solve
+/// must stay within 5% of bare.
+pub fn e24_observability_overhead(n: usize, np: usize, reps: usize) -> Table {
+    let mut t = Table::new(
+        "E24",
+        format!("observability overhead: CG, n = {n}, NP = {np}, best of {reps}"),
+        &["config", "wall ms", "overhead %", "events", "samples"],
+    );
+
+    let a = gen::banded_spd(n, 3, 11);
+    let (_x, b) = gen::rhs_for_known_solution(&a);
+    let op = RowwiseCsr::block(a, np, DataArrayLayout::RowAligned);
+    let stop = StopCriterion::RelativeResidual(1e-9);
+    let max_iters = 50 * n;
+    let reps = reps.max(1);
+
+    // Bare: tracing off, no observer — the zero-overhead baseline.
+    let mut bare = f64::INFINITY;
+    for _ in 0..reps {
+        let mut m = machine(np, false);
+        let t0 = Instant::now();
+        let (_, s) = cg_distributed(&mut m, &op, &b, stop, max_iters).expect("SPD");
+        bare = bare.min(t0.elapsed().as_secs_f64());
+        assert!(s.converged);
+    }
+
+    // Telemetry on: event trace + span capture + per-iteration observer
+    // — everything that runs *inside* the solve when observability is
+    // left on. This is the configuration the 5% budget governs.
+    let mut telemetry = f64::INFINITY;
+    let mut export = f64::INFINITY;
+    let mut events = 0usize;
+    let mut samples = 0usize;
+    for _ in 0..reps {
+        let mut m = machine(np, true);
+        let mut log = ConvergenceLog::new();
+        let t0 = Instant::now();
+        let (_, s) =
+            cg_distributed_with_observer(&mut m, &op, &b, stop, max_iters, &mut log).expect("SPD");
+        telemetry = telemetry.min(t0.elapsed().as_secs_f64());
+        assert!(s.converged);
+        events = m.trace().events().len();
+        samples = log.samples.len();
+
+        // Exporter pass: one shot per trace, normally run offline by
+        // `trace-report` on the saved artifacts.
+        let t1 = Instant::now();
+        let timeline = Timeline::from_trace(m.trace());
+        let perfetto = hpf_obs::trace_events_json(&timeline);
+        let csv = log.to_csv();
+        let report = critical_path(m.trace());
+        export = export.min(t1.elapsed().as_secs_f64());
+        assert!(!perfetto.is_empty() && !csv.is_empty() && report.total_seconds > 0.0);
+    }
+
+    let pct = |cfg: f64| 100.0 * (cfg / bare - 1.0);
+    t.row(vec![
+        "bare".to_string(),
+        format!("{:.2}", bare * 1e3),
+        "0.0".to_string(),
+        "0".to_string(),
+        "0".to_string(),
+    ]);
+    t.row(vec![
+        "telemetry on".to_string(),
+        format!("{:.2}", telemetry * 1e3),
+        format!("{:.1}", pct(telemetry)),
+        format!("{events}"),
+        format!("{samples}"),
+    ]);
+    t.row(vec![
+        "export pass (one-shot)".to_string(),
+        format!("{:.2}", export * 1e3),
+        "-".to_string(),
+        format!("{events}"),
+        format!("{samples}"),
+    ]);
+
+    // Wall-clock budgets are only meaningful once the solve dwarfs the
+    // measurement noise; small test-sized runs skip the assertion.
+    if n >= 4096 {
+        assert!(
+            pct(telemetry) < 5.0,
+            "telemetry overhead {:.1}% breaches the 5% budget",
+            pct(telemetry)
+        );
+        t.note(format!(
+            "leave-on telemetry overhead {:.1}% (budget 5%)",
+            pct(telemetry)
+        ));
+    }
+    t.note("wall-clock times, best of repetitions; simulated solve identical in all configs");
+    t.note("export pass runs once per trace (offline in trace-report), not per solve");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e24_reports_three_configs_with_consistent_counts() {
+        let t = e24_observability_overhead(256, 4, 2);
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[0][0], "bare");
+        assert_eq!(t.rows[1][0], "telemetry on");
+        assert_eq!(t.rows[2][0], "export pass (one-shot)");
+        // Tracing recorded events and the observer saw iterations.
+        let events: usize = t.rows[1][3].parse().unwrap();
+        let samples: usize = t.rows[1][4].parse().unwrap();
+        assert!(events > 0);
+        assert!(samples > 0);
+        // The export pass ran over the same trace.
+        assert_eq!(t.rows[1][3], t.rows[2][3]);
+    }
+}

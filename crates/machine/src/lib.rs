@@ -24,6 +24,7 @@ pub mod cost;
 pub mod exec;
 pub mod fault;
 pub mod machine;
+pub mod span;
 pub mod spmd;
 pub mod topology;
 pub mod trace;
@@ -31,6 +32,7 @@ pub mod trace;
 pub use cost::CostModel;
 pub use fault::{Fault, FaultKind, FaultPlan, FaultRates};
 pub use machine::{Machine, ProcStats};
+pub use span::{ScopeGuard, Span};
 pub use spmd::{Comm, SpmdRun, SpmdStats, SpmdWorld};
 pub use topology::Topology;
-pub use trace::{Event, EventKind, LabelSummary, Trace};
+pub use trace::{Event, EventKind, LabelSummary, Trace, TraceParseError};

@@ -269,6 +269,7 @@ impl Machine {
 
     fn apply_fault(&mut self, op: usize, f: Fault) {
         let proc = f.proc % self.np;
+        let start = self.elapsed();
         let (penalty, label) = match f.kind {
             FaultKind::BitFlip { bit, target } => {
                 self.pending = Some(PendingCorruption::Flip { bit, target });
@@ -298,7 +299,7 @@ impl Machine {
                 (t, format!("fault:crash:p{proc}:op{op}"))
             }
         };
-        self.record(EventKind::Fault, 0, 0, penalty, &label);
+        self.record_at(EventKind::Fault, 0, 0, penalty, start, &label, Vec::new());
     }
 
     fn skew_factor(&self, p: usize) -> f64 {
@@ -309,7 +310,20 @@ impl Machine {
         }
     }
 
-    fn record(&mut self, kind: EventKind, words: usize, flops: usize, time: f64, label: &str) {
+    /// Append a traced event stamped with the thread's current span path
+    /// (see [`crate::span`]) and a timeline `start`. `proc_times` carries
+    /// per-processor durations for imbalanced phases (empty = uniform).
+    #[allow(clippy::too_many_arguments)]
+    fn record_at(
+        &mut self,
+        kind: EventKind,
+        words: usize,
+        flops: usize,
+        time: f64,
+        start: f64,
+        label: &str,
+        proc_times: Vec<f64>,
+    ) {
         if self.tracing {
             self.trace.record(Event {
                 kind,
@@ -317,7 +331,10 @@ impl Machine {
                 words,
                 flops,
                 time,
+                start,
+                span: crate::span::current_path(),
                 label: label.to_string(),
+                proc_times,
             });
         }
     }
@@ -354,16 +371,22 @@ impl Machine {
             "one flop count per processor"
         );
         self.begin_op();
+        // The phase begins at the earliest participant's clock; together
+        // with `proc_times` that places each processor's slice on the
+        // reconstructed timeline.
+        let start = self.clocks.iter().cloned().fold(f64::INFINITY, f64::min);
         let mut max_t: f64 = 0.0;
         let mut total = 0usize;
+        let mut per_proc = Vec::with_capacity(self.np);
         for (p, &f) in flops_per_proc.iter().enumerate() {
             self.stats[p].flops += f as u64;
             let t = self.cost.flops(f) * self.skew_factor(p);
             self.clocks[p] += t;
             max_t = max_t.max(t);
             total += f;
+            per_proc.push(t);
         }
-        self.record(EventKind::Compute, 0, total, max_t, label);
+        self.record_at(EventKind::Compute, 0, total, max_t, start, label, per_proc);
         max_t
     }
 
@@ -382,9 +405,9 @@ impl Machine {
         self.begin_op();
         let t = self.cost.flops(flops) * self.skew_factor(0);
         self.stats[0].flops += flops as u64;
-        self.synchronise();
+        let start = self.synchronise();
         self.clocks.iter_mut().for_each(|c| *c += t);
-        self.record(EventKind::Compute, 0, flops, t, label);
+        self.record_at(EventKind::Compute, 0, flops, t, start, label, Vec::new());
         t
     }
 
@@ -403,10 +426,11 @@ impl Machine {
         let t = self.cost.message(words, hops);
         self.stats[from].words_sent += words as u64;
         self.stats[from].messages += 1;
-        let arrive = self.clocks[from] + t;
+        let start = self.clocks[from];
+        let arrive = start + t;
         self.clocks[to] = self.clocks[to].max(arrive);
         self.clocks[from] = arrive; // blocking send
-        self.record(EventKind::Send, words, 0, t, label);
+        self.record_at(EventKind::Send, words, 0, t, start, label, Vec::new());
         t
     }
 
@@ -414,9 +438,9 @@ impl Machine {
     pub fn barrier(&mut self, label: &str) -> f64 {
         self.begin_op();
         let t = self.topology.allreduce_time(self.np, 0, &self.cost);
-        self.synchronise();
+        let start = self.synchronise();
         self.clocks.iter_mut().for_each(|c| *c += t);
-        self.record(EventKind::Barrier, 0, 0, t, label);
+        self.record_at(EventKind::Barrier, 0, 0, t, start, label, Vec::new());
         t
     }
 
@@ -427,9 +451,9 @@ impl Machine {
         let t = self.topology.broadcast_time(self.np, words, &self.cost);
         self.stats[root].words_sent += words as u64;
         self.stats[root].messages += Topology::log2_ceil(self.np) as u64;
-        self.synchronise();
+        let start = self.synchronise();
         self.clocks.iter_mut().for_each(|c| *c += t);
-        self.record(EventKind::Broadcast, words, 0, t, label);
+        self.record_at(EventKind::Broadcast, words, 0, t, start, label, Vec::new());
         t
     }
 
@@ -448,9 +472,17 @@ impl Machine {
             s.words_sent += (words_each * self.np.saturating_sub(1)) as u64;
             s.messages += Topology::log2_ceil(self.np) as u64;
         }
-        self.synchronise();
+        let start = self.synchronise();
         self.clocks.iter_mut().for_each(|c| *c += t);
-        self.record(EventKind::AllGather, words_each * self.np, 0, t, label);
+        self.record_at(
+            EventKind::AllGather,
+            words_each * self.np,
+            0,
+            t,
+            start,
+            label,
+            Vec::new(),
+        );
         t
     }
 
@@ -466,9 +498,17 @@ impl Machine {
                 s.messages += 1;
             }
         }
-        self.synchronise();
+        let start = self.synchronise();
         self.clocks.iter_mut().for_each(|c| *c += t);
-        self.record(EventKind::Reduce, words * (self.np - 1), 0, t, label);
+        self.record_at(
+            EventKind::Reduce,
+            words * (self.np - 1),
+            0,
+            t,
+            start,
+            label,
+            Vec::new(),
+        );
         t
     }
 
@@ -485,14 +525,16 @@ impl Machine {
             s.words_sent += words as u64 * rounds;
             s.messages += rounds;
         }
-        self.synchronise();
+        let start = self.synchronise();
         self.clocks.iter_mut().for_each(|c| *c += t);
-        self.record(
+        self.record_at(
             EventKind::AllReduce,
             words * self.np.saturating_sub(1),
             0,
             t,
+            start,
             label,
+            Vec::new(),
         );
         t
     }
@@ -512,14 +554,16 @@ impl Machine {
             s.words_sent += (words_each * self.np.saturating_sub(1)) as u64;
             s.messages += rounds;
         }
-        self.synchronise();
+        let start = self.synchronise();
         self.clocks.iter_mut().for_each(|c| *c += t);
-        self.record(
+        self.record_at(
             EventKind::Reduce,
             words_each * self.np * self.np.saturating_sub(1),
             0,
             t,
+            start,
             label,
+            Vec::new(),
         );
         t
     }
@@ -558,7 +602,7 @@ impl Machine {
             self.stats[p].words_sent += (words_each * (g - 1)) as u64;
             self.stats[p].messages += rounds;
         }
-        self.record(kind, words_each * g * (g - 1), 0, t, label);
+        self.record_at(kind, words_each * g * (g - 1), 0, t, max, label, Vec::new());
         t
     }
 
@@ -571,14 +615,16 @@ impl Machine {
             s.words_sent += (words_each * (self.np - 1)) as u64;
             s.messages += (self.np - 1) as u64;
         }
-        self.synchronise();
+        let start = self.synchronise();
         self.clocks.iter_mut().for_each(|c| *c += t);
-        self.record(
+        self.record_at(
             EventKind::AllToAll,
             words_each * self.np * self.np.saturating_sub(1),
             0,
             t,
+            start,
             label,
+            Vec::new(),
         );
         t
     }
@@ -606,9 +652,17 @@ impl Machine {
             total_words += sent;
             max_t = max_t.max(t);
         }
-        self.synchronise();
+        let start = self.synchronise();
         self.clocks.iter_mut().for_each(|c| *c += max_t);
-        self.record(EventKind::Redistribute, total_words, 0, max_t, label);
+        self.record_at(
+            EventKind::Redistribute,
+            total_words,
+            0,
+            max_t,
+            start,
+            label,
+            Vec::new(),
+        );
         max_t
     }
 
@@ -629,9 +683,17 @@ impl Machine {
                 s.messages += 1;
             }
         }
-        self.synchronise();
+        let start = self.synchronise();
         self.clocks.iter_mut().for_each(|c| *c += t);
-        self.record(EventKind::Gather, words_each * (self.np - 1), 0, t, label);
+        self.record_at(
+            EventKind::Gather,
+            words_each * (self.np - 1),
+            0,
+            t,
+            start,
+            label,
+            Vec::new(),
+        );
         t
     }
 
@@ -647,9 +709,17 @@ impl Machine {
         };
         self.stats[root].words_sent += ((self.np - 1) * words_each) as u64;
         self.stats[root].messages += (self.np - 1) as u64;
-        self.synchronise();
+        let start = self.synchronise();
         self.clocks.iter_mut().for_each(|c| *c += t);
-        self.record(EventKind::Scatter, words_each * (self.np - 1), 0, t, label);
+        self.record_at(
+            EventKind::Scatter,
+            words_each * (self.np - 1),
+            0,
+            t,
+            start,
+            label,
+            Vec::new(),
+        );
         t
     }
 }
@@ -970,6 +1040,38 @@ mod tests {
         let b = run();
         assert_eq!(a, b);
         assert!(a.contains("\"kind\":\"fault\""), "plan should have fired");
+    }
+
+    #[test]
+    fn events_are_stamped_with_span_and_start() {
+        let mut m = Machine::new(4, Topology::Hypercube, unit_cost());
+        {
+            let _solve = crate::span::enter("solve");
+            let _iter = crate::span::enter("iter=0");
+            m.compute_all(&[5, 10, 5, 5], "local-matvec");
+            m.allreduce(1, "dot-merge");
+        }
+        m.barrier("outside");
+        let evs = m.trace().events();
+        assert_eq!(evs[0].span, "solve/iter=0");
+        assert_eq!(evs[0].start, 0.0);
+        assert_eq!(evs[0].proc_times, vec![5.0, 10.0, 5.0, 5.0]);
+        assert_eq!(evs[1].span, "solve/iter=0");
+        // The allreduce begins at the synchronisation point: the slowest
+        // processor's clock after the compute phase.
+        assert!((evs[1].start - 10.0).abs() < 1e-12);
+        assert_eq!(evs[2].span, "", "span popped before the barrier");
+        assert!(evs[2].start >= evs[1].start + evs[1].time - 1e-12);
+    }
+
+    #[test]
+    fn send_start_is_sender_clock() {
+        let mut m = Machine::new(4, Topology::Hypercube, unit_cost());
+        m.compute(2, 7);
+        m.send(2, 0, 3, "msg");
+        let ev = &m.trace().events()[0];
+        assert_eq!(ev.kind, EventKind::Send);
+        assert!((ev.start - 7.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Thread-local span stack — hierarchical context for traced events.
+//!
+//! Observability needs to know *why* the machine performed an operation,
+//! not just what it cost: the same `dot-merge` allreduce means something
+//! different inside iteration 3 of a solve than inside convergence
+//! verification after a fault. Spans provide that context. A caller
+//! enters a scope ([`enter`] or [`Span::enter`]), every event the
+//! [`crate::Machine`] records while the guard lives is stamped with the
+//! current span *path* (segments joined by `/`, e.g.
+//! `solve/iter=12/matvec`), and the scope pops when the guard drops.
+//!
+//! The stack is thread-local, so concurrent solves on worker threads
+//! (the `hpf-service` pool) each carry their own paths with zero
+//! synchronisation. The fast path — no spans entered — is a single
+//! thread-local borrow returning an empty string.
+//!
+//! ```
+//! use hpf_machine::span;
+//!
+//! assert_eq!(span::current_path(), "");
+//! let _solve = span::enter("solve");
+//! {
+//!     let _iter = span::enter("iter=12");
+//!     let _mv = span::enter("matvec");
+//!     assert_eq!(span::current_path(), "solve/iter=12/matvec");
+//! }
+//! assert_eq!(span::current_path(), "solve");
+//! ```
+
+use std::cell::RefCell;
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A named span segment, ready to be entered. Mostly useful when a span
+/// is constructed in one place and entered in another; for the common
+/// case use the free function [`enter`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    segment: String,
+}
+
+impl Span {
+    /// Create a span with one path segment. Slashes are replaced by `:`
+    /// so a segment can never fake extra path levels.
+    pub fn new(segment: impl Into<String>) -> Self {
+        let mut segment = segment.into();
+        if segment.contains('/') {
+            segment = segment.replace('/', ":");
+        }
+        Span { segment }
+    }
+
+    pub fn segment(&self) -> &str {
+        &self.segment
+    }
+
+    /// Push this span onto the current thread's stack; it pops when the
+    /// returned guard drops.
+    pub fn enter(self) -> ScopeGuard {
+        let depth = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(self.segment);
+            s.len()
+        });
+        ScopeGuard { depth }
+    }
+}
+
+/// RAII guard for an entered span: pops its segment (and, defensively,
+/// anything entered after it that leaked) on drop.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    /// Stack depth *including* this span's segment.
+    depth: usize,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.truncate(self.depth.saturating_sub(1));
+        });
+    }
+}
+
+/// Enter a span scope: `let _g = span::enter("solve");`.
+pub fn enter(segment: impl Into<String>) -> ScopeGuard {
+    Span::new(segment).enter()
+}
+
+/// The current span path — segments joined with `/`, empty when no span
+/// is active. This is the string stamped on every traced [`crate::Event`].
+pub fn current_path() -> String {
+    STACK.with(|s| s.borrow().join("/"))
+}
+
+/// Number of active spans on this thread.
+pub fn depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stack_yields_empty_path() {
+        assert_eq!(current_path(), "");
+        assert_eq!(depth(), 0);
+    }
+
+    #[test]
+    fn nesting_builds_slash_separated_paths() {
+        let _a = enter("solve");
+        assert_eq!(current_path(), "solve");
+        {
+            let _b = enter("iter=3");
+            let _c = enter("matvec");
+            assert_eq!(current_path(), "solve/iter=3/matvec");
+            assert_eq!(depth(), 3);
+        }
+        assert_eq!(current_path(), "solve");
+    }
+
+    #[test]
+    fn guard_drop_restores_depth_even_out_of_order() {
+        let a = enter("outer");
+        let b = enter("inner");
+        // Dropping the outer guard first truncates past the inner one.
+        drop(a);
+        assert_eq!(current_path(), "");
+        drop(b);
+        assert_eq!(current_path(), "");
+    }
+
+    #[test]
+    fn segments_cannot_inject_separators() {
+        let s = Span::new("a/b");
+        assert_eq!(s.segment(), "a:b");
+    }
+
+    #[test]
+    fn spans_are_thread_local() {
+        let _main = enter("main-thread");
+        std::thread::spawn(|| {
+            assert_eq!(current_path(), "");
+            let _w = enter("worker");
+            assert_eq!(current_path(), "worker");
+        })
+        .join()
+        .unwrap();
+        assert_eq!(current_path(), "main-thread");
+    }
+}

@@ -38,6 +38,22 @@ pub enum EventKind {
 }
 
 impl EventKind {
+    /// Every kind, in declaration order (used by exporters and tests).
+    pub const ALL: [EventKind; 12] = [
+        EventKind::Send,
+        EventKind::Broadcast,
+        EventKind::AllGather,
+        EventKind::Reduce,
+        EventKind::AllReduce,
+        EventKind::AllToAll,
+        EventKind::Scatter,
+        EventKind::Gather,
+        EventKind::Compute,
+        EventKind::Redistribute,
+        EventKind::Barrier,
+        EventKind::Fault,
+    ];
+
     /// Stable lowercase name, used by the JSONL export.
     pub fn name(&self) -> &'static str {
         match self {
@@ -55,6 +71,11 @@ impl EventKind {
             EventKind::Fault => "fault",
         }
     }
+
+    /// Inverse of [`EventKind::name`], used by the JSONL import.
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        EventKind::ALL.into_iter().find(|k| k.name() == name)
+    }
 }
 
 /// One traced event.
@@ -69,8 +90,21 @@ pub struct Event {
     pub flops: usize,
     /// Simulated elapsed time added by this event (max over participants).
     pub time: f64,
+    /// Simulated clock at which the event began — for collectives this is
+    /// the synchronisation point all participants reached first; together
+    /// with [`Event::time`] it places the event on a timeline.
+    pub start: f64,
+    /// Span path active when the event was recorded
+    /// (`solve/iter=12/matvec`, see [`crate::span`]); empty when no span
+    /// was entered.
+    pub span: String,
     /// Free-form label ("dot-merge", "matvec-bcast", ...).
     pub label: String,
+    /// Per-processor durations for phases where processors finish at
+    /// different times (bulk compute). Empty means every participant was
+    /// busy for the full [`Event::time`]. When present, its length is the
+    /// participant count and `time == max(proc_times)`.
+    pub proc_times: Vec<f64>,
 }
 
 /// Append-only event log with summary accessors.
@@ -158,25 +192,47 @@ impl Trace {
     /// Aggregate the trace per label, in first-appearance order. This is
     /// the per-operation breakdown a solve produces ("dot-merge" cost vs
     /// "matvec-bcast" cost, ...), compact enough to ship in a response.
+    ///
+    /// # Aggregation rules
+    ///
+    /// *Every* event kind participates — data-moving collectives,
+    /// `Compute` phases, and also `Barrier` and `Fault` events (a fault's
+    /// retransmit/restart penalty is real simulated time and must not
+    /// vanish from per-label totals). Per label the summary accumulates
+    /// the event count, the total words moved, the total flops executed,
+    /// and the total simulated time; labels appear in the order the
+    /// trace first saw them. Events with distinct span paths but the
+    /// same label aggregate together — use
+    /// [`Trace::summary_by_span`] for the span-oriented view.
     pub fn summary_by_label(&self) -> Vec<LabelSummary> {
+        self.summarise(|e| e.label.clone())
+    }
+
+    /// Aggregate the trace per span path (see [`crate::span`]), in
+    /// first-appearance order. Events recorded outside any span land
+    /// under the empty path `""`. Follows the same aggregation rules as
+    /// [`Trace::summary_by_label`]: all kinds, including `Barrier` and
+    /// `Fault`, are counted.
+    pub fn summary_by_span(&self) -> Vec<LabelSummary> {
+        self.summarise(|e| e.span.clone())
+    }
+
+    fn summarise(&self, key: impl Fn(&Event) -> String) -> Vec<LabelSummary> {
         let mut order: Vec<String> = Vec::new();
-        let mut agg: std::collections::HashMap<&str, LabelSummary> =
+        let mut agg: std::collections::HashMap<String, LabelSummary> =
             std::collections::HashMap::new();
         for e in &self.events {
-            if !agg.contains_key(e.label.as_str()) {
-                order.push(e.label.clone());
-                agg.insert(
-                    e.label.as_str(),
-                    LabelSummary {
-                        label: e.label.clone(),
-                        count: 0,
-                        words: 0,
-                        flops: 0,
-                        time: 0.0,
-                    },
-                );
-            }
-            let s = agg.get_mut(e.label.as_str()).unwrap();
+            let k = key(e);
+            let s = agg.entry(k.clone()).or_insert_with(|| {
+                order.push(k.clone());
+                LabelSummary {
+                    label: k,
+                    count: 0,
+                    words: 0,
+                    flops: 0,
+                    time: 0.0,
+                }
+            });
             s.count += 1;
             s.words += e.words;
             s.flops += e.flops;
@@ -187,21 +243,225 @@ impl Trace {
 
     /// Export as JSON Lines: one object per event, in record order.
     /// Written by hand so it works with the offline no-op serde stub and
-    /// stays a stable, diffable external format.
+    /// stays a stable, diffable external format. `proc_times` is emitted
+    /// only when per-processor durations were recorded.
+    /// [`Trace::from_jsonl`] is the exact inverse.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for e in &self.events {
             out.push_str(&format!(
-                "{{\"kind\":\"{}\",\"participants\":{},\"words\":{},\"flops\":{},\"time\":{},\"label\":\"{}\"}}\n",
+                "{{\"kind\":\"{}\",\"participants\":{},\"words\":{},\"flops\":{},\"time\":{},\"start\":{},\"span\":\"{}\",\"label\":\"{}\"",
                 e.kind.name(),
                 e.participants,
                 e.words,
                 e.flops,
                 json_f64(e.time),
+                json_f64(e.start),
+                json_escape(&e.span),
                 json_escape(&e.label),
             ));
+            if !e.proc_times.is_empty() {
+                let ts: Vec<String> = e.proc_times.iter().map(|&t| json_f64(t)).collect();
+                out.push_str(&format!(",\"proc_times\":[{}]", ts.join(",")));
+            }
+            out.push_str("}\n");
         }
         out
+    }
+
+    /// Parse a JSONL export back into a trace — the inverse of
+    /// [`Trace::to_jsonl`], so traces survive a file round-trip into the
+    /// `trace-report` tooling. Blank lines are skipped; any malformed
+    /// line is a typed error naming its (1-based) line number.
+    pub fn from_jsonl(text: &str) -> Result<Trace, TraceParseError> {
+        let mut trace = Trace::new();
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ev =
+                parse_event_line(line).map_err(|why| TraceParseError { line: idx + 1, why })?;
+            trace.record(ev);
+        }
+        Ok(trace)
+    }
+}
+
+/// A malformed line in a JSONL trace import.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number.
+    pub line: usize,
+    pub why: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.why)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Parse one `to_jsonl` line. A dedicated scanner (rather than a general
+/// JSON parser) because the schema is fixed and the offline serde stub
+/// cannot deserialize.
+fn parse_event_line(line: &str) -> Result<Event, String> {
+    let mut s = Scanner::new(line);
+    s.expect('{')?;
+    let mut kind: Option<EventKind> = None;
+    let mut participants = 0usize;
+    let mut words = 0usize;
+    let mut flops = 0usize;
+    let mut time = 0.0f64;
+    let mut start = 0.0f64;
+    let mut span = String::new();
+    let mut label = String::new();
+    let mut proc_times: Vec<f64> = Vec::new();
+    loop {
+        let key = s.string()?;
+        s.expect(':')?;
+        match key.as_str() {
+            "kind" => {
+                let name = s.string()?;
+                kind = Some(EventKind::from_name(&name).ok_or(format!("unknown kind '{name}'"))?);
+            }
+            "participants" => participants = s.number()? as usize,
+            "words" => words = s.number()? as usize,
+            "flops" => flops = s.number()? as usize,
+            "time" => time = s.number()?,
+            "start" => start = s.number()?,
+            "span" => span = s.string()?,
+            "label" => label = s.string()?,
+            "proc_times" => proc_times = s.number_array()?,
+            other => return Err(format!("unexpected key '{other}'")),
+        }
+        if s.eat(',') {
+            continue;
+        }
+        s.expect('}')?;
+        break;
+    }
+    s.end()?;
+    Ok(Event {
+        kind: kind.ok_or("missing 'kind'")?,
+        participants,
+        words,
+        flops,
+        time,
+        start,
+        span,
+        label,
+        proc_times,
+    })
+}
+
+/// Character-level scanner over one JSONL line.
+struct Scanner<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(line: &'a str) -> Self {
+        Scanner {
+            chars: line.chars().peekable(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.chars.next() {
+            Some(got) if got == c => Ok(()),
+            Some(got) => Err(format!("expected '{c}', got '{got}'")),
+            None => Err(format!("expected '{c}', got end of line")),
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.chars.peek() == Some(&c) {
+            self.chars.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.chars.next() {
+            None => Ok(()),
+            Some(c) => Err(format!("trailing content starting at '{c}'")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.chars.next().ok_or("truncated \\u escape")?;
+                            code = code * 16 + d.to_digit(16).ok_or("bad \\u escape digit")?;
+                        }
+                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        // `to_jsonl` writes non-finite times as `null`; accept it back.
+        if self.chars.peek() == Some(&'n') {
+            for want in "null".chars() {
+                if self.chars.next() != Some(want) {
+                    return Err("bad literal (expected null)".into());
+                }
+            }
+            return Ok(f64::NAN);
+        }
+        let mut buf = String::new();
+        while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit() || "+-.eE".contains(*c)) {
+            buf.push(self.chars.next().unwrap());
+        }
+        buf.parse::<f64>()
+            .map_err(|e| format!("bad number '{buf}': {e}"))
+    }
+
+    fn number_array(&mut self) -> Result<Vec<f64>, String> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        if self.eat(']') {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.number()?);
+            if self.eat(',') {
+                continue;
+            }
+            self.expect(']')?;
+            return Ok(out);
+        }
     }
 }
 
@@ -256,7 +516,10 @@ mod tests {
             words,
             flops,
             time,
+            start: 0.0,
+            span: String::new(),
             label: label.to_string(),
+            proc_times: Vec::new(),
         }
     }
 
@@ -313,7 +576,8 @@ mod tests {
         assert_eq!(
             lines[0],
             "{\"kind\":\"allgather\",\"participants\":4,\"words\":100,\
-             \"flops\":0,\"time\":1.5,\"label\":\"bcast-p\"}"
+             \"flops\":0,\"time\":1.5,\"start\":0,\"span\":\"\",\
+             \"label\":\"bcast-p\"}"
         );
         // Quotes and newline in the label are escaped, keeping each
         // record on one line.
@@ -342,6 +606,96 @@ mod tests {
         ] {
             assert!(!k.name().is_empty());
         }
+    }
+
+    #[test]
+    fn summary_includes_fault_and_barrier_events() {
+        let mut t = Trace::new();
+        t.record(ev(EventKind::AllReduce, 1, 0, 0.5, "dot-merge"));
+        t.record(ev(EventKind::Barrier, 0, 0, 0.2, "sync"));
+        t.record(ev(EventKind::Fault, 3, 0, 1.1, "fault-retransmit"));
+        t.record(ev(EventKind::Fault, 0, 0, 0.9, "fault-retransmit"));
+        let s = t.summary_by_label();
+        assert_eq!(s.len(), 3, "barrier and fault labels must appear");
+        assert_eq!(s[1].label, "sync");
+        assert_eq!(s[1].count, 1);
+        assert!((s[1].time - 0.2).abs() < 1e-12);
+        assert_eq!(s[2].label, "fault-retransmit");
+        assert_eq!(s[2].count, 2);
+        assert_eq!(s[2].words, 3);
+        assert!((s[2].time - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_by_span_groups_by_span_path() {
+        let mut t = Trace::new();
+        let mut a = ev(EventKind::Compute, 0, 100, 1.0, "local-matvec");
+        a.span = "solve/iter=0/matvec".into();
+        let mut b = ev(EventKind::AllReduce, 1, 0, 0.5, "dot-merge");
+        b.span = "solve/iter=0/dot".into();
+        let mut c = ev(EventKind::AllReduce, 1, 0, 0.5, "dot-merge");
+        c.span = "solve/iter=0/dot".into();
+        t.record(a);
+        t.record(b);
+        t.record(c);
+        t.record(ev(EventKind::Barrier, 0, 0, 0.1, "outside"));
+        let s = t.summary_by_span();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].label, "solve/iter=0/matvec");
+        assert_eq!(s[1].label, "solve/iter=0/dot");
+        assert_eq!(s[1].count, 2);
+        assert_eq!(s[2].label, "", "unspanned events land under ''");
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_kind() {
+        let mut t = Trace::new();
+        for (i, k) in EventKind::ALL.into_iter().enumerate() {
+            let mut e = ev(k, i * 3, i * 7, 0.25 * i as f64, &format!("label-{i}"));
+            e.start = 1.5 * i as f64;
+            e.span = format!("solve/iter={i}/{}", k.name());
+            if k == EventKind::Compute {
+                e.proc_times = vec![0.1, 0.2, 0.3, 0.25 * i as f64];
+            }
+            t.record(e);
+        }
+        let text = t.to_jsonl();
+        let back = Trace::from_jsonl(&text).expect("round-trip parse");
+        assert_eq!(back.len(), t.len());
+        for (orig, parsed) in t.events().iter().zip(back.events()) {
+            assert_eq!(parsed.kind.name(), orig.kind.name());
+            assert_eq!(parsed.participants, orig.participants);
+            assert_eq!(parsed.words, orig.words);
+            assert_eq!(parsed.flops, orig.flops);
+            assert!((parsed.time - orig.time).abs() < 1e-12);
+            assert!((parsed.start - orig.start).abs() < 1e-12);
+            assert_eq!(parsed.span, orig.span);
+            assert_eq!(parsed.label, orig.label);
+            assert_eq!(parsed.proc_times.len(), orig.proc_times.len());
+        }
+        // Re-serialising the parsed trace reproduces the bytes exactly.
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn jsonl_parse_escapes_and_blank_lines() {
+        let mut t = Trace::new();
+        t.record(ev(EventKind::Compute, 0, 64, 2.0, "he said \"go\"\n"));
+        let text = format!("\n{}\n", t.to_jsonl());
+        let back = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.events()[0].label, "he said \"go\"\n");
+    }
+
+    #[test]
+    fn jsonl_parse_reports_line_numbers() {
+        let mut t = Trace::new();
+        t.record(ev(EventKind::Barrier, 0, 0, 0.1, "ok"));
+        let text = format!("{}{}", t.to_jsonl(), "{\"kind\":\"warp\"}\n");
+        let err = Trace::from_jsonl(&text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.why.contains("unknown kind"), "got: {}", err.why);
+        assert!(err.to_string().contains("line 2"));
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! # hpf-obs — observability for the simulated HPF machine
+//!
+//! The paper's performance story ("CG spends its time in matvec
+//! communication and dot-product reductions") is only checkable if the
+//! simulator can *show* where simulated time goes. This crate turns the
+//! raw event [`Trace`](hpf_machine::Trace) and the solver telemetry
+//! hooks into artifacts a human (or CI) can consume:
+//!
+//! - **Spans** — re-exported from `hpf_machine::span`: every traced
+//!   event carries a `/`-joined path like `solve/iter=12/matvec`
+//!   describing *what the program was doing* when the event occurred.
+//! - **Telemetry** — [`ConvergenceLog`] records the per-iteration
+//!   [`IterSample`](hpf_solvers::IterSample) stream (residual, α/β,
+//!   flops, comm, rollbacks) and round-trips it through CSV.
+//! - **Timelines** — [`timeline::Timeline`] reconstructs per-processor
+//!   busy intervals from event `start`/`proc_times` stamps.
+//! - **Exporters** — [`perfetto`] renders a timeline as Chrome/Perfetto
+//!   trace-event JSON; [`prom`] renders an `hpf-service`
+//!   [`MetricsSnapshot`](hpf_service::MetricsSnapshot) as Prometheus
+//!   text exposition.
+//! - **Analysis** — [`analysis`] extracts the critical path, the
+//!   per-processor load-imbalance ratio, and per-span cost attribution.
+//!
+//! Everything is hand-rolled plain text/JSON: the offline build has no
+//! real serde, and the formats here are the public contract.
+
+pub mod analysis;
+pub mod json;
+pub mod perfetto;
+pub mod prom;
+pub mod telemetry;
+pub mod timeline;
+
+pub use analysis::{critical_path, load_imbalance, span_costs, CriticalPathReport, SpanCost};
+pub use hpf_machine::span::{self, current_path, enter};
+pub use hpf_machine::{ScopeGuard, Span};
+pub use hpf_solvers::{IterObserver, IterSample, NullObserver, RecordingObserver};
+pub use perfetto::trace_events_json;
+pub use prom::{render_prometheus, snapshot_from_json};
+pub use telemetry::ConvergenceLog;
+pub use timeline::{Slice, Timeline};

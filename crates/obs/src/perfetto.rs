@@ -1,0 +1,128 @@
+//! Chrome / Perfetto trace-event JSON exporter.
+//!
+//! Produces the classic `{"traceEvents": [...]}` JSON Array Format that
+//! both `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
+//! load directly. Mapping:
+//!
+//! - one *process* (`pid` 0) represents the simulated machine;
+//! - each simulated processor is a *thread* (`tid` = processor rank),
+//!   named via `thread_name` metadata events;
+//! - every [`Slice`](crate::timeline::Slice) becomes a complete event
+//!   (`ph: "X"`) with `ts`/`dur` in microseconds (simulated seconds ×
+//!   10⁶ — the cost model's natural unit is seconds);
+//! - zero-duration slices (instantaneous faults) become thread-scoped
+//!   instant events (`ph: "i"`);
+//! - the span path, word and flop counts ride along in `args`.
+
+use crate::json::{escape, json_f64};
+use crate::timeline::{Slice, Timeline};
+
+const US_PER_S: f64 = 1e6;
+
+/// Render a timeline as Chrome trace-event JSON (one self-contained
+/// document, pretty enough to diff but compact per event).
+pub fn trace_events_json(tl: &Timeline) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(tl.slices.len() + tl.np);
+    for proc in 0..tl.np {
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{proc},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"proc {proc}\"}}}}"
+        ));
+    }
+    for slice in &tl.slices {
+        events.push(slice_json(slice));
+    }
+    format!(
+        "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\"}}",
+        events.join(",\n")
+    )
+}
+
+fn slice_json(s: &Slice) -> String {
+    let name = if s.label.is_empty() { s.kind } else { &s.label };
+    let args = format!(
+        "{{\"span\":\"{}\",\"words\":{},\"flops\":{}}}",
+        escape(&s.span),
+        s.words,
+        s.flops
+    );
+    if s.dur > 0.0 {
+        format!(
+            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"name\":\"{}\",\"cat\":\"{}\",\
+             \"ts\":{},\"dur\":{},\"args\":{}}}",
+            s.proc,
+            escape(name),
+            s.kind,
+            json_f64(s.start * US_PER_S),
+            json_f64(s.dur * US_PER_S),
+            args
+        )
+    } else {
+        format!(
+            "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\"name\":\"{}\",\"cat\":\"{}\",\
+             \"ts\":{},\"args\":{}}}",
+            s.proc,
+            escape(name),
+            s.kind,
+            json_f64(s.start * US_PER_S),
+            args
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use hpf_machine::{CostModel, Machine, Topology};
+
+    #[test]
+    fn exported_document_is_valid_json_with_one_event_per_slice() {
+        let mut m = Machine::new(4, Topology::Hypercube, CostModel::mpp_1995());
+        m.set_tracing(true);
+        {
+            let _s = hpf_machine::span::enter("solve");
+            m.compute_all(&[50, 50, 80, 50], "matvec");
+            m.allreduce(1, "dot");
+            m.barrier("sync");
+        }
+        let tl = Timeline::from_trace(m.trace());
+        let doc = trace_events_json(&tl);
+        validate(&doc).expect("perfetto export must be well-formed JSON");
+        // 4 thread_name metadata events + one event per slice.
+        let events = doc.matches("\"ph\":").count();
+        assert_eq!(events, 4 + tl.slices.len());
+        assert!(doc.contains("\"thread_name\""));
+        assert!(doc.contains("\"span\":\"solve\""));
+        assert!(doc.contains("\"cat\":\"allreduce\""));
+    }
+
+    #[test]
+    fn zero_duration_slices_become_instant_events() {
+        let tl = Timeline {
+            np: 1,
+            slices: vec![crate::timeline::Slice {
+                proc: 0,
+                kind: "fault",
+                span: "solve".to_string(),
+                label: "bitflip".to_string(),
+                start: 0.5,
+                dur: 0.0,
+                words: 0,
+                flops: 0,
+            }],
+            total_time: 0.5,
+        };
+        let doc = trace_events_json(&tl);
+        validate(&doc).unwrap();
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"ts\":500000"));
+    }
+
+    #[test]
+    fn empty_timeline_is_still_a_valid_document() {
+        let doc = trace_events_json(&Timeline::default());
+        validate(&doc).unwrap();
+        assert!(doc.contains("\"traceEvents\""));
+    }
+}

@@ -1,0 +1,301 @@
+//! Prometheus text-exposition exporter for the `hpf-service` metrics.
+//!
+//! Renders a [`MetricsSnapshot`] in the classic text format
+//! (version 0.0.4): `# HELP` / `# TYPE` headers, `_total`-suffixed
+//! counters, plain gauges, and the latency histogram as a proper
+//! cumulative `_bucket` series with `le` labels in **seconds**
+//! (converted from the service's microsecond bucket bounds), a `+Inf`
+//! bucket, and a `_count` aggregate. The service does not track a
+//! latency sum, so no `_sum` series is emitted.
+
+use hpf_service::MetricsSnapshot;
+
+const PREFIX: &str = "hpf_service";
+
+/// Render `snap` as Prometheus text exposition.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let counters: [(&str, u64, &str); 17] = [
+        ("accepted", snap.accepted, "Jobs accepted by submit()"),
+        (
+            "rejected_busy",
+            snap.rejected_busy,
+            "Jobs refused: queue full",
+        ),
+        (
+            "rejected_invalid",
+            snap.rejected_invalid,
+            "Jobs refused: malformed request",
+        ),
+        ("completed", snap.completed, "Jobs finished successfully"),
+        ("failed", snap.failed, "Jobs finished with an error"),
+        (
+            "deadline_exceeded",
+            snap.deadline_exceeded,
+            "Jobs shed because their deadline expired in queue",
+        ),
+        ("cache_hits", snap.cache_hits, "Plan cache hits"),
+        ("cache_misses", snap.cache_misses, "Plan cache misses"),
+        (
+            "partitioner_invocations",
+            snap.partitioner_invocations,
+            "Fresh partitioner runs",
+        ),
+        (
+            "batches_executed",
+            snap.batches_executed,
+            "Batches handed to workers",
+        ),
+        (
+            "batched_jobs",
+            snap.batched_jobs,
+            "Jobs that shared a batch with at least one other job",
+        ),
+        ("rhs_solved", snap.rhs_solved, "Right-hand sides solved"),
+        (
+            "faults_injected",
+            snap.faults_injected,
+            "Faults the simulated machine injected",
+        ),
+        (
+            "faults_detected",
+            snap.faults_detected,
+            "Corruption events protected solvers detected",
+        ),
+        (
+            "rollbacks",
+            snap.rollbacks,
+            "Checkpoint rollbacks performed",
+        ),
+        ("retries", snap.retries, "Job re-attempts"),
+        (
+            "escalations",
+            snap.escalations,
+            "Retries that escalated the solver",
+        ),
+    ];
+    for (name, value, help) in counters {
+        out.push_str(&format!(
+            "# HELP {PREFIX}_{name}_total {help}\n\
+             # TYPE {PREFIX}_{name}_total counter\n\
+             {PREFIX}_{name}_total {value}\n"
+        ));
+    }
+    // breaker_open is a counter of refusals, not the breaker state.
+    out.push_str(&format!(
+        "# HELP {PREFIX}_breaker_open_total Jobs refused by an open circuit breaker\n\
+         # TYPE {PREFIX}_breaker_open_total counter\n\
+         {PREFIX}_breaker_open_total {}\n",
+        snap.breaker_open
+    ));
+    let gauges: [(&str, String, &str); 3] = [
+        (
+            "in_flight",
+            snap.in_flight.to_string(),
+            "Jobs accepted but not yet finished",
+        ),
+        (
+            "queue_depth",
+            snap.queue_depth.to_string(),
+            "Jobs waiting in the intake queue",
+        ),
+        (
+            "uptime_seconds",
+            format!("{}", snap.uptime_seconds),
+            "Seconds since the service started",
+        ),
+    ];
+    for (name, value, help) in gauges {
+        out.push_str(&format!(
+            "# HELP {PREFIX}_{name} {help}\n\
+             # TYPE {PREFIX}_{name} gauge\n\
+             {PREFIX}_{name} {value}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "# HELP {PREFIX}_latency_seconds Submit-to-response latency of completed jobs\n\
+         # TYPE {PREFIX}_latency_seconds histogram\n"
+    ));
+    let mut cumulative = 0u64;
+    for (bound_us, count) in snap
+        .latency_bucket_bounds_us
+        .iter()
+        .zip(&snap.latency_buckets)
+    {
+        cumulative += count;
+        let le = if *bound_us == u64::MAX {
+            "+Inf".to_string()
+        } else {
+            format!("{}", *bound_us as f64 / 1e6)
+        };
+        out.push_str(&format!(
+            "{PREFIX}_latency_seconds_bucket{{le=\"{le}\"}} {cumulative}\n"
+        ));
+    }
+    out.push_str(&format!("{PREFIX}_latency_seconds_count {cumulative}\n"));
+    out
+}
+
+/// Parse a [`MetricsSnapshot`] back from the JSON produced by
+/// [`MetricsSnapshot::to_json`]. This is what lets `trace-report` turn
+/// a metrics file saved by one process into Prometheus text in another
+/// (the offline serde stub cannot deserialize).
+pub fn snapshot_from_json(text: &str) -> Result<MetricsSnapshot, String> {
+    crate::json::validate(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let u = |key: &str| -> Result<u64, String> {
+        scalar(text, key)?
+            .parse()
+            .map_err(|_| format!("bad integer for {key:?}"))
+    };
+    let mut bounds = Vec::new();
+    let mut counts = Vec::new();
+    let latency = section(text, "\"latency\":[", ']')?;
+    for obj in latency.split('{').skip(1) {
+        let le = scalar(obj, "le_us")?;
+        bounds.push(if le == "\"+inf\"" {
+            u64::MAX
+        } else {
+            le.parse().map_err(|_| format!("bad le_us {le:?}"))?
+        });
+        counts.push(
+            scalar(obj, "count")?
+                .parse()
+                .map_err(|_| "bad bucket count".to_string())?,
+        );
+    }
+    let uptime = match scalar(text, "uptime_seconds")?.as_str() {
+        "null" => f64::NAN,
+        s => s.parse().map_err(|_| "bad uptime_seconds".to_string())?,
+    };
+    Ok(MetricsSnapshot {
+        accepted: u("accepted")?,
+        rejected_busy: u("rejected_busy")?,
+        rejected_invalid: u("rejected_invalid")?,
+        completed: u("completed")?,
+        failed: u("failed")?,
+        deadline_exceeded: u("deadline_exceeded")?,
+        cache_hits: u("cache_hits")?,
+        cache_misses: u("cache_misses")?,
+        partitioner_invocations: u("partitioner_invocations")?,
+        batches_executed: u("batches_executed")?,
+        batched_jobs: u("batched_jobs")?,
+        rhs_solved: u("rhs_solved")?,
+        in_flight: u("in_flight")?,
+        faults_injected: u("faults_injected")?,
+        faults_detected: u("faults_detected")?,
+        rollbacks: u("rollbacks")?,
+        retries: u("retries")?,
+        escalations: u("escalations")?,
+        breaker_open: u("breaker_open")?,
+        queue_depth: u("queue_depth")? as usize,
+        uptime_seconds: uptime,
+        latency_bucket_bounds_us: bounds,
+        latency_buckets: counts,
+    })
+}
+
+/// Extract the raw token following `"key":` (number, `null`, or a
+/// quoted string), stopping at `,`, `}` or `]`.
+fn scalar(text: &str, key: &str) -> Result<String, String> {
+    let needle = format!("\"{key}\":");
+    let at = text
+        .find(&needle)
+        .ok_or_else(|| format!("missing field {key:?}"))?;
+    let rest = &text[at + needle.len()..];
+    let end = rest
+        .find([',', '}', ']'])
+        .ok_or_else(|| format!("unterminated field {key:?}"))?;
+    Ok(rest[..end].trim().to_string())
+}
+
+/// The substring between the first occurrence of `open` and the next
+/// `close` after it.
+fn section<'a>(text: &'a str, open: &str, close: char) -> Result<&'a str, String> {
+    let at = text.find(open).ok_or_else(|| format!("missing {open:?}"))?;
+    let rest = &text[at + open.len()..];
+    let end = rest
+        .find(close)
+        .ok_or_else(|| format!("missing {close:?} after {open:?}"))?;
+    Ok(&rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_service::Metrics;
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
+    #[test]
+    fn snapshot_json_round_trips_through_the_parser() {
+        let m = Metrics::new();
+        m.accepted.fetch_add(9, Ordering::Relaxed);
+        m.rollbacks.fetch_add(2, Ordering::Relaxed);
+        m.queue_depth.store(3, Ordering::Relaxed);
+        m.observe_latency(Duration::from_micros(120));
+        let snap = m.snapshot();
+        let back = snapshot_from_json(&snap.to_json()).unwrap();
+        assert_eq!(back.accepted, 9);
+        assert_eq!(back.rollbacks, 2);
+        assert_eq!(back.queue_depth, 3);
+        assert_eq!(back.latency_buckets, snap.latency_buckets);
+        assert_eq!(back.latency_bucket_bounds_us, snap.latency_bucket_bounds_us);
+        assert!((back.uptime_seconds - snap.uptime_seconds).abs() < 1e-9);
+        // And the parsed snapshot renders identical Prometheus text.
+        assert_eq!(render_prometheus(&back), render_prometheus(&snap));
+    }
+
+    #[test]
+    fn parser_rejects_garbage_and_missing_fields() {
+        assert!(snapshot_from_json("not json").is_err());
+        assert!(snapshot_from_json("{}").is_err());
+        assert!(snapshot_from_json("{\"accepted\":1}").is_err());
+    }
+
+    #[test]
+    fn exposition_has_counters_gauges_and_cumulative_buckets() {
+        let m = Metrics::new();
+        m.accepted.fetch_add(4, Ordering::Relaxed);
+        m.completed.fetch_add(3, Ordering::Relaxed);
+        m.queue_depth.store(2, Ordering::Relaxed);
+        m.observe_latency(Duration::from_micros(50));
+        m.observe_latency(Duration::from_micros(50));
+        m.observe_latency(Duration::from_millis(5));
+        let text = render_prometheus(&m.snapshot());
+
+        assert!(text.contains("hpf_service_accepted_total 4"));
+        assert!(text.contains("hpf_service_completed_total 3"));
+        assert!(text.contains("hpf_service_queue_depth 2"));
+        assert!(text.contains("# TYPE hpf_service_queue_depth gauge"));
+        assert!(text.contains("# TYPE hpf_service_latency_seconds histogram"));
+        // Buckets are cumulative: 2 in <=0.0001, still 2 at <=0.001,
+        // 3 from <=0.01 onwards, and +Inf == _count == 3.
+        assert!(text.contains("latency_seconds_bucket{le=\"0.0001\"} 2"));
+        assert!(text.contains("latency_seconds_bucket{le=\"0.001\"} 2"));
+        assert!(text.contains("latency_seconds_bucket{le=\"0.01\"} 3"));
+        assert!(text.contains("latency_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("hpf_service_latency_seconds_count 3"));
+        assert!(text.contains("hpf_service_uptime_seconds"));
+    }
+
+    #[test]
+    fn every_metric_line_is_name_space_value() {
+        let text = render_prometheus(&Metrics::new().snapshot());
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split(' ');
+            let name = parts.next().unwrap();
+            let value = parts.next().unwrap();
+            assert!(parts.next().is_none(), "extra tokens in {line:?}");
+            assert!(name.starts_with("hpf_service_"), "bad name in {line:?}");
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+        }
+    }
+
+    #[test]
+    fn type_headers_precede_their_series() {
+        let text = render_prometheus(&Metrics::new().snapshot());
+        let type_pos = text.find("# TYPE hpf_service_accepted_total").unwrap();
+        let series_pos = text.find("\nhpf_service_accepted_total ").unwrap();
+        assert!(type_pos < series_pos);
+    }
+}

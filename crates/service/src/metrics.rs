@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Upper bounds (inclusive, in microseconds) of the latency histogram
 /// buckets; the last bucket is unbounded.
@@ -10,7 +10,7 @@ pub const LATENCY_BUCKET_BOUNDS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_0
 
 /// Live, lock-free counters updated by the submit path, the dispatcher,
 /// and the workers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     pub accepted: AtomicU64,
     pub rejected_busy: AtomicU64,
@@ -38,12 +38,47 @@ pub struct Metrics {
     pub escalations: AtomicU64,
     /// Jobs refused because a structure's circuit breaker was open.
     pub breaker_open: AtomicU64,
+    /// Gauge: jobs sitting in the intake queue right now (accepted by
+    /// `submit`, not yet pulled by the dispatcher).
+    pub queue_depth: AtomicU64,
     latency_buckets: [AtomicU64; LATENCY_BUCKET_BOUNDS_US.len()],
+    /// When this `Metrics` was created (service start).
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Metrics {
     pub fn new() -> Self {
-        Self::default()
+        let z = || AtomicU64::new(0);
+        Metrics {
+            accepted: z(),
+            rejected_busy: z(),
+            rejected_invalid: z(),
+            completed: z(),
+            failed: z(),
+            deadline_exceeded: z(),
+            cache_hits: z(),
+            cache_misses: z(),
+            partitioner_invocations: z(),
+            batches_executed: z(),
+            batched_jobs: z(),
+            rhs_solved: z(),
+            in_flight: z(),
+            faults_injected: z(),
+            faults_detected: z(),
+            rollbacks: z(),
+            retries: z(),
+            escalations: z(),
+            breaker_open: z(),
+            queue_depth: z(),
+            latency_buckets: Default::default(),
+            started: Instant::now(),
+        }
     }
 
     /// Record one completed job's submit→response latency.
@@ -56,8 +91,9 @@ impl Metrics {
         self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Consistent-enough point-in-time copy of every counter.
-    pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
+    /// Consistent-enough point-in-time copy of every counter, plus the
+    /// `queue_depth` gauge and the service uptime at snapshot time.
+    pub fn snapshot(&self) -> MetricsSnapshot {
         let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
         MetricsSnapshot {
             accepted: g(&self.accepted),
@@ -79,7 +115,8 @@ impl Metrics {
             retries: g(&self.retries),
             escalations: g(&self.escalations),
             breaker_open: g(&self.breaker_open),
-            queue_depth,
+            queue_depth: g(&self.queue_depth) as usize,
+            uptime_seconds: self.started.elapsed().as_secs_f64(),
             latency_bucket_bounds_us: LATENCY_BUCKET_BOUNDS_US.to_vec(),
             latency_buckets: self.latency_buckets.iter().map(g).collect(),
         }
@@ -87,7 +124,7 @@ impl Metrics {
 }
 
 /// Serializable point-in-time view of the service counters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     pub accepted: u64,
     pub rejected_busy: u64,
@@ -109,6 +146,8 @@ pub struct MetricsSnapshot {
     pub escalations: u64,
     pub breaker_open: u64,
     pub queue_depth: usize,
+    /// Seconds since the service (its `Metrics`) was created.
+    pub uptime_seconds: f64,
     /// Inclusive bucket upper bounds in microseconds (last = +inf).
     pub latency_bucket_bounds_us: Vec<u64>,
     /// Completed-job latency counts per bucket.
@@ -139,7 +178,8 @@ impl MetricsSnapshot {
              \"batches_executed\":{},\"batched_jobs\":{},\"rhs_solved\":{},\
              \"in_flight\":{},\"faults_injected\":{},\"faults_detected\":{},\
              \"rollbacks\":{},\"retries\":{},\"escalations\":{},\
-             \"breaker_open\":{},\"queue_depth\":{},\"latency\":[{}]}}",
+             \"breaker_open\":{},\"queue_depth\":{},\"uptime_seconds\":{},\
+             \"latency\":[{}]}}",
             self.accepted,
             self.rejected_busy,
             self.rejected_invalid,
@@ -160,6 +200,11 @@ impl MetricsSnapshot {
             self.escalations,
             self.breaker_open,
             self.queue_depth,
+            if self.uptime_seconds.is_finite() {
+                format!("{}", self.uptime_seconds)
+            } else {
+                "null".to_string()
+            },
             buckets.join(",")
         )
     }
@@ -175,7 +220,7 @@ mod tests {
         m.observe_latency(Duration::from_micros(50)); // <= 100us
         m.observe_latency(Duration::from_micros(500)); // <= 1ms
         m.observe_latency(Duration::from_secs(100)); // +inf bucket
-        let s = m.snapshot(0);
+        let s = m.snapshot();
         assert_eq!(s.latency_buckets[0], 1);
         assert_eq!(s.latency_buckets[1], 1);
         assert_eq!(*s.latency_buckets.last().unwrap(), 1);
@@ -187,17 +232,29 @@ mod tests {
         let m = Metrics::new();
         m.accepted.fetch_add(5, Ordering::Relaxed);
         m.cache_hits.fetch_add(3, Ordering::Relaxed);
-        let s = m.snapshot(7);
+        m.queue_depth.store(7, Ordering::Relaxed);
+        let s = m.snapshot();
         assert_eq!(s.accepted, 5);
         assert_eq!(s.cache_hits, 3);
         assert_eq!(s.queue_depth, 7);
     }
 
     #[test]
+    fn uptime_is_nonnegative_and_advances() {
+        let m = Metrics::new();
+        let a = m.snapshot().uptime_seconds;
+        assert!(a >= 0.0);
+        std::thread::sleep(Duration::from_millis(5));
+        let b = m.snapshot().uptime_seconds;
+        assert!(b > a, "uptime should advance: {a} then {b}");
+    }
+
+    #[test]
     fn json_is_well_formed_and_names_every_counter() {
         let m = Metrics::new();
         m.observe_latency(Duration::from_millis(2));
-        let j = m.snapshot(1).to_json();
+        m.queue_depth.store(1, Ordering::Relaxed);
+        let j = m.snapshot().to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         for key in [
             "accepted",
@@ -213,6 +270,7 @@ mod tests {
             "escalations",
             "breaker_open",
             "queue_depth",
+            "uptime_seconds",
             "latency",
             "+inf",
         ] {

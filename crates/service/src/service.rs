@@ -70,7 +70,6 @@ pub struct SolverService {
     metrics: Arc<Metrics>,
     cache: Arc<Mutex<PlanCache>>,
     next_id: AtomicU64,
-    queue_len: Arc<AtomicU64>,
     shutting_down: Arc<AtomicBool>,
     breaker: Arc<CircuitBreaker>,
     dispatcher: Option<JoinHandle<()>>,
@@ -87,7 +86,6 @@ impl SolverService {
         let cache = Arc::new(Mutex::new(PlanCache::new(
             config.plan_cache_capacity.max(1),
         )));
-        let queue_len = Arc::new(AtomicU64::new(0));
         let shutting_down = Arc::new(AtomicBool::new(false));
         let breaker = Arc::new(CircuitBreaker::new(
             config.breaker_threshold,
@@ -101,14 +99,11 @@ impl SolverService {
 
         let dispatcher = {
             let cfg = config.clone();
-            let queue_len = queue_len.clone();
             let shutting_down = shutting_down.clone();
             let metrics = metrics.clone();
             std::thread::Builder::new()
                 .name("hpf-service-dispatcher".into())
-                .spawn(move || {
-                    dispatcher_loop(cfg, job_rx, batch_tx, queue_len, shutting_down, metrics)
-                })
+                .spawn(move || dispatcher_loop(cfg, job_rx, batch_tx, shutting_down, metrics))
                 .expect("spawn dispatcher")
         };
 
@@ -132,7 +127,6 @@ impl SolverService {
             metrics,
             cache,
             next_id: AtomicU64::new(1),
-            queue_len,
             shutting_down,
             breaker,
             dispatcher: Some(dispatcher),
@@ -168,7 +162,7 @@ impl SolverService {
             Ok(()) => {
                 self.metrics.accepted.fetch_add(1, Ordering::Relaxed);
                 self.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
-                self.queue_len.fetch_add(1, Ordering::Relaxed);
+                self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
                 Ok(JobHandle { job_id, rx })
             }
             Err(TrySendError::Full(_)) => {
@@ -186,10 +180,10 @@ impl SolverService {
         self.submit(request)?.wait()
     }
 
-    /// Point-in-time counters (including current queue depth).
+    /// Point-in-time counters (including the current queue-depth gauge
+    /// and service uptime).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics
-            .snapshot(self.queue_len.load(Ordering::Relaxed) as usize)
+        self.metrics.snapshot()
     }
 
     /// Number of plans currently cached.
@@ -202,7 +196,7 @@ impl SolverService {
     /// to a worker run to completion.
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.shutdown_in_place();
-        self.metrics.snapshot(0)
+        self.metrics.snapshot()
     }
 
     /// True once shutdown has begun (visible to the dispatcher).
@@ -276,7 +270,6 @@ fn dispatcher_loop(
     config: ServiceConfig,
     job_rx: Receiver<Job>,
     batch_tx: Sender<Batch>,
-    queue_len: Arc<AtomicU64>,
     shutting_down: Arc<AtomicBool>,
     metrics: Arc<Metrics>,
 ) {
@@ -294,7 +287,7 @@ fn dispatcher_loop(
             Some(j) => j,
             None if intake_open => match job_rx.recv() {
                 Ok(j) => {
-                    queue_len.fetch_sub(1, Ordering::Relaxed);
+                    metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
                     j
                 }
                 Err(_) => {
@@ -314,7 +307,7 @@ fn dispatcher_loop(
         while pending.len() < pending_cap {
             match job_rx.try_recv() {
                 Ok(j) => {
-                    queue_len.fetch_sub(1, Ordering::Relaxed);
+                    metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
                     pending.push_back(j);
                 }
                 Err(TryRecvError::Empty) => break,

@@ -141,6 +141,9 @@ pub fn execute_batch(
     }
 
     for job in batch.jobs {
+        // Tag every machine event this job induces with its id, so
+        // multi-job traces stay attributable: "job=7/solve/iter=3/...".
+        let _job_span = hpf_machine::span::enter(format!("job={}", job.id));
         let job_started = Instant::now();
         let max_attempts = config.max_attempts.max(1);
         let mut kind = job.request.solver;
@@ -388,7 +391,7 @@ mod tests {
             assert!(resp.trace.events > 0);
             assert!(!resp.trace.by_label.is_empty());
         }
-        let s = metrics.snapshot(0);
+        let s = metrics.snapshot();
         assert_eq!(s.completed, 3);
         assert_eq!(s.partitioner_invocations, 1);
         assert_eq!(s.batches_executed, 1);
@@ -418,7 +421,7 @@ mod tests {
             }
             other => panic!("expected DeadlineExceeded, got {other:?}"),
         }
-        let s = metrics.snapshot(0);
+        let s = metrics.snapshot();
         assert_eq!(s.deadline_exceeded, 1);
         assert_eq!(s.completed, 0);
         // No partitioning happened for a job that never ran.
@@ -444,7 +447,7 @@ mod tests {
             );
             assert!(rx.recv().unwrap().is_ok());
         }
-        let s = metrics.snapshot(0);
+        let s = metrics.snapshot();
         assert_eq!(s.partitioner_invocations, 3);
         assert_eq!(s.cache_hits, 0);
         assert_eq!(s.cache_misses, 0);
@@ -506,6 +509,6 @@ mod tests {
             let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
             assert!(res <= 1e-6 * bn.max(1.0), "residual {res}");
         }
-        assert_eq!(metrics.snapshot(0).rhs_solved, 4);
+        assert_eq!(metrics.snapshot().rhs_solved, 4);
     }
 }

@@ -23,10 +23,11 @@
 //! chosen data layout induces is charged to the simulated machine.
 
 use crate::error::SolverError;
+use crate::observer::{IterObserver, IterSample, MachineMark, NullObserver};
 use crate::operator::{DistOperator, SerialOperator};
 use crate::stopping::{ResidualMonitor, SolveStats, StopCriterion};
 use hpf_core::DistVector;
-use hpf_machine::Machine;
+use hpf_machine::{span, Machine};
 
 /// Guard against division by a numerically dead inner product.
 pub(crate) fn check_breakdown(what: &'static str, v: f64) -> Result<(), SolverError> {
@@ -62,6 +63,19 @@ pub fn cg<A: SerialOperator + ?Sized>(
     b: &[f64],
     stop: StopCriterion,
     max_iters: usize,
+) -> Result<(Vec<f64>, SolveStats), SolverError> {
+    cg_with_observer(a, b, stop, max_iters, &mut NullObserver)
+}
+
+/// [`cg`] with a per-iteration telemetry hook (see
+/// [`crate::observer::IterObserver`]). Serial solves have no machine, so
+/// samples carry zero flops/comm/sim-time.
+pub fn cg_with_observer<A: SerialOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    stop: StopCriterion,
+    max_iters: usize,
+    obs: &mut dyn IterObserver,
 ) -> Result<(Vec<f64>, SolveStats), SolverError> {
     let n = a.dim();
     if b.len() != n {
@@ -103,6 +117,18 @@ pub fn cg<A: SerialOperator + ?Sized>(
         stats.dots += 1;
         stats.iterations += 1;
         stats.residual_norm = rho_new.sqrt();
+        // beta reported is the one the *next* direction update will use
+        // (rho_new / rho), the scalar the paper's saypx line consumes.
+        obs.on_iteration(&IterSample {
+            iteration: stats.iterations,
+            residual_norm: stats.residual_norm,
+            alpha,
+            beta: rho_new / rho,
+            flops: 0,
+            comm_words: 0,
+            sim_time: 0.0,
+            rollbacks: 0,
+        });
         if monitor.observe(stats.residual_norm, b_norm)? {
             stats.converged = true;
             return Ok((x, stats));
@@ -128,6 +154,21 @@ pub fn cg_distributed<A: DistOperator + ?Sized>(
     stop: StopCriterion,
     max_iters: usize,
 ) -> Result<(DistVector, SolveStats), SolverError> {
+    cg_distributed_with_observer(machine, a, b_global, stop, max_iters, &mut NullObserver)
+}
+
+/// [`cg_distributed`] with per-iteration telemetry. Machine events are
+/// span-tagged (`solve/iter=k/matvec`, `.../dot`, `.../axpy`) and each
+/// [`IterSample`] carries the flop/word delta the iteration charged.
+pub fn cg_distributed_with_observer<A: DistOperator + ?Sized>(
+    machine: &mut Machine,
+    a: &A,
+    b_global: &[f64],
+    stop: StopCriterion,
+    max_iters: usize,
+    obs: &mut dyn IterObserver,
+) -> Result<(DistVector, SolveStats), SolverError> {
+    let _solve_span = span::enter("solve");
     let n = a.dim();
     if b_global.len() != n {
         return Err(SolverError::DimensionMismatch {
@@ -145,9 +186,15 @@ pub fn cg_distributed<A: DistOperator + ?Sized>(
     let mut r = b.clone();
     let mut p = b.clone();
 
-    let b_norm = b.dot(machine, &b).sqrt();
+    let b_norm = {
+        let _s = span::enter("setup");
+        b.dot(machine, &b).sqrt()
+    };
     stats.dots += 1;
-    let mut rho = r.dot(machine, &r);
+    let mut rho = {
+        let _s = span::enter("setup");
+        r.dot(machine, &r)
+    };
     stats.dots += 1;
     stats.residual_norm = rho.sqrt();
     if monitor.observe(stats.residual_norm, b_norm)? {
@@ -155,20 +202,45 @@ pub fn cg_distributed<A: DistOperator + ?Sized>(
         return Ok((x, stats));
     }
 
-    for _k in 0..max_iters {
-        let q = a.apply(machine, &p);
+    let mut mark = MachineMark::take(machine);
+    for k in 0..max_iters {
+        let _iter_span = span::enter(format!("iter={k}"));
+        let q = {
+            let _s = span::enter("matvec");
+            a.apply(machine, &p)
+        };
         stats.matvecs += 1;
-        let pq = p.dot(machine, &q);
+        let pq = {
+            let _s = span::enter("dot");
+            p.dot(machine, &q)
+        };
         stats.dots += 1;
         check_breakdown("p.Ap", pq)?;
         let alpha = rho / pq;
-        x.axpy(machine, alpha, &p); // x = x + alpha p
-        r.axpy(machine, -alpha, &q); // r = r - alpha q
+        {
+            let _s = span::enter("axpy");
+            x.axpy(machine, alpha, &p); // x = x + alpha p
+            r.axpy(machine, -alpha, &q); // r = r - alpha q
+        }
         stats.axpys += 2;
-        let rho_new = r.dot(machine, &r);
+        let rho_new = {
+            let _s = span::enter("dot");
+            r.dot(machine, &r)
+        };
         stats.dots += 1;
         stats.iterations += 1;
         stats.residual_norm = rho_new.sqrt();
+        let (d_flops, d_words) = mark.delta(machine);
+        obs.on_iteration(&IterSample {
+            iteration: stats.iterations,
+            residual_norm: stats.residual_norm,
+            alpha,
+            beta: rho_new / rho,
+            flops: d_flops,
+            comm_words: d_words,
+            sim_time: machine.elapsed(),
+            rollbacks: 0,
+        });
         if monitor.observe(stats.residual_norm, b_norm)? {
             stats.converged = true;
             return Ok((x, stats));
@@ -176,7 +248,10 @@ pub fn cg_distributed<A: DistOperator + ?Sized>(
         check_breakdown("rho", rho)?;
         let beta = rho_new / rho;
         rho = rho_new;
-        p.aypx(machine, beta, &r); // p = beta p + r  (saypx)
+        {
+            let _s = span::enter("axpy");
+            p.aypx(machine, beta, &r); // p = beta p + r  (saypx)
+        }
         stats.axpys += 1;
     }
     Ok((x, stats))
@@ -304,6 +379,66 @@ mod tests {
         let reduces = m.trace().count(EventKind::AllReduce);
         assert_eq!(gathers, stats.iterations); // one per matvec
         assert_eq!(reduces, stats.dots); // one merge per DOT_PRODUCT
+    }
+
+    #[test]
+    fn distributed_cg_events_carry_span_paths() {
+        let a = gen::poisson_2d(6, 6);
+        let (_, b) = gen::rhs_for_known_solution(&a);
+        let np = 4;
+        let mut m = Machine::new(np, Topology::Hypercube, CostModel::mpp_1995());
+        let op = RowwiseCsr::block(a, np, DataArrayLayout::RowAligned);
+        let mut obs = crate::observer::RecordingObserver::new();
+        let (_, stats) = cg_distributed_with_observer(
+            &mut m,
+            &op,
+            &b,
+            StopCriterion::RelativeResidual(1e-10),
+            500,
+            &mut obs,
+        )
+        .unwrap();
+        assert!(stats.converged);
+        // Every event recorded inside the loop carries a
+        // solve/iter=k/<phase> path; the setup dots carry solve/setup.
+        let evs = m.trace().events();
+        assert!(evs.iter().all(|e| e.span.starts_with("solve")));
+        assert!(evs.iter().any(|e| e.span == "solve/iter=0/matvec"));
+        assert!(evs.iter().any(|e| e.span == "solve/iter=0/dot"));
+        assert!(evs.iter().any(|e| e.span == "solve/setup"));
+        // One telemetry sample per iteration, residuals decreasing
+        // overall and alpha/beta finite.
+        assert_eq!(obs.samples.len(), stats.iterations);
+        assert!(obs.samples.iter().all(|s| s.alpha.is_finite()));
+        assert!(obs.samples.iter().all(|s| s.beta.is_finite()));
+        assert!(obs.samples.iter().all(|s| s.comm_words > 0));
+        assert!(obs.samples.last().unwrap().residual_norm < obs.samples[0].residual_norm);
+        // sim_time is cumulative and nondecreasing.
+        assert!(obs
+            .samples
+            .windows(2)
+            .all(|w| w[1].sim_time >= w[0].sim_time));
+        // The span stack unwound completely.
+        assert_eq!(hpf_machine::span::depth(), 0);
+    }
+
+    #[test]
+    fn serial_cg_observer_sees_every_iteration() {
+        let a = gen::poisson_2d(8, 8);
+        let (_, b) = gen::rhs_for_known_solution(&a);
+        let mut obs = crate::observer::RecordingObserver::new();
+        let (_, stats) = cg_with_observer(
+            &a,
+            &b,
+            StopCriterion::RelativeResidual(1e-10),
+            1000,
+            &mut obs,
+        )
+        .unwrap();
+        assert!(stats.converged);
+        assert_eq!(obs.samples.len(), stats.iterations);
+        assert_eq!(obs.samples.last().unwrap().iteration, stats.iterations);
+        assert!((obs.samples.last().unwrap().residual_norm - stats.residual_norm).abs() < 1e-300);
     }
 
     #[test]

@@ -9,10 +9,11 @@
 
 use crate::cg::check_breakdown;
 use crate::error::SolverError;
+use crate::observer::{IterObserver, IterSample, MachineMark, NullObserver};
 use crate::operator::DistOperator;
 use crate::stopping::{ResidualMonitor, SolveStats, StopCriterion};
 use hpf_core::DistVector;
-use hpf_machine::Machine;
+use hpf_machine::{span, Machine};
 
 /// Distributed BiCG.
 pub fn bicg_distributed<A: DistOperator + ?Sized>(
@@ -22,6 +23,20 @@ pub fn bicg_distributed<A: DistOperator + ?Sized>(
     stop: StopCriterion,
     max_iters: usize,
 ) -> Result<(DistVector, SolveStats), SolverError> {
+    bicg_distributed_with_observer(machine, a, b_global, stop, max_iters, &mut NullObserver)
+}
+
+/// [`bicg_distributed`] with per-iteration telemetry and span-tagged
+/// machine events.
+pub fn bicg_distributed_with_observer<A: DistOperator + ?Sized>(
+    machine: &mut Machine,
+    a: &A,
+    b_global: &[f64],
+    stop: StopCriterion,
+    max_iters: usize,
+    obs: &mut dyn IterObserver,
+) -> Result<(DistVector, SolveStats), SolverError> {
+    let _solve_span = span::enter("solve");
     let n = a.dim();
     if b_global.len() != n {
         return Err(SolverError::DimensionMismatch {
@@ -51,11 +66,19 @@ pub fn bicg_distributed<A: DistOperator + ?Sized>(
         return Ok((x, stats));
     }
 
-    for _ in 0..max_iters {
+    let mut mark = MachineMark::take(machine);
+    for k in 0..max_iters {
+        let _iter_span = span::enter(format!("iter={k}"));
         check_breakdown("rho", rho)?;
-        let q = a.apply(machine, &p);
+        let q = {
+            let _s = span::enter("matvec");
+            a.apply(machine, &p)
+        };
         stats.matvecs += 1;
-        let q_hat = a.apply_transpose(machine, &p_hat);
+        let q_hat = {
+            let _s = span::enter("matvec-transpose");
+            a.apply_transpose(machine, &p_hat)
+        };
         stats.transpose_matvecs += 1;
         let pq = p_hat.dot(machine, &q);
         stats.dots += 1;
@@ -68,13 +91,28 @@ pub fn bicg_distributed<A: DistOperator + ?Sized>(
         stats.iterations += 1;
         stats.residual_norm = r.dot(machine, &r).sqrt();
         stats.dots += 1;
+        let (d_flops, d_words) = mark.delta(machine);
+        let sim_time = machine.elapsed();
+        let (it, rn) = (stats.iterations, stats.residual_norm);
+        let sample = move |beta: f64| IterSample {
+            iteration: it,
+            residual_norm: rn,
+            alpha,
+            beta,
+            flops: d_flops,
+            comm_words: d_words,
+            sim_time,
+            rollbacks: 0,
+        };
         if monitor.observe(stats.residual_norm, b_norm)? {
+            obs.on_iteration(&sample(f64::NAN));
             stats.converged = true;
             return Ok((x, stats));
         }
         let rho_new = r_hat.dot(machine, &r);
         stats.dots += 1;
         let beta = rho_new / rho;
+        obs.on_iteration(&sample(beta));
         rho = rho_new;
         p.aypx(machine, beta, &r);
         p_hat.aypx(machine, beta, &r_hat);
@@ -92,6 +130,20 @@ pub fn bicgstab_distributed<A: DistOperator + ?Sized>(
     stop: StopCriterion,
     max_iters: usize,
 ) -> Result<(DistVector, SolveStats), SolverError> {
+    bicgstab_distributed_with_observer(machine, a, b_global, stop, max_iters, &mut NullObserver)
+}
+
+/// [`bicgstab_distributed`] with per-iteration telemetry and span-tagged
+/// machine events.
+pub fn bicgstab_distributed_with_observer<A: DistOperator + ?Sized>(
+    machine: &mut Machine,
+    a: &A,
+    b_global: &[f64],
+    stop: StopCriterion,
+    max_iters: usize,
+    obs: &mut dyn IterObserver,
+) -> Result<(DistVector, SolveStats), SolverError> {
+    let _solve_span = span::enter("solve");
     let n = a.dim();
     if b_global.len() != n {
         return Err(SolverError::DimensionMismatch {
@@ -119,9 +171,14 @@ pub fn bicgstab_distributed<A: DistOperator + ?Sized>(
         return Ok((x, stats));
     }
 
-    for _ in 0..max_iters {
+    let mut mark = MachineMark::take(machine);
+    for k in 0..max_iters {
+        let _iter_span = span::enter(format!("iter={k}"));
         check_breakdown("rho", rho)?;
-        let v = a.apply(machine, &p);
+        let v = {
+            let _s = span::enter("matvec");
+            a.apply(machine, &p)
+        };
         stats.matvecs += 1;
         let rv = r_hat.dot(machine, &v);
         stats.dots += 1;
@@ -137,10 +194,24 @@ pub fn bicgstab_distributed<A: DistOperator + ?Sized>(
             stats.axpys += 1;
             stats.iterations += 1;
             stats.residual_norm = s_norm;
+            let (d_flops, d_words) = mark.delta(machine);
+            obs.on_iteration(&IterSample {
+                iteration: stats.iterations,
+                residual_norm: s_norm,
+                alpha,
+                beta: f64::NAN,
+                flops: d_flops,
+                comm_words: d_words,
+                sim_time: machine.elapsed(),
+                rollbacks: 0,
+            });
             stats.converged = true;
             return Ok((x, stats));
         }
-        let t = a.apply(machine, &s);
+        let t = {
+            let _s = span::enter("matvec");
+            a.apply(machine, &s)
+        };
         stats.matvecs += 1;
         let tt = t.dot(machine, &t);
         stats.dots += 1;
@@ -157,13 +228,28 @@ pub fn bicgstab_distributed<A: DistOperator + ?Sized>(
         stats.iterations += 1;
         stats.residual_norm = r.dot(machine, &r).sqrt();
         stats.dots += 1;
+        let (d_flops, d_words) = mark.delta(machine);
+        let sim_time = machine.elapsed();
+        let (it, rn) = (stats.iterations, stats.residual_norm);
+        let sample = move |beta: f64| IterSample {
+            iteration: it,
+            residual_norm: rn,
+            alpha,
+            beta,
+            flops: d_flops,
+            comm_words: d_words,
+            sim_time,
+            rollbacks: 0,
+        };
         if monitor.observe(stats.residual_norm, b_norm)? {
+            obs.on_iteration(&sample(f64::NAN));
             stats.converged = true;
             return Ok((x, stats));
         }
         let rho_new = r_hat.dot(machine, &r);
         stats.dots += 1;
         let beta = (rho_new / rho) * (alpha / omega);
+        obs.on_iteration(&sample(beta));
         rho = rho_new;
         // p = r + beta (p - omega v)
         p.axpy(machine, -omega, &v);
@@ -183,6 +269,20 @@ pub fn pcg_jacobi_distributed<A: DistOperator + ?Sized>(
     stop: StopCriterion,
     max_iters: usize,
 ) -> Result<(DistVector, SolveStats), SolverError> {
+    pcg_jacobi_distributed_with_observer(machine, a, b_global, stop, max_iters, &mut NullObserver)
+}
+
+/// [`pcg_jacobi_distributed`] with per-iteration telemetry and
+/// span-tagged machine events.
+pub fn pcg_jacobi_distributed_with_observer<A: DistOperator + ?Sized>(
+    machine: &mut Machine,
+    a: &A,
+    b_global: &[f64],
+    stop: StopCriterion,
+    max_iters: usize,
+    obs: &mut dyn IterObserver,
+) -> Result<(DistVector, SolveStats), SolverError> {
+    let _solve_span = span::enter("solve");
     let n = a.dim();
     if b_global.len() != n {
         return Err(SolverError::DimensionMismatch {
@@ -226,28 +326,60 @@ pub fn pcg_jacobi_distributed<A: DistOperator + ?Sized>(
         return Ok((x, stats));
     }
 
-    for _ in 0..max_iters {
-        let q = a.apply(machine, &p);
+    let mut mark = MachineMark::take(machine);
+    for k in 0..max_iters {
+        let _iter_span = span::enter(format!("iter={k}"));
+        let q = {
+            let _s = span::enter("matvec");
+            a.apply(machine, &p)
+        };
         stats.matvecs += 1;
-        let pq = p.dot(machine, &q);
+        let pq = {
+            let _s = span::enter("dot");
+            p.dot(machine, &q)
+        };
         stats.dots += 1;
         check_breakdown("p.Ap", pq)?;
         let alpha = rho / pq;
-        x.axpy(machine, alpha, &p);
-        r.axpy(machine, -alpha, &q);
+        {
+            let _s = span::enter("axpy");
+            x.axpy(machine, alpha, &p);
+            r.axpy(machine, -alpha, &q);
+        }
         stats.axpys += 2;
         stats.iterations += 1;
-        stats.residual_norm = r.dot(machine, &r).sqrt();
+        stats.residual_norm = {
+            let _s = span::enter("dot");
+            r.dot(machine, &r).sqrt()
+        };
         stats.dots += 1;
+        let (d_flops, d_words) = mark.delta(machine);
+        let sim_time = machine.elapsed();
+        let (it, rn) = (stats.iterations, stats.residual_norm);
+        let sample = move |beta: f64| IterSample {
+            iteration: it,
+            residual_norm: rn,
+            alpha,
+            beta,
+            flops: d_flops,
+            comm_words: d_words,
+            sim_time,
+            rollbacks: 0,
+        };
         if monitor.observe(stats.residual_norm, b_norm)? {
+            obs.on_iteration(&sample(f64::NAN));
             stats.converged = true;
             return Ok((x, stats));
         }
-        z = precondition(machine, &r);
+        z = {
+            let _s = span::enter("precondition");
+            precondition(machine, &r)
+        };
         let rho_new = r.dot(machine, &z);
         stats.dots += 1;
         check_breakdown("rho", rho)?;
         let beta = rho_new / rho;
+        obs.on_iteration(&sample(beta));
         rho = rho_new;
         p.aypx(machine, beta, &z);
         stats.axpys += 1;
@@ -270,6 +402,30 @@ pub fn gmres_distributed<A: DistOperator + ?Sized>(
     stop: StopCriterion,
     max_iters: usize,
 ) -> Result<(DistVector, SolveStats), SolverError> {
+    gmres_distributed_with_observer(
+        machine,
+        a,
+        b_global,
+        restart,
+        stop,
+        max_iters,
+        &mut NullObserver,
+    )
+}
+
+/// [`gmres_distributed`] with per-iteration telemetry. One sample per
+/// Arnoldi step, carrying the Givens residual estimate; GMRES has no
+/// single alpha/beta, so those fields are `NaN`.
+pub fn gmres_distributed_with_observer<A: DistOperator + ?Sized>(
+    machine: &mut Machine,
+    a: &A,
+    b_global: &[f64],
+    restart: usize,
+    stop: StopCriterion,
+    max_iters: usize,
+    obs: &mut dyn IterObserver,
+) -> Result<(DistVector, SolveStats), SolverError> {
+    let _solve_span = span::enter("solve");
     let n = a.dim();
     if b_global.len() != n {
         return Err(SolverError::DimensionMismatch {
@@ -316,15 +472,23 @@ pub fn gmres_distributed<A: DistOperator + ?Sized>(
         let mut g = vec![0.0f64; m + 1];
         g[0] = beta;
 
+        let mut mark = MachineMark::take(machine);
         let mut k_used = 0usize;
         for j in 0..m {
             if stats.iterations >= max_iters {
                 break;
             }
-            let mut w = a.apply(machine, &v[j]);
+            let _iter_span = span::enter(format!("iter={}", stats.iterations));
+            let mut w = {
+                let _s = span::enter("matvec");
+                a.apply(machine, &v[j])
+            };
             stats.matvecs += 1;
             for (i, vi) in v.iter().enumerate() {
-                let hij = w.dot(machine, vi);
+                let hij = {
+                    let _s = span::enter("dot");
+                    w.dot(machine, vi)
+                };
                 stats.dots += 1;
                 h[j][i] = hij;
                 w.axpy(machine, -hij, vi);
@@ -356,6 +520,17 @@ pub fn gmres_distributed<A: DistOperator + ?Sized>(
             stats.iterations += 1;
             k_used = j + 1;
             stats.residual_norm = g[j + 1].abs();
+            let (d_flops, d_words) = mark.delta(machine);
+            obs.on_iteration(&IterSample {
+                iteration: stats.iterations,
+                residual_norm: stats.residual_norm,
+                alpha: f64::NAN,
+                beta: f64::NAN,
+                flops: d_flops,
+                comm_words: d_words,
+                sim_time: machine.elapsed(),
+                rollbacks: 0,
+            });
             let lucky = h_next < 1e-14 * b_norm.max(1.0);
             if monitor.observe(stats.residual_norm, b_norm)? || lucky {
                 break;

@@ -28,6 +28,7 @@ pub mod dist_solvers;
 pub mod error;
 pub mod gmres;
 pub mod history;
+pub mod observer;
 pub mod operator;
 pub mod pcg;
 pub mod recovery;
@@ -36,18 +37,23 @@ pub mod stopping;
 
 pub use bicg::bicg;
 pub use bicgstab::bicgstab;
-pub use cg::{cg, cg_distributed};
+pub use cg::{cg, cg_distributed, cg_distributed_with_observer, cg_with_observer};
 pub use cgs::cgs;
 pub use dist_solvers::{
-    bicg_distributed, bicgstab_distributed, gmres_distributed, pcg_jacobi_distributed,
+    bicg_distributed, bicg_distributed_with_observer, bicgstab_distributed,
+    bicgstab_distributed_with_observer, gmres_distributed, gmres_distributed_with_observer,
+    pcg_jacobi_distributed, pcg_jacobi_distributed_with_observer,
 };
 pub use error::SolverError;
 pub use gmres::{gmres, gmres_storage_vectors};
 pub use history::{nonmonotonicity, residual_history, Method};
+pub use observer::{IterObserver, IterSample, NullObserver, RecordingObserver};
 pub use operator::{ColwiseOperator, CscVariant, DistOperator, SerialOperator};
-pub use pcg::{pcg, IdentityPrec, JacobiPrec, Preconditioner, SsorPrec};
+pub use pcg::{pcg, pcg_with_observer, IdentityPrec, JacobiPrec, Preconditioner, SsorPrec};
 pub use recovery::{
-    cg_distributed_protected, pcg_jacobi_distributed_protected, RecoveryConfig, RecoveryStats,
+    cg_distributed_protected, cg_distributed_protected_with_observer,
+    pcg_jacobi_distributed_protected, pcg_jacobi_distributed_protected_with_observer,
+    RecoveryConfig, RecoveryStats,
 };
 pub use spectral::{
     cg_error_bound, cg_iterations_for, estimate_spd_spectrum, power_method, SpdSpectrum,

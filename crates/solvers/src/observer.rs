@@ -1,0 +1,187 @@
+//! Per-iteration solver telemetry hooks.
+//!
+//! Every iterative solver in this crate can report one [`IterSample`] per
+//! iteration through an [`IterObserver`] — residual norm, the CG scalars
+//! alpha/beta, and (for distributed solves) the machine-charged flops,
+//! words and simulated time attributable to that iteration. The protected
+//! solvers additionally report rollback and restart events. The hook is
+//! how the observability layer (`hpf-obs`) builds convergence histories
+//! without the solvers knowing anything about exporters or file formats.
+//!
+//! Observers are deliberately `&mut dyn` trait objects: the solver inner
+//! loops stay monomorphised over the operator only, and passing
+//! [`NullObserver`] keeps the un-observed entry points zero-cost in
+//! practice (one virtual call per iteration on a no-op body).
+
+/// Telemetry for one solver iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterSample {
+    /// 1-based iteration number (matches `SolveStats::iterations` after
+    /// the iteration completes).
+    pub iteration: usize,
+    /// Residual norm after this iteration (`||r||_2`, or the GMRES
+    /// residual estimate).
+    pub residual_norm: f64,
+    /// Step length alpha for this iteration; `NaN` where the method has
+    /// no single alpha (e.g. GMRES).
+    pub alpha: f64,
+    /// Direction-update scalar beta; `NaN` where not applicable.
+    pub beta: f64,
+    /// Flops charged to the machine *during* this iteration (0 for
+    /// serial solves, which do not run on a machine).
+    pub flops: u64,
+    /// Words sent into the network during this iteration (0 for serial
+    /// solves).
+    pub comm_words: u64,
+    /// Simulated machine time at the *end* of this iteration —
+    /// cumulative, so deltas between samples give per-iteration cost.
+    /// 0 for serial solves.
+    pub sim_time: f64,
+    /// Rollbacks performed so far in a protected solve (0 elsewhere).
+    pub rollbacks: usize,
+}
+
+impl IterSample {
+    /// Network traffic for this iteration in bytes (f64 words).
+    pub fn comm_bytes(&self) -> u64 {
+        self.comm_words * 8
+    }
+}
+
+/// Observer of solver progress. All methods have no-op defaults except
+/// [`IterObserver::on_iteration`]; implement the fault-path hooks only if
+/// you care about protected solves.
+pub trait IterObserver {
+    /// Called once at the end of every iteration.
+    fn on_iteration(&mut self, sample: &IterSample);
+
+    /// A protected solver rolled back to a checkpoint. `iteration` is the
+    /// iteration count at the moment of the rollback; `reason` is a short
+    /// stable tag (`"non-finite"`, `"divergence"`, `"stagnation"`).
+    fn on_rollback(&mut self, iteration: usize, reason: &str) {
+        let _ = (iteration, reason);
+    }
+
+    /// A protected solver replaced the recurrence residual with the true
+    /// residual `b - Ax` (restart-from-truth after repeated rollbacks).
+    fn on_restart(&mut self, iteration: usize) {
+        let _ = iteration;
+    }
+}
+
+/// The do-nothing observer used by the plain (un-observed) solver entry
+/// points.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl IterObserver for NullObserver {
+    fn on_iteration(&mut self, _sample: &IterSample) {}
+}
+
+/// An observer that records everything — the simplest useful
+/// implementation, and the one tests assert against.
+#[derive(Debug, Default, Clone)]
+pub struct RecordingObserver {
+    pub samples: Vec<IterSample>,
+    /// `(iteration, reason)` pairs, in occurrence order.
+    pub rollbacks: Vec<(usize, String)>,
+    /// Iterations at which a restart-from-true-residual happened.
+    pub restarts: Vec<usize>,
+}
+
+impl RecordingObserver {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Residual norms in iteration order.
+    pub fn residuals(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.residual_norm).collect()
+    }
+}
+
+impl IterObserver for RecordingObserver {
+    fn on_iteration(&mut self, sample: &IterSample) {
+        self.samples.push(*sample);
+    }
+
+    fn on_rollback(&mut self, iteration: usize, reason: &str) {
+        self.rollbacks.push((iteration, reason.to_string()));
+    }
+
+    fn on_restart(&mut self, iteration: usize) {
+        self.restarts.push(iteration);
+    }
+}
+
+/// Snapshot of machine counters used to attribute per-iteration deltas.
+/// Internal helper for the distributed solvers.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MachineMark {
+    flops: u64,
+    words: u64,
+}
+
+impl MachineMark {
+    pub(crate) fn take(machine: &hpf_machine::Machine) -> Self {
+        MachineMark {
+            flops: machine.total_flops(),
+            words: machine.total_words_sent(),
+        }
+    }
+
+    /// Delta since this mark, advancing the mark to now.
+    pub(crate) fn delta(&mut self, machine: &hpf_machine::Machine) -> (u64, u64) {
+        let now = Self::take(machine);
+        let d = (
+            now.flops.saturating_sub(self.flops),
+            now.words.saturating_sub(self.words),
+        );
+        *self = now;
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_observer_accumulates() {
+        let mut obs = RecordingObserver::new();
+        obs.on_iteration(&IterSample {
+            iteration: 1,
+            residual_norm: 0.5,
+            alpha: 1.0,
+            beta: 0.0,
+            flops: 10,
+            comm_words: 4,
+            sim_time: 0.1,
+            rollbacks: 0,
+        });
+        obs.on_rollback(1, "non-finite");
+        obs.on_restart(2);
+        assert_eq!(obs.samples.len(), 1);
+        assert_eq!(obs.samples[0].comm_bytes(), 32);
+        assert_eq!(obs.rollbacks, vec![(1, "non-finite".to_string())]);
+        assert_eq!(obs.restarts, vec![2]);
+        assert_eq!(obs.residuals(), vec![0.5]);
+    }
+
+    #[test]
+    fn null_observer_is_a_no_op() {
+        let mut obs = NullObserver;
+        obs.on_iteration(&IterSample {
+            iteration: 1,
+            residual_norm: 1.0,
+            alpha: f64::NAN,
+            beta: f64::NAN,
+            flops: 0,
+            comm_words: 0,
+            sim_time: 0.0,
+            rollbacks: 0,
+        });
+        obs.on_rollback(0, "x");
+        obs.on_restart(0);
+    }
+}

@@ -15,6 +15,7 @@
 
 use crate::cg::{check_breakdown, dot, norm2};
 use crate::error::SolverError;
+use crate::observer::{IterObserver, IterSample, NullObserver};
 use crate::operator::SerialOperator;
 use crate::stopping::{SolveStats, StopCriterion};
 use hpf_sparse::CsrMatrix;
@@ -154,6 +155,19 @@ pub fn pcg<A: SerialOperator + ?Sized, M: Preconditioner + ?Sized>(
     stop: StopCriterion,
     max_iters: usize,
 ) -> Result<(Vec<f64>, SolveStats), SolverError> {
+    pcg_with_observer(a, m, b, stop, max_iters, &mut NullObserver)
+}
+
+/// [`pcg`] with a per-iteration telemetry hook. Serial, so samples carry
+/// no machine flops/comm/sim-time.
+pub fn pcg_with_observer<A: SerialOperator + ?Sized, M: Preconditioner + ?Sized>(
+    a: &A,
+    m: &M,
+    b: &[f64],
+    stop: StopCriterion,
+    max_iters: usize,
+    obs: &mut dyn IterObserver,
+) -> Result<(Vec<f64>, SolveStats), SolverError> {
     let n = a.dim();
     if b.len() != n {
         return Err(SolverError::DimensionMismatch {
@@ -192,7 +206,21 @@ pub fn pcg<A: SerialOperator + ?Sized, M: Preconditioner + ?Sized>(
         stats.iterations += 1;
         stats.residual_norm = norm2(&r);
         stats.dots += 1;
+        let (it, rn) = (stats.iterations, stats.residual_norm);
+        let sample = move |beta: f64| IterSample {
+            iteration: it,
+            residual_norm: rn,
+            alpha,
+            beta,
+            flops: 0,
+            comm_words: 0,
+            sim_time: 0.0,
+            rollbacks: 0,
+        };
         if stop.satisfied(stats.residual_norm, b_norm) {
+            // The preconditioned beta is never computed on the converging
+            // iteration (it would cost an extra M⁻¹ apply).
+            obs.on_iteration(&sample(f64::NAN));
             stats.converged = true;
             return Ok((x, stats));
         }
@@ -201,6 +229,7 @@ pub fn pcg<A: SerialOperator + ?Sized, M: Preconditioner + ?Sized>(
         stats.dots += 1;
         check_breakdown("rho", rho)?;
         let beta = rho_new / rho;
+        obs.on_iteration(&sample(beta));
         rho = rho_new;
         for (pi, &zi) in p.iter_mut().zip(z.iter()) {
             *pi = zi + beta * *pi;

@@ -16,10 +16,11 @@
 
 use crate::cg::check_breakdown;
 use crate::error::SolverError;
+use crate::observer::{IterObserver, IterSample, MachineMark, NullObserver};
 use crate::operator::DistOperator;
 use crate::stopping::{ResidualMonitor, SolveStats, StopCriterion};
 use hpf_core::DistVector;
-use hpf_machine::Machine;
+use hpf_machine::{span, Machine};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -97,7 +98,31 @@ pub fn cg_distributed_protected<A: DistOperator + ?Sized>(
     max_iters: usize,
     config: RecoveryConfig,
 ) -> Result<(DistVector, SolveStats, RecoveryStats), SolverError> {
-    protected_cg_core(machine, a, b_global, stop, max_iters, config, None)
+    protected_cg_core(
+        machine,
+        a,
+        b_global,
+        stop,
+        max_iters,
+        config,
+        None,
+        &mut NullObserver,
+    )
+}
+
+/// [`cg_distributed_protected`] with per-iteration telemetry: samples
+/// carry the running rollback count, and the observer's
+/// `on_rollback`/`on_restart` hooks fire on every recovery action.
+pub fn cg_distributed_protected_with_observer<A: DistOperator + ?Sized>(
+    machine: &mut Machine,
+    a: &A,
+    b_global: &[f64],
+    stop: StopCriterion,
+    max_iters: usize,
+    config: RecoveryConfig,
+    obs: &mut dyn IterObserver,
+) -> Result<(DistVector, SolveStats, RecoveryStats), SolverError> {
+    protected_cg_core(machine, a, b_global, stop, max_iters, config, None, obs)
 }
 
 /// Fault-tolerant Jacobi-preconditioned distributed CG.
@@ -127,11 +152,45 @@ pub fn pcg_jacobi_distributed_protected<A: DistOperator + ?Sized>(
         max_iters,
         config,
         Some(&inv_diag),
+        &mut NullObserver,
+    )
+}
+
+/// [`pcg_jacobi_distributed_protected`] with per-iteration telemetry.
+pub fn pcg_jacobi_distributed_protected_with_observer<A: DistOperator + ?Sized>(
+    machine: &mut Machine,
+    a: &A,
+    b_global: &[f64],
+    stop: StopCriterion,
+    max_iters: usize,
+    config: RecoveryConfig,
+    obs: &mut dyn IterObserver,
+) -> Result<(DistVector, SolveStats, RecoveryStats), SolverError> {
+    let diag = a.diagonal();
+    if let Some((i, &d)) = diag
+        .iter()
+        .enumerate()
+        .find(|(_, &d)| d.abs() < f64::MIN_POSITIVE * 1e16)
+    {
+        return Err(SolverError::SingularMatrix { pivot: i, value: d });
+    }
+    let inv_diag_global: Vec<f64> = diag.iter().map(|d| 1.0 / d).collect();
+    let inv_diag = DistVector::from_global(a.descriptor().clone(), &inv_diag_global);
+    protected_cg_core(
+        machine,
+        a,
+        b_global,
+        stop,
+        max_iters,
+        config,
+        Some(&inv_diag),
+        obs,
     )
 }
 
 /// Shared core: plain CG when `inv_diag` is `None`, Jacobi PCG when it
 /// holds the inverse diagonal.
+#[allow(clippy::too_many_arguments)]
 fn protected_cg_core<A: DistOperator + ?Sized>(
     machine: &mut Machine,
     a: &A,
@@ -140,7 +199,9 @@ fn protected_cg_core<A: DistOperator + ?Sized>(
     max_iters: usize,
     config: RecoveryConfig,
     inv_diag: Option<&DistVector>,
+    obs: &mut dyn IterObserver,
 ) -> Result<(DistVector, SolveStats, RecoveryStats), SolverError> {
+    let _solve_span = span::enter("solve");
     let n = a.dim();
     if b_global.len() != n {
         return Err(SolverError::DimensionMismatch {
@@ -202,7 +263,10 @@ fn protected_cg_core<A: DistOperator + ?Sized>(
         rho,
         res,
     });
-    machine.compute_all(&copy_flops, "checkpoint-save");
+    {
+        let _s = span::enter("checkpoint");
+        machine.compute_all(&copy_flops, "checkpoint-save");
+    }
     rec.checkpoints += 1;
 
     let mut k = 0usize;
@@ -215,10 +279,11 @@ fn protected_cg_core<A: DistOperator + ?Sized>(
     // checkpoint deeper when the newest one keeps failing (it may have
     // been saved after the corruption landed).
     macro_rules! rollback {
-        () => {{
+        ($reason:expr) => {{
             rec.rollbacks += 1;
             rec.faults_detected += 1;
             rollbacks_since_checkpoint += 1;
+            obs.on_rollback(k, $reason);
             if rec.rollbacks > config.max_rollbacks {
                 return Err(SolverError::RecoveryExhausted {
                     rollbacks: rec.rollbacks,
@@ -239,7 +304,10 @@ fn protected_cg_core<A: DistOperator + ?Sized>(
             stats.residual_norm = res;
             since_improve = 0;
             monitor.reset_window();
-            machine.compute_all(&copy_flops, "rollback-restore");
+            {
+                let _s = span::enter("rollback");
+                machine.compute_all(&copy_flops, "rollback-restore");
+            }
             continue;
         }};
     }
@@ -248,6 +316,7 @@ fn protected_cg_core<A: DistOperator + ?Sized>(
     // CG from the true residual at the current iterate.
     macro_rules! restart_from_true_residual {
         () => {{
+            let _restart_span = span::enter("restart");
             let ax = a.apply(machine, &x);
             stats.matvecs += 1;
             let mut r_true = b.clone();
@@ -256,8 +325,9 @@ fn protected_cg_core<A: DistOperator + ?Sized>(
             let res_true = r_true.dot(machine, &r_true).sqrt();
             stats.dots += 1;
             if !res_true.is_finite() {
-                rollback!();
+                rollback!("non-finite");
             }
+            obs.on_restart(k);
             rec.residual_replacements += 1;
             r = r_true;
             z = precondition(machine, &r);
@@ -269,7 +339,7 @@ fn protected_cg_core<A: DistOperator + ?Sized>(
             since_improve = 0;
             monitor.reset_window();
             if !rho.is_finite() || rho < 0.0 {
-                rollback!();
+                rollback!("non-finite");
             }
             check_breakdown("rho", rho)?;
             // Convergence is only ever declared through the verified
@@ -280,21 +350,32 @@ fn protected_cg_core<A: DistOperator + ?Sized>(
         }};
     }
 
+    let mut mark = MachineMark::take(machine);
     while k < max_iters {
-        let q = a.apply(machine, &p);
+        let _iter_span = span::enter(format!("iter={k}"));
+        let q = {
+            let _s = span::enter("matvec");
+            a.apply(machine, &p)
+        };
         stats.matvecs += 1;
-        let pq = p.dot(machine, &q);
+        let pq = {
+            let _s = span::enter("dot");
+            p.dot(machine, &q)
+        };
         stats.dots += 1;
         // SPD input guarantees p·Ap > 0; non-finite or non-positive
         // means a corrupted reduction (or a genuinely indefinite input,
         // which exhausts the rollback budget and surfaces as a typed
         // error).
         if !pq.is_finite() || pq <= 0.0 {
-            rollback!();
+            rollback!("non-finite");
         }
         let alpha = rho / pq;
-        x.axpy(machine, alpha, &p);
-        r.axpy(machine, -alpha, &q);
+        {
+            let _s = span::enter("axpy");
+            x.axpy(machine, alpha, &p);
+            r.axpy(machine, -alpha, &q);
+        }
         stats.axpys += 2;
         // Unpreconditioned CG has z = r, so one reduction serves both
         // rho and the residual norm (keeps the faults-off overhead to
@@ -320,12 +401,23 @@ fn protected_cg_core<A: DistOperator + ?Sized>(
             || rho_new < 0.0
             || res_new > config.residual_jump_factor * res.max(f64::MIN_POSITIVE)
         {
-            rollback!();
+            rollback!("divergence");
         }
         k += 1;
         stats.iterations = k;
         res = res_new;
         stats.residual_norm = res;
+        let (d_flops, d_words) = mark.delta(machine);
+        obs.on_iteration(&IterSample {
+            iteration: k,
+            residual_norm: res,
+            alpha,
+            beta: rho_new / rho,
+            flops: d_flops,
+            comm_words: d_words,
+            sim_time: machine.elapsed(),
+            rollbacks: rec.rollbacks,
+        });
 
         // Progress watchdog: a silently mis-scaled scalar (e.g. a bit
         // flip in rho) freezes the recurrence without breaking the
@@ -354,6 +446,7 @@ fn protected_cg_core<A: DistOperator + ?Sized>(
         // silently corrupted; swap in the true residual and restart the
         // search direction.
         if k.is_multiple_of(residual_check_interval) {
+            let _check_span = span::enter("residual-check");
             let ax = a.apply(machine, &x);
             stats.matvecs += 1;
             let mut r_true = b.clone();
@@ -362,11 +455,12 @@ fn protected_cg_core<A: DistOperator + ?Sized>(
             let res_true = r_true.dot(machine, &r_true).sqrt();
             stats.dots += 1;
             if !res_true.is_finite() {
-                rollback!();
+                rollback!("non-finite");
             }
             if (res_true - res).abs() > config.drift_tolerance * b_norm.max(f64::MIN_POSITIVE) {
                 rec.faults_detected += 1;
                 rec.residual_replacements += 1;
+                obs.on_restart(k);
                 r = r_true;
                 z = precondition(machine, &r);
                 rho = r.dot(machine, &z);
@@ -377,7 +471,7 @@ fn protected_cg_core<A: DistOperator + ?Sized>(
                 since_improve = 0;
                 monitor.reset_window();
                 if !rho.is_finite() || rho < 0.0 {
-                    rollback!();
+                    rollback!("non-finite");
                 }
                 check_breakdown("rho", rho)?;
                 // Convergence goes through the verified path only.
@@ -393,6 +487,7 @@ fn protected_cg_core<A: DistOperator + ?Sized>(
             // corruption can drain into the verification itself, and it
             // can only drain once.
             let mut verify = || {
+                let _s = span::enter("verify");
                 let ax = a.apply(machine, &x);
                 stats.matvecs += 1;
                 let mut r_true = b.clone();
@@ -410,7 +505,7 @@ fn protected_cg_core<A: DistOperator + ?Sized>(
                 return Ok((x, stats, rec));
             }
             if !res_true.is_finite() {
-                rollback!();
+                rollback!("non-finite");
             }
             // The recursive residual lied but the iterate is finite.
             // Checkpoints may have been saved after the corruption
@@ -443,7 +538,10 @@ fn protected_cg_core<A: DistOperator + ?Sized>(
             if ring.len() > ring_capacity {
                 ring.pop_front();
             }
-            machine.compute_all(&copy_flops, "checkpoint-save");
+            {
+                let _s = span::enter("checkpoint");
+                machine.compute_all(&copy_flops, "checkpoint-save");
+            }
             rec.checkpoints += 1;
             rollbacks_since_checkpoint = 0;
         }
@@ -566,6 +664,50 @@ mod tests {
         assert!(s.converged, "protected CG must converge past a crash");
         assert!(rec.rollbacks >= 1, "a crash forces a rollback");
         assert!(rel_err(&x.to_global(), &x_true) < 1e-7);
+    }
+
+    #[test]
+    fn observer_sees_rollbacks_and_every_iteration() {
+        let np = 4;
+        let (op, _, b) = poisson_op(np);
+        let stop = StopCriterion::RelativeResidual(1e-10);
+
+        let mut m = machine(np);
+        m.set_fault_plan(FaultPlan::new().with_crash(30, 2));
+        let mut obs = crate::observer::RecordingObserver::new();
+        let (_, s, rec) = cg_distributed_protected_with_observer(
+            &mut m,
+            &op,
+            &b,
+            stop,
+            2000,
+            RecoveryConfig::default(),
+            &mut obs,
+        )
+        .unwrap();
+        assert!(s.converged);
+        assert!(rec.rollbacks >= 1);
+        assert_eq!(obs.rollbacks.len(), rec.rollbacks);
+        // Samples exist for every surviving iteration number 1..=final,
+        // and replayed iterations re-report (so counts can exceed the
+        // final iteration count but never miss one).
+        let mut seen: Vec<usize> = obs.samples.iter().map(|s| s.iteration).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, (1..=s.iterations).collect::<Vec<_>>());
+        // The running rollback count is nondecreasing and ends at the
+        // reported total.
+        assert!(obs
+            .samples
+            .windows(2)
+            .all(|w| w[1].rollbacks >= w[0].rollbacks || w[1].iteration < w[0].iteration));
+        assert_eq!(obs.samples.last().unwrap().rollbacks, rec.rollbacks);
+        // Recovery phases left span-tagged events in the trace.
+        assert!(m
+            .trace()
+            .events()
+            .iter()
+            .any(|e| e.span.contains("rollback")));
     }
 
     #[test]

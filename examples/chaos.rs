@@ -9,14 +9,23 @@
 //! 3. **Service** — a breakdown-prone job is healed by the retry /
 //!    escalation chain, and the metrics counters record the whole story.
 //!
+//! The protected solve runs under full telemetry, and the run's
+//! observability artifacts (event trace JSONL, convergence CSV, service
+//! metrics JSON) land in `$HPF_OBS_DIR` (default `target/obs`) for
+//! `trace-report` to analyse.
+//!
 //! ```text
 //! cargo run --release --example chaos
+//! cargo run --release -p hpf-bench --bin trace-report -- \
+//!     --trace target/obs/trace.jsonl --metrics target/obs/metrics.json \
+//!     --format summary --format perfetto --format prom
 //! ```
 
 use hpf::machine::{EventKind, FaultPlan, FaultRates};
 use hpf::prelude::*;
-use hpf::solvers::{cg_distributed_protected, RecoveryConfig};
+use hpf::solvers::{cg_distributed_protected_with_observer, RecoveryConfig};
 use hpf::sparse::gen;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 fn main() {
@@ -60,9 +69,15 @@ fn main() {
         max_rollbacks: 4 * plan.len().max(4),
         ..RecoveryConfig::default()
     };
-    let (x, stats, rec) = cg_distributed_protected(&mut m, &op, &b, stop, 50 * n, config)
-        .expect("protected CG must ride out the plan");
+    let mut log = ConvergenceLog::new();
+    let (x, stats, rec) =
+        cg_distributed_protected_with_observer(&mut m, &op, &b, stop, 50 * n, config, &mut log)
+            .expect("protected CG must ride out the plan");
     assert!(stats.converged, "protected CG must converge");
+    assert!(
+        log.samples.len() >= stats.iterations,
+        "telemetry must cover every iteration (replays included)"
+    );
     println!(
         "protected CG: converged in {} iterations, residual {:.3e}",
         stats.iterations, stats.residual_norm
@@ -125,5 +140,28 @@ fn main() {
     assert!(metrics.retries >= 1);
     assert!(metrics.escalations >= 1);
     assert!(metrics.faults_injected >= 1);
+
+    // --- 4. leave the observability artifacts behind -----------------
+    let dir = std::env::var("HPF_OBS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/obs"));
+    std::fs::create_dir_all(&dir).expect("create obs dir");
+    let rollback_marks = log.rollbacks.len();
+    let samples = log.samples.len();
+    std::fs::write(dir.join("trace.jsonl"), m.trace().to_jsonl()).expect("write trace");
+    std::fs::write(dir.join("convergence.csv"), log.to_csv()).expect("write convergence");
+    std::fs::write(dir.join("metrics.json"), metrics.to_json()).expect("write metrics");
+    println!(
+        "\nobservability: {} events, {samples} iteration samples, {rollback_marks} rollback marks",
+        m.trace().events().len()
+    );
+    println!(
+        "  wrote {0}/trace.jsonl, {0}/convergence.csv, {0}/metrics.json",
+        dir.display()
+    );
+    println!(
+        "  inspect with: trace-report --trace {}/trace.jsonl --format summary",
+        dir.display()
+    );
     println!("\nchaos drill complete: every fault detected, every job answered.");
 }

@@ -5,11 +5,16 @@
 //! distributed CG, and prints the solve statistics plus the
 //! communication the HPF layout induced.
 //!
+//! Set `HPF_OBS_DIR` to also write the run's observability artifacts
+//! (event trace JSONL + convergence CSV) for `trace-report`:
+//!
 //! ```text
 //! cargo run --release --example quickstart
+//! HPF_OBS_DIR=target/obs-quickstart cargo run --release --example quickstart
 //! ```
 
 use hpf::prelude::*;
+use hpf::solvers::cg_distributed_with_observer;
 use hpf::sparse::gen;
 
 fn main() {
@@ -22,16 +27,19 @@ fn main() {
     // PROCESSORS PROCS(8); hypercube network, mid-90s MPP cost model.
     let np = 8;
     let mut machine = Machine::hypercube(np);
+    machine.set_tracing(true);
 
     // ALIGN A(:,*) WITH p(:); DISTRIBUTE p(BLOCK)  — Scenario 1 layout.
     let op = RowwiseCsr::block(a, np, DataArrayLayout::RowAligned);
 
-    let (x, stats) = cg_distributed(
+    let mut log = ConvergenceLog::new();
+    let (x, stats) = cg_distributed_with_observer(
         &mut machine,
         &op,
         &b,
         StopCriterion::RelativeResidual(1e-10),
         10 * n,
+        &mut log,
     )
     .expect("SPD system must not break down");
 
@@ -67,4 +75,29 @@ fn main() {
     );
     println!("  total flops:    {}", machine.total_flops());
     println!("  words sent:     {}", machine.total_words_sent());
+
+    // Per-iteration telemetry came along for free.
+    assert_eq!(log.samples.len(), stats.iterations);
+    let first = &log.samples[0];
+    let last = log.samples.last().unwrap();
+    println!(
+        "\ntelemetry: {} samples, residual {:.3e} -> {:.3e}, \
+         {} comm bytes/iter (iter 1)",
+        log.samples.len(),
+        first.residual_norm,
+        last.residual_norm,
+        first.comm_bytes()
+    );
+
+    // Drop the artifacts for trace-report when asked to.
+    if let Ok(dir) = std::env::var("HPF_OBS_DIR") {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create obs dir");
+        std::fs::write(dir.join("trace.jsonl"), machine.trace().to_jsonl()).expect("write trace");
+        std::fs::write(dir.join("convergence.csv"), log.to_csv()).expect("write convergence");
+        println!(
+            "wrote {0}/trace.jsonl and {0}/convergence.csv",
+            dir.display()
+        );
+    }
 }

@@ -4,8 +4,10 @@
 //! ([`machine`]), the distribution layer ([`dist`]), sparse formats
 //! ([`sparse`]), the directive front-end ([`lang`]), the HPF
 //! data-parallel model with the paper's proposed extensions ([`core`]),
-//! the CG solver family ([`solvers`]), and the solver-as-a-service
-//! layer with plan caching and batching ([`service`]).
+//! the CG solver family ([`solvers`]), the solver-as-a-service layer
+//! with plan caching and batching ([`service`]), and the observability
+//! layer — spans, per-iteration telemetry, Perfetto/Prometheus
+//! exporters, trace analysis ([`obs`]).
 //!
 //! ```
 //! use hpf::prelude::*;
@@ -27,6 +29,7 @@ pub use hpf_core as core;
 pub use hpf_dist as dist;
 pub use hpf_lang as lang;
 pub use hpf_machine as machine;
+pub use hpf_obs as obs;
 pub use hpf_service as service;
 pub use hpf_solvers as solvers;
 pub use hpf_sparse as sparse;
@@ -40,6 +43,7 @@ pub mod prelude {
     pub use hpf_dist::{ArrayDescriptor, AtomAssignment, AtomSpec, DistSpec};
     pub use hpf_lang::{elaborate, parse_program, Env};
     pub use hpf_machine::{CostModel, FaultPlan, FaultRates, Machine, Topology};
+    pub use hpf_obs::{ConvergenceLog, IterObserver, IterSample, Timeline};
     pub use hpf_service::{ServiceConfig, SolveRequest, SolverKind, SolverService};
     pub use hpf_solvers::{
         bicg, bicg_distributed, bicgstab, bicgstab_distributed, cg, cg_distributed,
