@@ -5,6 +5,8 @@
 //! trace-report --trace trace.jsonl --format summary
 //! trace-report --trace trace.jsonl --format perfetto --format prom \
 //!              --metrics metrics.json --out target/obs
+//! trace-report --trace trace.jsonl --format drift --topology hypercube
+//! trace-report bench-diff BENCH_prev.json BENCH_cur.json --max-regression 10
 //! ```
 //!
 //! Inputs:
@@ -12,18 +14,32 @@
 //! - `--metrics FILE`  service metrics JSON (`MetricsSnapshot::to_json`)
 //!
 //! Formats (repeatable; default `summary`):
-//! - `perfetto`  Chrome/Perfetto trace-event JSON (needs `--trace`)
-//! - `prom`      Prometheus text exposition (needs `--metrics`)
-//! - `csv`       per-span cost attribution CSV (needs `--trace`)
-//! - `summary`   critical path, load imbalance, top spans (needs `--trace`)
+//! - `perfetto`   Chrome/Perfetto trace-event JSON (needs `--trace`)
+//! - `prom`       Prometheus text exposition (needs `--metrics`)
+//! - `csv`        per-span cost attribution CSV (needs `--trace`)
+//! - `summary`    critical path, load imbalance, top spans (needs `--trace`)
+//! - `drift`      cost-oracle predicted-vs-measured table (needs `--trace`)
+//! - `drift-json` the same report as strict JSON (what `/drift` serves)
+//!
+//! The oracle formats price the trace under `--topology` (default
+//! `hypercube`) and `--cost` (default `mpp-1995`; also `lan-cluster`,
+//! `tight-mpp`, `zero-comm`).
+//!
+//! The `bench-diff` subcommand renders two `BENCH_<n>.json` records as
+//! a regression table and exits non-zero when any shared series
+//! regressed by more than `--max-regression` percent (default 10).
 //!
 //! Without `--out DIR` every export goes to stdout in the order
 //! requested; with it, each lands in its own file and the path is
-//! printed. Exit status is non-zero on unreadable input or an export
-//! that validates as empty/malformed.
+//! printed. `--quiet` suppresses stdout payloads (for CI, where only
+//! the exit status and written files matter). Exit status is non-zero
+//! on unreadable input, a failed validation, or a bench regression.
 
-use hpf_machine::Trace;
-use hpf_obs::{critical_path, load_imbalance, snapshot_from_json, span_costs, Timeline};
+use hpf_machine::{CostModel, Topology, Trace};
+use hpf_obs::{
+    critical_path, load_imbalance, render_diff, snapshot_from_json, span_costs, BenchRecord,
+    DriftReport, Timeline,
+};
 use std::path::PathBuf;
 
 struct Args {
@@ -31,24 +47,58 @@ struct Args {
     metrics: Option<PathBuf>,
     formats: Vec<String>,
     out: Option<PathBuf>,
+    topology: Topology,
+    cost: CostModel,
+    quiet: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: trace-report [--trace FILE] [--metrics FILE] \
-         [--format perfetto|prom|csv|summary]... [--out DIR]"
+         [--format perfetto|prom|csv|summary|drift|drift-json]... \
+         [--topology NAME] [--cost PRESET] [--out DIR] [--quiet]\n\
+         \x20      trace-report bench-diff PREV.json CUR.json \
+         [--max-regression PCT] [--quiet]"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> Args {
+fn parse_topology(name: &str) -> Topology {
+    match name {
+        "hypercube" => Topology::Hypercube,
+        "mesh2d" => Topology::Mesh2D,
+        "ring" => Topology::Ring,
+        "fully-connected" => Topology::FullyConnected,
+        "bus" => Topology::Bus,
+        other => fail(&format!(
+            "unknown topology {other:?} (try hypercube, mesh2d, ring, fully-connected, bus)"
+        )),
+    }
+}
+
+fn parse_cost(name: &str) -> CostModel {
+    match name {
+        "mpp-1995" => CostModel::mpp_1995(),
+        "lan-cluster" => CostModel::lan_cluster(),
+        "tight-mpp" => CostModel::tight_mpp(),
+        "zero-comm" => CostModel::zero_comm(),
+        other => fail(&format!(
+            "unknown cost preset {other:?} (try mpp-1995, lan-cluster, tight-mpp, zero-comm)"
+        )),
+    }
+}
+
+fn parse_args(raw: Vec<String>) -> Args {
     let mut args = Args {
         trace: None,
         metrics: None,
         formats: Vec::new(),
         out: None,
+        topology: Topology::Hypercube,
+        cost: CostModel::mpp_1995(),
+        quiet: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = raw.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> String {
             it.next().unwrap_or_else(|| {
@@ -61,6 +111,9 @@ fn parse_args() -> Args {
             "--metrics" => args.metrics = Some(PathBuf::from(value("--metrics"))),
             "--format" => args.formats.push(value("--format")),
             "--out" => args.out = Some(PathBuf::from(value("--out"))),
+            "--topology" => args.topology = parse_topology(&value("--topology")),
+            "--cost" => args.cost = parse_cost(&value("--cost")),
+            "--quiet" | "-q" => args.quiet = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -139,13 +192,69 @@ fn render_csv(trace: &Trace) -> String {
     out
 }
 
+fn load_bench(path: &str) -> BenchRecord {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    BenchRecord::from_json(text.trim())
+        .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")))
+}
+
+/// `trace-report bench-diff PREV CUR [--max-regression PCT] [--quiet]`.
+fn bench_diff(raw: Vec<String>) -> ! {
+    let mut files = Vec::new();
+    let mut max_pct = 10.0;
+    let mut quiet = false;
+    let mut it = raw.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-regression" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--max-regression needs a value");
+                    usage()
+                });
+                max_pct = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad --max-regression {v:?}")));
+            }
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => usage(),
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    if files.len() != 2 {
+        eprintln!("bench-diff needs exactly two BENCH_<n>.json files");
+        usage()
+    }
+    let prev = load_bench(&files[0]);
+    let cur = load_bench(&files[1]);
+    let (table, regressed) = render_diff(&prev, &cur, max_pct);
+    if !quiet {
+        print!("{table}");
+    }
+    if regressed {
+        eprintln!("trace-report: bench-diff found regressions beyond {max_pct}%");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
-    let args = parse_args();
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("bench-diff") {
+        raw.remove(0);
+        bench_diff(raw);
+    }
+    let args = parse_args(raw);
     for format in &args.formats {
         let (content, filename) = match format.as_str() {
             "perfetto" => {
                 let trace = load_trace(&args);
-                let doc = hpf_obs::trace_events_json(&Timeline::from_trace(&trace));
+                let doc = hpf_obs::trace_events_json(&Timeline::from_trace(&trace))
+                    .unwrap_or_else(|e| fail(&format!("perfetto export failed: {e}")));
                 hpf_obs::json::validate(&doc)
                     .unwrap_or_else(|e| fail(&format!("perfetto export invalid: {e}")));
                 (doc, "trace.perfetto.json")
@@ -163,6 +272,19 @@ fn main() {
             }
             "csv" => (render_csv(&load_trace(&args)), "spans.csv"),
             "summary" => (render_summary(&load_trace(&args)), "summary.txt"),
+            "drift" => {
+                let trace = load_trace(&args);
+                let report = DriftReport::from_trace(&trace, args.topology, &args.cost);
+                (report.render(), "drift.txt")
+            }
+            "drift-json" => {
+                let trace = load_trace(&args);
+                let report = DriftReport::from_trace(&trace, args.topology, &args.cost);
+                let json = report.to_json();
+                hpf_obs::json::validate(&json)
+                    .unwrap_or_else(|e| fail(&format!("drift export invalid: {e}")));
+                (json, "drift.json")
+            }
             other => fail(&format!("unknown format {other:?}")),
         };
         if content.is_empty() {
@@ -175,8 +297,11 @@ fn main() {
                 let path = dir.join(filename);
                 std::fs::write(&path, content)
                     .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
-                println!("{}", path.display());
+                if !args.quiet {
+                    println!("{}", path.display());
+                }
             }
+            None if args.quiet => {}
             None => print!("{content}"),
         }
     }

@@ -4,6 +4,7 @@
 
 pub mod balance_exp;
 pub mod comparison_exp;
+pub mod drift_exp;
 pub mod extended_exp;
 pub mod extensions_exp;
 pub mod fault_exp;
@@ -43,10 +44,11 @@ pub fn run_all() -> Vec<Table> {
         service_exp::e22_service_throughput(256, 40, 8),
         fault_exp::e23_fault_sweep(96, 4, 5),
         obs_exp::e24_observability_overhead(10_000, 8, 3),
+        drift_exp::e25_drift_oracle(1024, 8),
     ]
 }
 
-/// Run one experiment by its lowercase id (`"e1"`, `"e01"`, ... `"e24"`).
+/// Run one experiment by its lowercase id (`"e1"`, `"e01"`, ... `"e25"`).
 pub fn run_one(id: &str) -> Option<Table> {
     let norm = id.trim_start_matches('e').trim_start_matches('0');
     Some(match norm {
@@ -74,6 +76,7 @@ pub fn run_one(id: &str) -> Option<Table> {
         "22" => service_exp::e22_service_throughput(256, 40, 8),
         "23" => fault_exp::e23_fault_sweep(96, 4, 5),
         "24" => obs_exp::e24_observability_overhead(10_000, 8, 3),
+        "25" => drift_exp::e25_drift_oracle(1024, 8),
         _ => return None,
     })
 }
@@ -84,6 +87,11 @@ mod tests {
 
     #[test]
     fn run_one_resolves_ids() {
+        // E25's regression gate writes BENCH_25.json into HPF_BENCH_DIR
+        // (default "."); keep test artifacts out of the source tree.
+        let scratch = std::env::temp_dir().join(format!("hpf-run-one-{}", std::process::id()));
+        std::fs::create_dir_all(&scratch).unwrap();
+        std::env::set_var("HPF_BENCH_DIR", &scratch);
         assert!(run_one("e1").is_some());
         assert!(run_one("e01").is_some());
         assert!(run_one("15").is_some());
@@ -94,7 +102,9 @@ mod tests {
         assert!(run_one("e22").is_some());
         assert!(run_one("e23").is_some());
         assert!(run_one("e24").is_some());
-        assert!(run_one("e25").is_none());
+        assert!(run_one("e25").is_some());
+        assert!(run_one("e26").is_none());
         assert!(run_one("nope").is_none());
+        let _ = std::fs::remove_dir_all(&scratch);
     }
 }

@@ -77,7 +77,7 @@ pub fn e24_observability_overhead(n: usize, np: usize, reps: usize) -> Table {
         // `trace-report` on the saved artifacts.
         let t1 = Instant::now();
         let timeline = Timeline::from_trace(m.trace());
-        let perfetto = hpf_obs::trace_events_json(&timeline);
+        let perfetto = hpf_obs::trace_events_json(&timeline).expect("finite trace");
         let csv = log.to_csv();
         let report = critical_path(m.trace());
         export = export.min(t1.elapsed().as_secs_f64());

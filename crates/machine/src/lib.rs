@@ -24,6 +24,7 @@ pub mod cost;
 pub mod exec;
 pub mod fault;
 pub mod machine;
+pub mod predict;
 pub mod span;
 pub mod spmd;
 pub mod topology;
@@ -32,6 +33,7 @@ pub mod trace;
 pub use cost::CostModel;
 pub use fault::{Fault, FaultKind, FaultPlan, FaultRates};
 pub use machine::{Machine, ProcStats};
+pub use predict::{predicted_or_measured_total, predicted_time};
 pub use span::{ScopeGuard, Span};
 pub use spmd::{Comm, SpmdRun, SpmdStats, SpmdWorld};
 pub use topology::Topology;

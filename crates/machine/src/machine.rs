@@ -299,7 +299,18 @@ impl Machine {
                 (t, format!("fault:crash:p{proc}:op{op}"))
             }
         };
-        self.record_at(EventKind::Fault, 0, 0, penalty, start, &label, Vec::new());
+        self.record_at(
+            EventKind::Fault,
+            self.np,
+            0,
+            0,
+            0,
+            0,
+            penalty,
+            start,
+            &label,
+            Vec::new(),
+        );
     }
 
     fn skew_factor(&self, p: usize) -> f64 {
@@ -312,12 +323,18 @@ impl Machine {
 
     /// Append a traced event stamped with the thread's current span path
     /// (see [`crate::span`]) and a timeline `start`. `proc_times` carries
-    /// per-processor durations for imbalanced phases (empty = uniform).
+    /// per-processor durations for imbalanced phases (empty = uniform);
+    /// `payload` is the formula argument `w` the operation was called
+    /// with (see [`Event::payload_words`]) and `hops` the point-to-point
+    /// distance (`Send` only).
     #[allow(clippy::too_many_arguments)]
     fn record_at(
         &mut self,
         kind: EventKind,
+        participants: usize,
         words: usize,
+        payload: usize,
+        hops: usize,
         flops: usize,
         time: f64,
         start: f64,
@@ -327,7 +344,7 @@ impl Machine {
         if self.tracing {
             self.trace.record(Event {
                 kind,
-                participants: self.np,
+                participants,
                 words,
                 flops,
                 time,
@@ -335,6 +352,8 @@ impl Machine {
                 span: crate::span::current_path(),
                 label: label.to_string(),
                 proc_times,
+                payload_words: payload,
+                hops,
             });
         }
     }
@@ -386,7 +405,18 @@ impl Machine {
             total += f;
             per_proc.push(t);
         }
-        self.record_at(EventKind::Compute, 0, total, max_t, start, label, per_proc);
+        self.record_at(
+            EventKind::Compute,
+            self.np,
+            0,
+            0,
+            0,
+            total,
+            max_t,
+            start,
+            label,
+            per_proc,
+        );
         max_t
     }
 
@@ -407,7 +437,18 @@ impl Machine {
         self.stats[0].flops += flops as u64;
         let start = self.synchronise();
         self.clocks.iter_mut().for_each(|c| *c += t);
-        self.record_at(EventKind::Compute, 0, flops, t, start, label, Vec::new());
+        self.record_at(
+            EventKind::Compute,
+            self.np,
+            0,
+            0,
+            0,
+            flops,
+            t,
+            start,
+            label,
+            Vec::new(),
+        );
         t
     }
 
@@ -430,7 +471,18 @@ impl Machine {
         let arrive = start + t;
         self.clocks[to] = self.clocks[to].max(arrive);
         self.clocks[from] = arrive; // blocking send
-        self.record_at(EventKind::Send, words, 0, t, start, label, Vec::new());
+        self.record_at(
+            EventKind::Send,
+            self.np,
+            words,
+            words,
+            hops,
+            0,
+            t,
+            start,
+            label,
+            Vec::new(),
+        );
         t
     }
 
@@ -440,7 +492,18 @@ impl Machine {
         let t = self.topology.allreduce_time(self.np, 0, &self.cost);
         let start = self.synchronise();
         self.clocks.iter_mut().for_each(|c| *c += t);
-        self.record_at(EventKind::Barrier, 0, 0, t, start, label, Vec::new());
+        self.record_at(
+            EventKind::Barrier,
+            self.np,
+            0,
+            0,
+            0,
+            0,
+            t,
+            start,
+            label,
+            Vec::new(),
+        );
         t
     }
 
@@ -453,7 +516,18 @@ impl Machine {
         self.stats[root].messages += Topology::log2_ceil(self.np) as u64;
         let start = self.synchronise();
         self.clocks.iter_mut().for_each(|c| *c += t);
-        self.record_at(EventKind::Broadcast, words, 0, t, start, label, Vec::new());
+        self.record_at(
+            EventKind::Broadcast,
+            self.np,
+            words,
+            words,
+            0,
+            0,
+            t,
+            start,
+            label,
+            Vec::new(),
+        );
         t
     }
 
@@ -476,7 +550,10 @@ impl Machine {
         self.clocks.iter_mut().for_each(|c| *c += t);
         self.record_at(
             EventKind::AllGather,
+            self.np,
             words_each * self.np,
+            words_each,
+            0,
             0,
             t,
             start,
@@ -502,7 +579,10 @@ impl Machine {
         self.clocks.iter_mut().for_each(|c| *c += t);
         self.record_at(
             EventKind::Reduce,
+            self.np,
             words * (self.np - 1),
+            words,
+            0,
             0,
             t,
             start,
@@ -529,7 +609,10 @@ impl Machine {
         self.clocks.iter_mut().for_each(|c| *c += t);
         self.record_at(
             EventKind::AllReduce,
+            self.np,
             words * self.np.saturating_sub(1),
+            words,
+            0,
             0,
             t,
             start,
@@ -558,7 +641,10 @@ impl Machine {
         self.clocks.iter_mut().for_each(|c| *c += t);
         self.record_at(
             EventKind::Reduce,
+            self.np,
             words_each * self.np * self.np.saturating_sub(1),
+            words_each,
+            0,
             0,
             t,
             start,
@@ -602,7 +688,21 @@ impl Machine {
             self.stats[p].words_sent += (words_each * (g - 1)) as u64;
             self.stats[p].messages += rounds;
         }
-        self.record_at(kind, words_each * g * (g - 1), 0, t, max, label, Vec::new());
+        // Stamped with the *group* size: the cost formulas above were
+        // evaluated for `g` processors, and the oracle re-evaluates them
+        // from `participants`.
+        self.record_at(
+            kind,
+            g,
+            words_each * g * (g - 1),
+            words_each,
+            0,
+            0,
+            t,
+            max,
+            label,
+            Vec::new(),
+        );
         t
     }
 
@@ -619,7 +719,10 @@ impl Machine {
         self.clocks.iter_mut().for_each(|c| *c += t);
         self.record_at(
             EventKind::AllToAll,
+            self.np,
             words_each * self.np * self.np.saturating_sub(1),
+            words_each,
+            0,
             0,
             t,
             start,
@@ -656,7 +759,10 @@ impl Machine {
         self.clocks.iter_mut().for_each(|c| *c += max_t);
         self.record_at(
             EventKind::Redistribute,
+            self.np,
             total_words,
+            0,
+            0,
             0,
             max_t,
             start,
@@ -687,7 +793,10 @@ impl Machine {
         self.clocks.iter_mut().for_each(|c| *c += t);
         self.record_at(
             EventKind::Gather,
+            self.np,
             words_each * (self.np - 1),
+            words_each,
+            0,
             0,
             t,
             start,
@@ -713,7 +822,10 @@ impl Machine {
         self.clocks.iter_mut().for_each(|c| *c += t);
         self.record_at(
             EventKind::Scatter,
+            self.np,
             words_each * (self.np - 1),
+            words_each,
+            0,
             0,
             t,
             start,

@@ -105,6 +105,19 @@ pub struct Event {
     /// busy for the full [`Event::time`]. When present, its length is the
     /// participant count and `time == max(proc_times)`.
     pub proc_times: Vec<f64>,
+    /// The *formula argument* of the operation — the per-unit message
+    /// size `w` that the analytic cost formulas take (`words_each` for
+    /// allgather / reduce-scatter / alltoall / gather / scatter / group
+    /// collectives, `words` for send / broadcast / reduce / allreduce).
+    /// [`Event::words`] records the aggregate network volume instead, so
+    /// the two differ by a kind-specific multiplier; `payload_words` is
+    /// what a cost oracle feeds back into the closed forms. 0 for pure
+    /// compute, barriers, faults, and traces that predate this field.
+    pub payload_words: usize,
+    /// Network distance between the endpoints of a point-to-point
+    /// message (`Send` only; 0 for collectives, whose routing is part of
+    /// the topology formula).
+    pub hops: usize,
 }
 
 /// Append-only event log with summary accessors.
@@ -264,6 +277,14 @@ impl Trace {
                 let ts: Vec<String> = e.proc_times.iter().map(|&t| json_f64(t)).collect();
                 out.push_str(&format!(",\"proc_times\":[{}]", ts.join(",")));
             }
+            // Emitted only when set, so pre-oracle traces (and their
+            // byte-exact fixtures) keep the original line format.
+            if e.payload_words != 0 {
+                out.push_str(&format!(",\"payload_words\":{}", e.payload_words));
+            }
+            if e.hops != 0 {
+                out.push_str(&format!(",\"hops\":{}", e.hops));
+            }
             out.push_str("}\n");
         }
         out
@@ -318,6 +339,8 @@ fn parse_event_line(line: &str) -> Result<Event, String> {
     let mut span = String::new();
     let mut label = String::new();
     let mut proc_times: Vec<f64> = Vec::new();
+    let mut payload_words = 0usize;
+    let mut hops = 0usize;
     loop {
         let key = s.string()?;
         s.expect(':')?;
@@ -334,6 +357,8 @@ fn parse_event_line(line: &str) -> Result<Event, String> {
             "span" => span = s.string()?,
             "label" => label = s.string()?,
             "proc_times" => proc_times = s.number_array()?,
+            "payload_words" => payload_words = s.number()? as usize,
+            "hops" => hops = s.number()? as usize,
             other => return Err(format!("unexpected key '{other}'")),
         }
         if s.eat(',') {
@@ -353,6 +378,8 @@ fn parse_event_line(line: &str) -> Result<Event, String> {
         span,
         label,
         proc_times,
+        payload_words,
+        hops,
     })
 }
 
@@ -520,6 +547,8 @@ mod tests {
             span: String::new(),
             label: label.to_string(),
             proc_times: Vec::new(),
+            payload_words: 0,
+            hops: 0,
         }
     }
 
@@ -657,6 +686,10 @@ mod tests {
             if k == EventKind::Compute {
                 e.proc_times = vec![0.1, 0.2, 0.3, 0.25 * i as f64];
             }
+            e.payload_words = i * 3;
+            if k == EventKind::Send {
+                e.hops = 2;
+            }
             t.record(e);
         }
         let text = t.to_jsonl();
@@ -672,6 +705,8 @@ mod tests {
             assert_eq!(parsed.span, orig.span);
             assert_eq!(parsed.label, orig.label);
             assert_eq!(parsed.proc_times.len(), orig.proc_times.len());
+            assert_eq!(parsed.payload_words, orig.payload_words);
+            assert_eq!(parsed.hops, orig.hops);
         }
         // Re-serialising the parsed trace reproduces the bytes exactly.
         assert_eq!(back.to_jsonl(), text);

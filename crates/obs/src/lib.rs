@@ -20,22 +20,36 @@
 //!   text exposition.
 //! - **Analysis** — [`analysis`] extracts the critical path, the
 //!   per-processor load-imbalance ratio, and per-span cost attribution.
+//! - **Cost oracle** — [`oracle`] attributes every event to one of the
+//!   paper's Section-4 analytic categories, prices it with the closed
+//!   forms, and emits a [`DriftReport`] of predicted-vs-measured time.
+//! - **Regression gate** — [`gate`] persists bench runs as
+//!   schema-versioned `BENCH_<n>.json` records plus a rolling
+//!   `bench-history.jsonl`, and fails (typed [`GateError`]) when a
+//!   series regresses past tolerance.
 //!
 //! Everything is hand-rolled plain text/JSON: the offline build has no
 //! real serde, and the formats here are the public contract.
 
 pub mod analysis;
+pub mod gate;
 pub mod json;
+pub mod oracle;
 pub mod perfetto;
 pub mod prom;
 pub mod telemetry;
 pub mod timeline;
 
 pub use analysis::{critical_path, load_imbalance, span_costs, CriticalPathReport, SpanCost};
+pub use gate::{
+    render_diff, BenchRecord, GateError, GateOutcome, RegressionGate, Violation,
+    BENCH_SCHEMA_VERSION,
+};
 pub use hpf_machine::span::{self, current_path, enter};
 pub use hpf_machine::{ScopeGuard, Span};
 pub use hpf_solvers::{IterObserver, IterSample, NullObserver, RecordingObserver};
-pub use perfetto::trace_events_json;
+pub use oracle::{classify, CategoryDrift, DriftCategory, DriftReport, IterDrift, WorstOffender};
+pub use perfetto::{trace_events_json, PerfettoError};
 pub use prom::{render_prometheus, snapshot_from_json};
 pub use telemetry::ConvergenceLog;
 pub use timeline::{Slice, Timeline};

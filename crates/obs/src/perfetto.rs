@@ -13,15 +13,47 @@
 //! - zero-duration slices (instantaneous faults) become thread-scoped
 //!   instant events (`ph: "i"`);
 //! - the span path, word and flop counts ride along in `args`.
+//!
+//! A slice with a non-finite start or duration (a corrupted or
+//! hand-edited trace) is rejected with a typed [`PerfettoError`] rather
+//! than silently serialized as `null` — Perfetto refuses such
+//! documents, so failing here keeps the error close to its cause.
 
 use crate::json::{escape, json_f64};
 use crate::timeline::{Slice, Timeline};
 
 const US_PER_S: f64 = 1e6;
 
+/// Why a timeline could not be exported.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PerfettoError {
+    /// A slice's `start` or `dur` was NaN or infinite.
+    NonFiniteTime {
+        /// Index of the offending slice in `Timeline::slices`.
+        slice: usize,
+        /// The slice's processor rank.
+        proc: usize,
+        /// The slice's label (or kind when unlabeled).
+        name: String,
+    },
+}
+
+impl std::fmt::Display for PerfettoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PerfettoError::NonFiniteTime { slice, proc, name } => write!(
+                f,
+                "slice #{slice} ({name:?} on proc {proc}) has a non-finite start or duration"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PerfettoError {}
+
 /// Render a timeline as Chrome trace-event JSON (one self-contained
 /// document, pretty enough to diff but compact per event).
-pub fn trace_events_json(tl: &Timeline) -> String {
+pub fn trace_events_json(tl: &Timeline) -> Result<String, PerfettoError> {
     let mut events: Vec<String> = Vec::with_capacity(tl.slices.len() + tl.np);
     for proc in 0..tl.np {
         events.push(format!(
@@ -29,13 +61,25 @@ pub fn trace_events_json(tl: &Timeline) -> String {
              \"args\":{{\"name\":\"proc {proc}\"}}}}"
         ));
     }
-    for slice in &tl.slices {
+    for (i, slice) in tl.slices.iter().enumerate() {
+        if !slice.start.is_finite() || !slice.dur.is_finite() {
+            let name = if slice.label.is_empty() {
+                slice.kind
+            } else {
+                &slice.label
+            };
+            return Err(PerfettoError::NonFiniteTime {
+                slice: i,
+                proc: slice.proc,
+                name: name.to_string(),
+            });
+        }
         events.push(slice_json(slice));
     }
-    format!(
+    Ok(format!(
         "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\"}}",
         events.join(",\n")
-    )
+    ))
 }
 
 fn slice_json(s: &Slice) -> String {
@@ -87,7 +131,7 @@ mod tests {
             m.barrier("sync");
         }
         let tl = Timeline::from_trace(m.trace());
-        let doc = trace_events_json(&tl);
+        let doc = trace_events_json(&tl).unwrap();
         validate(&doc).expect("perfetto export must be well-formed JSON");
         // 4 thread_name metadata events + one event per slice.
         let events = doc.matches("\"ph\":").count();
@@ -113,7 +157,7 @@ mod tests {
             }],
             total_time: 0.5,
         };
-        let doc = trace_events_json(&tl);
+        let doc = trace_events_json(&tl).unwrap();
         validate(&doc).unwrap();
         assert!(doc.contains("\"ph\":\"i\""));
         assert!(doc.contains("\"ts\":500000"));
@@ -121,8 +165,59 @@ mod tests {
 
     #[test]
     fn empty_timeline_is_still_a_valid_document() {
-        let doc = trace_events_json(&Timeline::default());
+        let doc = trace_events_json(&Timeline::default()).unwrap();
         validate(&doc).unwrap();
         assert!(doc.contains("\"traceEvents\""));
+    }
+
+    fn slice(start: f64, dur: f64) -> crate::timeline::Slice {
+        crate::timeline::Slice {
+            proc: 2,
+            kind: "compute",
+            span: "solve/iter=1".to_string(),
+            label: "saxpy".to_string(),
+            start,
+            dur,
+            words: 0,
+            flops: 10,
+        }
+    }
+
+    #[test]
+    fn non_finite_durations_are_a_typed_error_not_nan_in_output() {
+        for (start, dur) in [
+            (f64::NAN, 1.0),
+            (0.0, f64::NAN),
+            (f64::INFINITY, 1.0),
+            (0.0, f64::NEG_INFINITY),
+        ] {
+            let tl = Timeline {
+                np: 3,
+                slices: vec![slice(start, dur)],
+                total_time: 1.0,
+            };
+            let err = trace_events_json(&tl).unwrap_err();
+            let PerfettoError::NonFiniteTime {
+                slice: idx,
+                proc,
+                name,
+            } = &err;
+            assert_eq!((*idx, *proc, name.as_str()), (0, 2, "saxpy"));
+            // The error is also printable for CLI use.
+            assert!(err.to_string().contains("non-finite"));
+        }
+    }
+
+    #[test]
+    fn single_event_timeline_exports_one_slice() {
+        let tl = Timeline {
+            np: 1,
+            slices: vec![slice(0.0, 0.25)],
+            total_time: 0.25,
+        };
+        let doc = trace_events_json(&tl).unwrap();
+        validate(&doc).unwrap();
+        assert_eq!(doc.matches("\"ph\":\"X\"").count(), 1);
+        assert!(doc.contains("\"span\":\"solve/iter=1\""));
     }
 }

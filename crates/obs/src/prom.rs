@@ -1,139 +1,23 @@
 //! Prometheus text-exposition exporter for the `hpf-service` metrics.
 //!
-//! Renders a [`MetricsSnapshot`] in the classic text format
-//! (version 0.0.4): `# HELP` / `# TYPE` headers, `_total`-suffixed
-//! counters, plain gauges, and the latency histogram as a proper
-//! cumulative `_bucket` series with `le` labels in **seconds**
-//! (converted from the service's microsecond bucket bounds), a `+Inf`
-//! bucket, and a `_count` aggregate. The service does not track a
-//! latency sum, so no `_sum` series is emitted.
+//! The actual renderer lives in the service crate
+//! ([`MetricsSnapshot::to_prometheus`]) so the live `/metrics` HTTP
+//! endpoint needs no dependency on this crate; this module keeps the
+//! historical `render_prometheus` entry point and owns the *offline*
+//! direction — parsing a snapshot back out of its JSON file so
+//! `trace-report` can re-render metrics captured by another process.
+//!
+//! Exposition format (version 0.0.4): `# HELP` / `# TYPE` headers,
+//! `_total`-suffixed counters, labeled per-`(solver, scenario)` outcome
+//! counters, plain gauges, and the latency histogram as a cumulative
+//! `_bucket` series with `le` labels in **seconds**, a `+Inf` bucket,
+//! `_sum` (seconds), and `_count`.
 
-use hpf_service::MetricsSnapshot;
-
-const PREFIX: &str = "hpf_service";
+use hpf_service::{MetricsSnapshot, SolveOutcome};
 
 /// Render `snap` as Prometheus text exposition.
 pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
-    let mut out = String::new();
-    let counters: [(&str, u64, &str); 17] = [
-        ("accepted", snap.accepted, "Jobs accepted by submit()"),
-        (
-            "rejected_busy",
-            snap.rejected_busy,
-            "Jobs refused: queue full",
-        ),
-        (
-            "rejected_invalid",
-            snap.rejected_invalid,
-            "Jobs refused: malformed request",
-        ),
-        ("completed", snap.completed, "Jobs finished successfully"),
-        ("failed", snap.failed, "Jobs finished with an error"),
-        (
-            "deadline_exceeded",
-            snap.deadline_exceeded,
-            "Jobs shed because their deadline expired in queue",
-        ),
-        ("cache_hits", snap.cache_hits, "Plan cache hits"),
-        ("cache_misses", snap.cache_misses, "Plan cache misses"),
-        (
-            "partitioner_invocations",
-            snap.partitioner_invocations,
-            "Fresh partitioner runs",
-        ),
-        (
-            "batches_executed",
-            snap.batches_executed,
-            "Batches handed to workers",
-        ),
-        (
-            "batched_jobs",
-            snap.batched_jobs,
-            "Jobs that shared a batch with at least one other job",
-        ),
-        ("rhs_solved", snap.rhs_solved, "Right-hand sides solved"),
-        (
-            "faults_injected",
-            snap.faults_injected,
-            "Faults the simulated machine injected",
-        ),
-        (
-            "faults_detected",
-            snap.faults_detected,
-            "Corruption events protected solvers detected",
-        ),
-        (
-            "rollbacks",
-            snap.rollbacks,
-            "Checkpoint rollbacks performed",
-        ),
-        ("retries", snap.retries, "Job re-attempts"),
-        (
-            "escalations",
-            snap.escalations,
-            "Retries that escalated the solver",
-        ),
-    ];
-    for (name, value, help) in counters {
-        out.push_str(&format!(
-            "# HELP {PREFIX}_{name}_total {help}\n\
-             # TYPE {PREFIX}_{name}_total counter\n\
-             {PREFIX}_{name}_total {value}\n"
-        ));
-    }
-    // breaker_open is a counter of refusals, not the breaker state.
-    out.push_str(&format!(
-        "# HELP {PREFIX}_breaker_open_total Jobs refused by an open circuit breaker\n\
-         # TYPE {PREFIX}_breaker_open_total counter\n\
-         {PREFIX}_breaker_open_total {}\n",
-        snap.breaker_open
-    ));
-    let gauges: [(&str, String, &str); 3] = [
-        (
-            "in_flight",
-            snap.in_flight.to_string(),
-            "Jobs accepted but not yet finished",
-        ),
-        (
-            "queue_depth",
-            snap.queue_depth.to_string(),
-            "Jobs waiting in the intake queue",
-        ),
-        (
-            "uptime_seconds",
-            format!("{}", snap.uptime_seconds),
-            "Seconds since the service started",
-        ),
-    ];
-    for (name, value, help) in gauges {
-        out.push_str(&format!(
-            "# HELP {PREFIX}_{name} {help}\n\
-             # TYPE {PREFIX}_{name} gauge\n\
-             {PREFIX}_{name} {value}\n"
-        ));
-    }
-    out.push_str(&format!(
-        "# HELP {PREFIX}_latency_seconds Submit-to-response latency of completed jobs\n\
-         # TYPE {PREFIX}_latency_seconds histogram\n"
-    ));
-    let mut cumulative = 0u64;
-    for (bound_us, count) in snap
-        .latency_bucket_bounds_us
-        .iter()
-        .zip(&snap.latency_buckets)
-    {
-        cumulative += count;
-        let le = if *bound_us == u64::MAX {
-            "+Inf".to_string()
-        } else {
-            format!("{}", *bound_us as f64 / 1e6)
-        };
-        out.push_str(&format!(
-            "{PREFIX}_latency_seconds_bucket{{le=\"{le}\"}} {cumulative}\n"
-        ));
-    }
-    out.push_str(&format!("{PREFIX}_latency_seconds_count {cumulative}\n"));
-    out
+    snap.to_prometheus()
 }
 
 /// Parse a [`MetricsSnapshot`] back from the JSON produced by
@@ -167,6 +51,20 @@ pub fn snapshot_from_json(text: &str) -> Result<MetricsSnapshot, String> {
         "null" => f64::NAN,
         s => s.parse().map_err(|_| "bad uptime_seconds".to_string())?,
     };
+    let mut outcomes = Vec::new();
+    let outcome_section = section(text, "\"solve_outcomes\":[", ']')?;
+    for obj in outcome_section.split('{').skip(1) {
+        outcomes.push(SolveOutcome {
+            solver: quoted(&scalar(obj, "solver")?)?,
+            scenario: quoted(&scalar(obj, "scenario")?)?,
+            completed: scalar(obj, "completed")?
+                .parse()
+                .map_err(|_| "bad outcome completed count".to_string())?,
+            failed: scalar(obj, "failed")?
+                .parse()
+                .map_err(|_| "bad outcome failed count".to_string())?,
+        });
+    }
     Ok(MetricsSnapshot {
         accepted: u("accepted")?,
         rejected_busy: u("rejected_busy")?,
@@ -191,7 +89,18 @@ pub fn snapshot_from_json(text: &str) -> Result<MetricsSnapshot, String> {
         uptime_seconds: uptime,
         latency_bucket_bounds_us: bounds,
         latency_buckets: counts,
+        latency_sum_us: u("latency_sum_us")?,
+        solve_outcomes: outcomes,
     })
+}
+
+/// Strip the surrounding double quotes from a raw scalar token.
+fn quoted(token: &str) -> Result<String, String> {
+    token
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected quoted string, got {token:?}"))
 }
 
 /// Extract the raw token following `"key":` (number, `null`, or a
@@ -233,6 +142,8 @@ mod tests {
         m.rollbacks.fetch_add(2, Ordering::Relaxed);
         m.queue_depth.store(3, Ordering::Relaxed);
         m.observe_latency(Duration::from_micros(120));
+        m.record_solve_outcome("cg", "rowwise", true);
+        m.record_solve_outcome("gmres", "colwise", false);
         let snap = m.snapshot();
         let back = snapshot_from_json(&snap.to_json()).unwrap();
         assert_eq!(back.accepted, 9);
@@ -240,6 +151,8 @@ mod tests {
         assert_eq!(back.queue_depth, 3);
         assert_eq!(back.latency_buckets, snap.latency_buckets);
         assert_eq!(back.latency_bucket_bounds_us, snap.latency_bucket_bounds_us);
+        assert_eq!(back.latency_sum_us, 120);
+        assert_eq!(back.solve_outcomes, snap.solve_outcomes);
         assert!((back.uptime_seconds - snap.uptime_seconds).abs() < 1e-9);
         // And the parsed snapshot renders identical Prometheus text.
         assert_eq!(render_prometheus(&back), render_prometheus(&snap));
@@ -297,5 +210,90 @@ mod tests {
         let type_pos = text.find("# TYPE hpf_service_accepted_total").unwrap();
         let series_pos = text.find("\nhpf_service_accepted_total ").unwrap();
         assert!(type_pos < series_pos);
+    }
+
+    /// Pull the cumulative histogram out of an exposition: `(le, count)`
+    /// per bucket line, plus the `_sum` and `_count` series.
+    fn scrape_histogram(text: &str) -> (Vec<(f64, u64)>, f64, u64) {
+        let mut buckets = Vec::new();
+        let mut sum = f64::NAN;
+        let mut count = 0;
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.split_once(' ').unwrap();
+            if let Some(label) = name
+                .strip_prefix("hpf_service_latency_seconds_bucket{le=\"")
+                .and_then(|r| r.strip_suffix("\"}"))
+            {
+                let le = if label == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    label.parse().unwrap()
+                };
+                buckets.push((le, value.parse().unwrap()));
+            } else if name == "hpf_service_latency_seconds_sum" {
+                sum = value.parse().unwrap();
+            } else if name == "hpf_service_latency_seconds_count" {
+                count = value.parse().unwrap();
+            }
+        }
+        (buckets, sum, count)
+    }
+
+    #[test]
+    fn histogram_ends_in_inf_and_is_cumulative_and_monotone() {
+        let m = Metrics::new();
+        m.observe_latency(Duration::from_micros(40));
+        m.observe_latency(Duration::from_micros(700));
+        m.observe_latency(Duration::from_secs(30)); // lands in +Inf only
+        let (buckets, sum, count) = scrape_histogram(&render_prometheus(&m.snapshot()));
+        assert!(!buckets.is_empty());
+        let (last_le, last_count) = *buckets.last().unwrap();
+        assert!(
+            last_le.is_infinite(),
+            "exposition must end in a +Inf bucket"
+        );
+        // Bounds strictly increase and counts never decrease.
+        for pair in buckets.windows(2) {
+            assert!(
+                pair[0].0 < pair[1].0,
+                "le bounds not increasing: {buckets:?}"
+            );
+            assert!(pair[0].1 <= pair[1].1, "counts not cumulative: {buckets:?}");
+        }
+        // +Inf bucket equals _count equals total observations.
+        assert_eq!(last_count, 3);
+        assert_eq!(count, 3);
+        // _sum is consistent with what was observed (seconds).
+        let expected = 40e-6 + 700e-6 + 30.0;
+        assert!((sum - expected).abs() < 1e-9, "sum {sum} vs {expected}");
+    }
+
+    #[test]
+    fn scraped_exposition_parses_and_labels_are_wellformed() {
+        let m = Metrics::new();
+        m.record_solve_outcome("bicgstab", "e25 col", true);
+        m.observe_latency(Duration::from_micros(5));
+        let text = render_prometheus(&m.snapshot());
+        // The labeled series is present, with the space sanitized out of
+        // the scenario value so line-oriented parsers stay happy.
+        assert!(text.contains(
+            "hpf_service_solve_completed_total{solver=\"bicgstab\",scenario=\"e25_col\"} 1"
+        ));
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.split_once(' ').expect("name SP value");
+            assert!(name.starts_with("hpf_service_"), "{line:?}");
+            if let Some(open) = name.find('{') {
+                assert!(name.ends_with('}'), "unclosed label set in {line:?}");
+                for pair in name[open + 1..name.len() - 1].split(',') {
+                    let (k, v) = pair.split_once('=').expect("k=\"v\" label");
+                    assert!(!k.is_empty());
+                    assert!(v.starts_with('"') && v.ends_with('"'), "{line:?}");
+                }
+            }
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+        }
     }
 }

@@ -6,7 +6,7 @@ use hpf_solvers::{IterObserver, IterSample};
 /// CSV header written by [`ConvergenceLog::to_csv`]; `from_csv` insists
 /// on exactly this first line so format drift fails loudly.
 pub const CSV_HEADER: &str =
-    "iteration,residual_norm,alpha,beta,flops,comm_words,sim_time,rollbacks";
+    "iteration,residual_norm,alpha,beta,flops,comm_words,sim_time,predicted_time,rollbacks";
 
 /// Records every [`IterSample`] a solver emits, plus rollback/restart
 /// marks, and exports the lot as CSV (one row per sample).
@@ -40,7 +40,7 @@ impl ConvergenceLog {
         out.push('\n');
         for s in &self.samples {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{}\n",
                 s.iteration,
                 s.residual_norm,
                 s.alpha,
@@ -48,6 +48,7 @@ impl ConvergenceLog {
                 s.flops,
                 s.comm_words,
                 s.sim_time,
+                s.predicted_time,
                 s.rollbacks
             ));
         }
@@ -69,9 +70,9 @@ impl ConvergenceLog {
                 continue;
             }
             let cols: Vec<&str> = line.split(',').collect();
-            if cols.len() != 8 {
+            if cols.len() != 9 {
                 return Err(format!(
-                    "row {}: expected 8 columns, got {}",
+                    "row {}: expected 9 columns, got {}",
                     i + 2,
                     cols.len()
                 ));
@@ -85,7 +86,8 @@ impl ConvergenceLog {
                 flops: cols[4].parse().map_err(|_| err("flops"))?,
                 comm_words: cols[5].parse().map_err(|_| err("comm_words"))?,
                 sim_time: cols[6].parse().map_err(|_| err("sim_time"))?,
-                rollbacks: cols[7].parse().map_err(|_| err("rollbacks"))?,
+                predicted_time: cols[7].parse().map_err(|_| err("predicted_time"))?,
+                rollbacks: cols[8].parse().map_err(|_| err("rollbacks"))?,
             });
         }
         Ok(log)
@@ -117,6 +119,7 @@ mod tests {
             flops: 100 * i as u64,
             comm_words: 8 * i as u64,
             sim_time: 1e-6 * i as f64,
+            predicted_time: 0.9e-6 * i as f64,
             rollbacks: 0,
         }
     }
@@ -143,8 +146,11 @@ mod tests {
         assert!(ConvergenceLog::from_csv("iteration,residual\n").is_err());
         let short_row = format!("{CSV_HEADER}\n1,2,3\n");
         assert!(ConvergenceLog::from_csv(&short_row).is_err());
-        let bad_num = format!("{CSV_HEADER}\n1,x,0,0,0,0,0,0\n");
+        let bad_num = format!("{CSV_HEADER}\n1,x,0,0,0,0,0,0,0\n");
         assert!(ConvergenceLog::from_csv(&bad_num).is_err());
+        // The pre-oracle 8-column layout is rejected by the header.
+        let old = "iteration,residual_norm,alpha,beta,flops,comm_words,sim_time,rollbacks\n";
+        assert!(ConvergenceLog::from_csv(old).is_err());
     }
 
     #[test]

@@ -57,7 +57,7 @@ fn exporters_produce_valid_output_from_a_real_trace() {
     let tl = Timeline::from_trace(m.trace());
     assert_eq!(tl.np, 4);
     assert!(!tl.slices.is_empty());
-    let doc = hpf_obs::trace_events_json(&tl);
+    let doc = hpf_obs::trace_events_json(&tl).expect("finite trace must export");
     hpf_obs::json::validate(&doc).expect("perfetto JSON must validate");
     assert!(doc.contains("solve/iter="));
 

@@ -1,0 +1,106 @@
+//! Integration: run a real service, scrape its live HTTP endpoints the
+//! way Prometheus (or a human with `curl`) would, and check that the
+//! drift pipeline's artifacts round-trip through the wire.
+
+use hpf_core::{DataArrayLayout, RowwiseCsr};
+use hpf_machine::{CostModel, Machine, Topology};
+use hpf_obs::{ConvergenceLog, DriftReport};
+use hpf_service::{ServiceConfig, SolveRequest, SolverService};
+use hpf_solvers::{cg_distributed_with_observer, StopCriterion};
+use hpf_sparse::gen;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("headers then body");
+    (head.to_string(), body.to_string())
+}
+
+#[test]
+fn live_serve_loop_is_scrapable_end_to_end() {
+    let service = SolverService::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let server = service.serve_http("127.0.0.1:0").unwrap();
+
+    // Work the service: two scenarios so the labeled counters split.
+    let a = Arc::new(gen::banded_spd(48, 3, 5));
+    let (b, _) = gen::rhs_for_known_solution(&a);
+    for scenario in ["rowwise", "colwise"] {
+        let response = service
+            .solve(SolveRequest::new(a.clone(), b.clone()).scenario(scenario))
+            .unwrap();
+        assert!(response.stats[0].converged);
+    }
+
+    // /healthz answers ok while the service is up.
+    let (head, body) = http_get(server.addr(), "/healthz");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(body.contains("\"status\":\"ok\""));
+    hpf_obs::json::validate(&body).expect("healthz body is strict JSON");
+
+    // /metrics is a well-formed exposition carrying the labeled
+    // counters and a consistent histogram.
+    let (head, text) = http_get(server.addr(), "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200 OK"));
+    assert!(head.contains("text/plain; version=0.0.4"));
+    assert!(text.contains("hpf_service_completed_total 2"));
+    assert!(text.contains("solve_completed_total{solver=\"cg\",scenario=\"rowwise\"} 1"));
+    assert!(text.contains("solve_completed_total{solver=\"cg\",scenario=\"colwise\"} 1"));
+    assert!(text.contains("latency_seconds_bucket{le=\"+Inf\"} 2"));
+    assert!(text.contains("hpf_service_latency_seconds_sum "));
+    assert!(text.contains("hpf_service_latency_seconds_count 2"));
+
+    // The scrape matches what the in-process renderer would produce
+    // (modulo the uptime gauge, which moves between snapshots).
+    let strip_uptime = |s: &str| {
+        s.lines()
+            .filter(|l| !l.contains("uptime_seconds"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let local = hpf_obs::render_prometheus(&service.metrics());
+    assert_eq!(strip_uptime(&text), strip_uptime(&local));
+
+    // /drift 404s until a report is published, then serves it verbatim.
+    let (head, _) = http_get(server.addr(), "/drift");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+    let np = 4;
+    let a2 = gen::poisson_2d(6, 6);
+    let (b2, _) = gen::rhs_for_known_solution(&a2);
+    let op = RowwiseCsr::block(a2, np, DataArrayLayout::RowAligned);
+    let mut m = Machine::new(np, Topology::Hypercube, CostModel::mpp_1995());
+    m.set_tracing(true);
+    let mut log = ConvergenceLog::new();
+    cg_distributed_with_observer(
+        &mut m,
+        &op,
+        &b2,
+        StopCriterion::RelativeResidual(1e-8),
+        200,
+        &mut log,
+    )
+    .unwrap();
+    let report = DriftReport::from_trace(m.trace(), Topology::Hypercube, m.cost_model());
+    server.publish_drift(report.to_json());
+
+    let (head, body) = http_get(server.addr(), "/drift");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    hpf_obs::json::validate(&body).expect("drift body is strict JSON");
+    assert_eq!(body, report.to_json());
+    assert!(body.contains("\"categories\""));
+
+    // Shutdown flips /healthz to 503.
+    service.shutdown();
+    let (head, body) = http_get(server.addr(), "/healthz");
+    assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+    assert!(body.contains("shutting-down"));
+    drop(server);
+}

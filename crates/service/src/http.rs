@@ -1,0 +1,260 @@
+//! A dependency-free blocking HTTP/1.1 listener exposing the service's
+//! observability surface:
+//!
+//! - `GET /metrics`  — Prometheus text exposition (version 0.0.4) of
+//!   the live [`crate::Metrics`] counters,
+//! - `GET /healthz`  — JSON liveness: queue depth, in-flight jobs, open
+//!   circuit breakers, uptime; answers `503` once shutdown has begun,
+//! - `GET /drift`    — the most recently published cost-oracle
+//!   `DriftReport` JSON (published by the embedding process via
+//!   [`MetricsServer::publish_drift`]), `404` until one exists.
+//!
+//! This is intentionally *not* a web framework: one accept loop on a
+//! background thread, one short-lived connection per scrape, request
+//! parsing limited to the request line. That is exactly what a
+//! Prometheus scraper or a `curl` in a terminal needs, and it keeps the
+//! crate's "no external dependencies" property intact.
+
+use crate::metrics::Metrics;
+use crate::retry::CircuitBreaker;
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to a running metrics listener. Dropping it stops the accept
+/// loop and joins the thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    drift: Arc<Mutex<Option<String>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful with port `0`: the OS picks a free
+    /// port and this reports it).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Install `report_json` as the document served at `GET /drift`.
+    /// Replaces any previously published report.
+    pub fn publish_drift(&self, report_json: String) {
+        *self.drift.lock() = Some(report_json);
+    }
+
+    /// Stop the accept loop and join the listener thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Everything the request handler needs, cloned out of the service so
+/// the listener holds no borrow of it.
+pub(crate) struct HttpState {
+    pub metrics: Arc<Metrics>,
+    pub breaker: Arc<CircuitBreaker>,
+    pub shutting_down: Arc<AtomicBool>,
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:9090"`, or port `0` for an ephemeral
+/// port) and serve until the returned handle is stopped or dropped.
+pub(crate) fn spawn(addr: &str, state: HttpState) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let drift = Arc::new(Mutex::new(None));
+    let loop_stop = stop.clone();
+    let loop_drift = drift.clone();
+    let handle = std::thread::Builder::new()
+        .name("hpf-metrics-http".to_string())
+        .spawn(move || {
+            while !loop_stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => handle_connection(stream, &state, &loop_drift),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        })?;
+    Ok(MetricsServer {
+        addr: local,
+        stop,
+        drift,
+        handle: Some(handle),
+    })
+}
+
+fn handle_connection(mut stream: TcpStream, state: &HttpState, drift: &Mutex<Option<String>>) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    // One read is enough for the GET requests we serve; anything the
+    // client sends beyond 4 KiB of headers is ignored.
+    let mut buf = [0u8; 4096];
+    let n = match stream.read(&mut buf) {
+        Ok(0) | Err(_) => return,
+        Ok(n) => n,
+    };
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = route(method, path, state, drift);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+fn route(
+    method: &str,
+    path: &str,
+    state: &HttpState,
+    drift: &Mutex<Option<String>>,
+) -> (&'static str, &'static str, String) {
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        );
+    }
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            state.metrics.snapshot().to_prometheus(),
+        ),
+        "/healthz" => {
+            let snap = state.metrics.snapshot();
+            let down = state.shutting_down.load(Ordering::Relaxed);
+            let body = format!(
+                "{{\"status\":\"{}\",\"queue_depth\":{},\"in_flight\":{},\
+                 \"open_circuits\":{},\"uptime_seconds\":{}}}",
+                if down { "shutting-down" } else { "ok" },
+                snap.queue_depth,
+                snap.in_flight,
+                state.breaker.open_circuits(),
+                if snap.uptime_seconds.is_finite() {
+                    format!("{}", snap.uptime_seconds)
+                } else {
+                    "null".to_string()
+                }
+            );
+            (
+                if down {
+                    "503 Service Unavailable"
+                } else {
+                    "200 OK"
+                },
+                "application/json",
+                body,
+            )
+        }
+        "/drift" => match drift.lock().clone() {
+            Some(report) => ("200 OK", "application/json", report),
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no drift report published yet\n".to_string(),
+            ),
+        },
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics, /healthz or /drift\n".to_string(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn test_state() -> HttpState {
+        HttpState {
+            metrics: Arc::new(Metrics::new()),
+            breaker: Arc::new(CircuitBreaker::new(5, Duration::from_millis(100))),
+            shutting_down: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    #[test]
+    fn serves_metrics_healthz_and_404() {
+        let state = test_state();
+        state
+            .metrics
+            .accepted
+            .fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+        let mut server = spawn("127.0.0.1:0", state).unwrap();
+        let metrics = get(server.addr(), "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains("hpf_service_accepted_total 2"));
+        let health = get(server.addr(), "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"));
+        assert!(health.contains("\"status\":\"ok\""));
+        let missing = get(server.addr(), "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+        server.stop();
+    }
+
+    #[test]
+    fn drift_is_404_until_published() {
+        let mut server = spawn("127.0.0.1:0", test_state()).unwrap();
+        assert!(get(server.addr(), "/drift").starts_with("HTTP/1.1 404"));
+        server.publish_drift("{\"total_measured\":1}".to_string());
+        let drift = get(server.addr(), "/drift");
+        assert!(drift.starts_with("HTTP/1.1 200 OK"), "{drift}");
+        assert!(drift.contains("\"total_measured\":1"));
+        server.stop();
+    }
+
+    #[test]
+    fn healthz_turns_503_on_shutdown() {
+        let state = test_state();
+        let flag = state.shutting_down.clone();
+        let mut server = spawn("127.0.0.1:0", state).unwrap();
+        flag.store(true, Ordering::SeqCst);
+        let health = get(server.addr(), "/healthz");
+        assert!(health.starts_with("HTTP/1.1 503"), "{health}");
+        assert!(health.contains("shutting-down"));
+        server.stop();
+    }
+
+    #[test]
+    fn non_get_is_405() {
+        let mut server = spawn("127.0.0.1:0", test_state()).unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        write!(s, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+        server.stop();
+    }
+}

@@ -34,6 +34,7 @@
 
 pub mod batch;
 pub mod fingerprint;
+pub mod http;
 pub mod metrics;
 pub mod plan;
 pub mod request;
@@ -43,7 +44,8 @@ pub mod service;
 pub mod worker;
 
 pub use fingerprint::Fingerprint;
-pub use metrics::{Metrics, MetricsSnapshot, LATENCY_BUCKET_BOUNDS_US};
+pub use http::MetricsServer;
+pub use metrics::{Metrics, MetricsSnapshot, SolveOutcome, LATENCY_BUCKET_BOUNDS_US};
 pub use plan::{CacheOutcome, PlanCache, SolvePlan};
 pub use request::{ServiceConfig, SolveRequest, SolverKind};
 pub use response::{PlanSource, ServiceError, SolveResponse, TraceSummary};

@@ -1,6 +1,10 @@
-//! Service counters and the exportable snapshot.
+//! Service counters and the exportable snapshot, including its
+//! Prometheus text exposition (rendered here so the HTTP listener in
+//! [`crate::http`] needs nothing outside this crate).
 
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -42,8 +46,20 @@ pub struct Metrics {
     /// `submit`, not yet pulled by the dispatcher).
     pub queue_depth: AtomicU64,
     latency_buckets: [AtomicU64; LATENCY_BUCKET_BOUNDS_US.len()],
+    /// Total observed latency in microseconds (histogram `_sum`).
+    latency_sum_us: AtomicU64,
+    /// Completed/failed counts keyed by `(solver, scenario)` so the
+    /// exposition can tell a CG run from a GMRES escalation. BTreeMap
+    /// keeps the exposition order deterministic.
+    solve_outcomes: Mutex<BTreeMap<(String, String), OutcomeCounts>>,
     /// When this `Metrics` was created (service start).
     started: Instant,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct OutcomeCounts {
+    completed: u64,
+    failed: u64,
 }
 
 impl Default for Metrics {
@@ -77,6 +93,8 @@ impl Metrics {
             breaker_open: z(),
             queue_depth: z(),
             latency_buckets: Default::default(),
+            latency_sum_us: AtomicU64::new(0),
+            solve_outcomes: Mutex::new(BTreeMap::new()),
             started: Instant::now(),
         }
     }
@@ -89,6 +107,23 @@ impl Metrics {
             .position(|&b| us <= b)
             .unwrap_or(LATENCY_BUCKET_BOUNDS_US.len() - 1);
         self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Record a finished solve under its `(solver, scenario)` label
+    /// pair. `solver` should be the solver that actually produced the
+    /// outcome (post-escalation). Label values are sanitized to the
+    /// Prometheus-safe charset at record time so JSON and exposition
+    /// agree.
+    pub fn record_solve_outcome(&self, solver: &str, scenario: &str, completed: bool) {
+        let key = (sanitize_label(solver), sanitize_label(scenario));
+        let mut map = self.solve_outcomes.lock();
+        let entry = map.entry(key).or_default();
+        if completed {
+            entry.completed += 1;
+        } else {
+            entry.failed += 1;
+        }
     }
 
     /// Consistent-enough point-in-time copy of every counter, plus the
@@ -119,8 +154,50 @@ impl Metrics {
             uptime_seconds: self.started.elapsed().as_secs_f64(),
             latency_bucket_bounds_us: LATENCY_BUCKET_BOUNDS_US.to_vec(),
             latency_buckets: self.latency_buckets.iter().map(g).collect(),
+            latency_sum_us: g(&self.latency_sum_us),
+            solve_outcomes: self
+                .solve_outcomes
+                .lock()
+                .iter()
+                .map(|((solver, scenario), c)| SolveOutcome {
+                    solver: solver.clone(),
+                    scenario: scenario.clone(),
+                    completed: c.completed,
+                    failed: c.failed,
+                })
+                .collect(),
         }
     }
+}
+
+/// Replace anything outside the Prometheus-safe label charset with
+/// `_` so label values never need escaping (and never contain spaces
+/// or quotes that would break line-oriented consumers).
+fn sanitize_label(s: &str) -> String {
+    let cleaned: String = s
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':' | '/') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "unknown".to_string()
+    } else {
+        cleaned
+    }
+}
+
+/// One `(solver, scenario)` row of the labeled outcome counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolveOutcome {
+    pub solver: String,
+    pub scenario: String,
+    pub completed: u64,
+    pub failed: u64,
 }
 
 /// Serializable point-in-time view of the service counters.
@@ -152,6 +229,10 @@ pub struct MetricsSnapshot {
     pub latency_bucket_bounds_us: Vec<u64>,
     /// Completed-job latency counts per bucket.
     pub latency_buckets: Vec<u64>,
+    /// Total observed latency in microseconds (histogram `_sum`).
+    pub latency_sum_us: u64,
+    /// Per-`(solver, scenario)` completed/failed counts, sorted by key.
+    pub solve_outcomes: Vec<SolveOutcome>,
 }
 
 impl MetricsSnapshot {
@@ -171,6 +252,16 @@ impl MetricsSnapshot {
                 format!("{{\"le_us\":{bound},\"count\":{c}}}")
             })
             .collect();
+        let outcomes: Vec<String> = self
+            .solve_outcomes
+            .iter()
+            .map(|o| {
+                format!(
+                    "{{\"solver\":\"{}\",\"scenario\":\"{}\",\"completed\":{},\"failed\":{}}}",
+                    o.solver, o.scenario, o.completed, o.failed
+                )
+            })
+            .collect();
         format!(
             "{{\"accepted\":{},\"rejected_busy\":{},\"rejected_invalid\":{},\
              \"completed\":{},\"failed\":{},\"deadline_exceeded\":{},\
@@ -179,7 +270,7 @@ impl MetricsSnapshot {
              \"in_flight\":{},\"faults_injected\":{},\"faults_detected\":{},\
              \"rollbacks\":{},\"retries\":{},\"escalations\":{},\
              \"breaker_open\":{},\"queue_depth\":{},\"uptime_seconds\":{},\
-             \"latency\":[{}]}}",
+             \"latency_sum_us\":{},\"latency\":[{}],\"solve_outcomes\":[{}]}}",
             self.accepted,
             self.rejected_busy,
             self.rejected_invalid,
@@ -205,8 +296,175 @@ impl MetricsSnapshot {
             } else {
                 "null".to_string()
             },
-            buckets.join(",")
+            self.latency_sum_us,
+            buckets.join(","),
+            outcomes.join(",")
         )
+    }
+
+    /// Render as Prometheus text exposition (version 0.0.4): `# HELP` /
+    /// `# TYPE` headers, `_total`-suffixed counters, plain gauges,
+    /// labeled per-`(solver, scenario)` outcome counters, and the
+    /// latency histogram as a cumulative `_bucket` series with `le`
+    /// labels in **seconds** (converted from the microsecond bucket
+    /// bounds), a `+Inf` bucket, `_sum` (seconds), and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        const PREFIX: &str = "hpf_service";
+        let mut out = String::new();
+        let counters: [(&str, u64, &str); 17] = [
+            ("accepted", self.accepted, "Jobs accepted by submit()"),
+            (
+                "rejected_busy",
+                self.rejected_busy,
+                "Jobs refused: queue full",
+            ),
+            (
+                "rejected_invalid",
+                self.rejected_invalid,
+                "Jobs refused: malformed request",
+            ),
+            ("completed", self.completed, "Jobs finished successfully"),
+            ("failed", self.failed, "Jobs finished with an error"),
+            (
+                "deadline_exceeded",
+                self.deadline_exceeded,
+                "Jobs shed because their deadline expired in queue",
+            ),
+            ("cache_hits", self.cache_hits, "Plan cache hits"),
+            ("cache_misses", self.cache_misses, "Plan cache misses"),
+            (
+                "partitioner_invocations",
+                self.partitioner_invocations,
+                "Fresh partitioner runs",
+            ),
+            (
+                "batches_executed",
+                self.batches_executed,
+                "Batches handed to workers",
+            ),
+            (
+                "batched_jobs",
+                self.batched_jobs,
+                "Jobs that shared a batch with at least one other job",
+            ),
+            ("rhs_solved", self.rhs_solved, "Right-hand sides solved"),
+            (
+                "faults_injected",
+                self.faults_injected,
+                "Faults the simulated machine injected",
+            ),
+            (
+                "faults_detected",
+                self.faults_detected,
+                "Corruption events protected solvers detected",
+            ),
+            (
+                "rollbacks",
+                self.rollbacks,
+                "Checkpoint rollbacks performed",
+            ),
+            ("retries", self.retries, "Job re-attempts"),
+            (
+                "escalations",
+                self.escalations,
+                "Retries that escalated the solver",
+            ),
+        ];
+        for (name, value, help) in counters {
+            out.push_str(&format!(
+                "# HELP {PREFIX}_{name}_total {help}\n\
+                 # TYPE {PREFIX}_{name}_total counter\n\
+                 {PREFIX}_{name}_total {value}\n"
+            ));
+        }
+        // breaker_open is a counter of refusals, not the breaker state.
+        out.push_str(&format!(
+            "# HELP {PREFIX}_breaker_open_total Jobs refused by an open circuit breaker\n\
+             # TYPE {PREFIX}_breaker_open_total counter\n\
+             {PREFIX}_breaker_open_total {}\n",
+            self.breaker_open
+        ));
+        if !self.solve_outcomes.is_empty() {
+            out.push_str(&format!(
+                "# HELP {PREFIX}_solve_completed_total Jobs finished successfully, by solver and scenario\n\
+                 # TYPE {PREFIX}_solve_completed_total counter\n"
+            ));
+            for o in &self.solve_outcomes {
+                out.push_str(&format!(
+                    "{PREFIX}_solve_completed_total{{solver=\"{}\",scenario=\"{}\"}} {}\n",
+                    o.solver, o.scenario, o.completed
+                ));
+            }
+            out.push_str(&format!(
+                "# HELP {PREFIX}_solve_failed_total Jobs finished with an error, by solver and scenario\n\
+                 # TYPE {PREFIX}_solve_failed_total counter\n"
+            ));
+            for o in &self.solve_outcomes {
+                out.push_str(&format!(
+                    "{PREFIX}_solve_failed_total{{solver=\"{}\",scenario=\"{}\"}} {}\n",
+                    o.solver, o.scenario, o.failed
+                ));
+            }
+        }
+        let gauges: [(&str, String, &str); 3] = [
+            (
+                "in_flight",
+                self.in_flight.to_string(),
+                "Jobs accepted but not yet finished",
+            ),
+            (
+                "queue_depth",
+                self.queue_depth.to_string(),
+                "Jobs waiting in the intake queue",
+            ),
+            (
+                "uptime_seconds",
+                format!("{}", self.uptime_seconds),
+                "Seconds since the service started",
+            ),
+        ];
+        for (name, value, help) in gauges {
+            out.push_str(&format!(
+                "# HELP {PREFIX}_{name} {help}\n\
+                 # TYPE {PREFIX}_{name} gauge\n\
+                 {PREFIX}_{name} {value}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "# HELP {PREFIX}_latency_seconds Submit-to-response latency of completed jobs\n\
+             # TYPE {PREFIX}_latency_seconds histogram\n"
+        ));
+        let mut cumulative = 0u64;
+        let mut saw_inf = false;
+        for (bound_us, count) in self
+            .latency_bucket_bounds_us
+            .iter()
+            .zip(&self.latency_buckets)
+        {
+            cumulative += count;
+            let le = if *bound_us == u64::MAX {
+                saw_inf = true;
+                "+Inf".to_string()
+            } else {
+                format!("{}", *bound_us as f64 / 1e6)
+            };
+            out.push_str(&format!(
+                "{PREFIX}_latency_seconds_bucket{{le=\"{le}\"}} {cumulative}\n"
+            ));
+        }
+        // A histogram without a +Inf bucket is malformed; synthesize
+        // one even if the bound table ever drops the open-ended bucket.
+        if !saw_inf {
+            out.push_str(&format!(
+                "{PREFIX}_latency_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "{PREFIX}_latency_seconds_sum {}\n",
+            self.latency_sum_us as f64 / 1e6
+        ));
+        out.push_str(&format!("{PREFIX}_latency_seconds_count {cumulative}\n"));
+        out
     }
 }
 
@@ -277,5 +535,57 @@ mod tests {
             assert!(j.contains(key), "missing {key} in {j}");
         }
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn latency_sum_accumulates_in_microseconds() {
+        let m = Metrics::new();
+        m.observe_latency(Duration::from_micros(150));
+        m.observe_latency(Duration::from_micros(850));
+        let s = m.snapshot();
+        assert_eq!(s.latency_sum_us, 1000);
+        let j = s.to_json();
+        assert!(j.contains("\"latency_sum_us\":1000"), "{j}");
+    }
+
+    #[test]
+    fn solve_outcomes_are_labeled_sorted_and_sanitized() {
+        let m = Metrics::new();
+        m.record_solve_outcome("gmres", "col block", true);
+        m.record_solve_outcome("cg", "default", true);
+        m.record_solve_outcome("cg", "default", true);
+        m.record_solve_outcome("cg", "default", false);
+        let s = m.snapshot();
+        assert_eq!(s.solve_outcomes.len(), 2);
+        // BTreeMap ordering: "cg" before "gmres".
+        assert_eq!(s.solve_outcomes[0].solver, "cg");
+        assert_eq!(s.solve_outcomes[0].completed, 2);
+        assert_eq!(s.solve_outcomes[0].failed, 1);
+        // The space was sanitized away at record time.
+        assert_eq!(s.solve_outcomes[1].scenario, "col_block");
+    }
+
+    #[test]
+    fn prometheus_exposition_has_sum_labels_and_inf_bucket() {
+        let m = Metrics::new();
+        m.observe_latency(Duration::from_micros(500));
+        m.record_solve_outcome("cg", "rowwise", true);
+        m.record_solve_outcome("bicgstab", "colwise", false);
+        let text = m.snapshot().to_prometheus();
+        assert!(
+            text.contains("hpf_service_latency_seconds_sum 0.0005"),
+            "{text}"
+        );
+        assert!(text.contains("hpf_service_latency_seconds_count 1"));
+        assert!(text.contains("latency_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text
+            .contains("hpf_service_solve_completed_total{solver=\"cg\",scenario=\"rowwise\"} 1"));
+        assert!(text.contains(
+            "hpf_service_solve_failed_total{solver=\"bicgstab\",scenario=\"colwise\"} 1"
+        ));
+        // No metric line carries a space inside its name+labels token.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "bad line {line:?}");
+        }
     }
 }

@@ -54,6 +54,11 @@ pub struct SolveRequest {
     /// this job's first attempt (chaos testing). Retries run on a clean
     /// machine — the faults model a transient environment, not the job.
     pub fault_plan: Option<FaultPlan>,
+    /// Free-form tag recorded alongside the solver name in the labeled
+    /// service metrics (`solve_completed_total{solver=...,scenario=...}`),
+    /// so callers can split counters by workload. Defaults to
+    /// `"default"`.
+    pub scenario: String,
 }
 
 impl SolveRequest {
@@ -69,6 +74,7 @@ impl SolveRequest {
             max_iters: 10 * n.max(1),
             deadline: None,
             fault_plan: None,
+            scenario: "default".to_string(),
         }
     }
 
@@ -100,6 +106,11 @@ impl SolveRequest {
 
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    pub fn scenario(mut self, scenario: impl Into<String>) -> Self {
+        self.scenario = scenario.into();
         self
     }
 }
@@ -176,11 +187,19 @@ mod tests {
             .solver(SolverKind::Bicgstab)
             .stop(StopCriterion::AbsoluteResidual(1e-6))
             .max_iters(7)
-            .deadline(Duration::from_millis(5));
+            .deadline(Duration::from_millis(5))
+            .scenario("rowwise");
         assert_eq!(r.solver, SolverKind::Bicgstab);
         assert_eq!(r.max_iters, 7);
         assert!(r.deadline.is_some());
         assert_eq!(r.rhs.len(), 1);
+        assert_eq!(r.scenario, "rowwise");
+    }
+
+    #[test]
+    fn scenario_defaults_to_default() {
+        let a = Arc::new(gen::tridiagonal(4, 4.0, -1.0));
+        assert_eq!(SolveRequest::new(a, vec![1.0; 4]).scenario, "default");
     }
 
     #[test]

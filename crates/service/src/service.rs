@@ -209,6 +209,23 @@ impl SolverService {
         self.breaker.open_circuits()
     }
 
+    /// Expose this service over HTTP at `addr` (`"127.0.0.1:0"` picks a
+    /// free port, reported by [`crate::http::MetricsServer::addr`]):
+    /// `GET /metrics` (Prometheus text), `GET /healthz` (JSON liveness,
+    /// `503` once shutdown begins), and `GET /drift` (the latest
+    /// published cost-oracle report). The listener runs on its own
+    /// thread and outlives neither the returned handle nor the process.
+    pub fn serve_http(&self, addr: &str) -> std::io::Result<crate::http::MetricsServer> {
+        crate::http::spawn(
+            addr,
+            crate::http::HttpState {
+                metrics: self.metrics.clone(),
+                breaker: self.breaker.clone(),
+                shutting_down: self.shutting_down.clone(),
+            },
+        )
+    }
+
     fn shutdown_in_place(&mut self) {
         // Raise the flag first so the dispatcher refuses (rather than
         // executes) whatever is still queued, then close the job queue:

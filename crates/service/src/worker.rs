@@ -228,6 +228,9 @@ pub fn execute_batch(
             Ok((solutions, stats, recovery)) => {
                 breaker.record_success(fingerprint);
                 metrics.completed.fetch_add(1, Ordering::Relaxed);
+                // `kind` is the post-escalation solver that produced
+                // the outcome, not necessarily the one requested.
+                metrics.record_solve_outcome(kind.name(), &job.request.scenario, true);
                 metrics
                     .rhs_solved
                     .fetch_add(solutions.len() as u64, Ordering::Relaxed);
@@ -252,6 +255,7 @@ pub fn execute_batch(
             Err(e) => {
                 breaker.record_failure(fingerprint);
                 metrics.failed.fetch_add(1, Ordering::Relaxed);
+                metrics.record_solve_outcome(kind.name(), &job.request.scenario, false);
                 Err(e)
             }
         };

@@ -127,6 +127,7 @@ pub fn cg_with_observer<A: SerialOperator + ?Sized>(
             flops: 0,
             comm_words: 0,
             sim_time: 0.0,
+            predicted_time: 0.0,
             rollbacks: 0,
         });
         if monitor.observe(stats.residual_norm, b_norm)? {
@@ -239,6 +240,7 @@ pub fn cg_distributed_with_observer<A: DistOperator + ?Sized>(
             flops: d_flops,
             comm_words: d_words,
             sim_time: machine.elapsed(),
+            predicted_time: mark.predicted(),
             rollbacks: 0,
         });
         if monitor.observe(stats.residual_norm, b_norm)? {

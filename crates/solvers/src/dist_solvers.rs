@@ -93,6 +93,7 @@ pub fn bicg_distributed_with_observer<A: DistOperator + ?Sized>(
         stats.dots += 1;
         let (d_flops, d_words) = mark.delta(machine);
         let sim_time = machine.elapsed();
+        let predicted_time = mark.predicted();
         let (it, rn) = (stats.iterations, stats.residual_norm);
         let sample = move |beta: f64| IterSample {
             iteration: it,
@@ -102,6 +103,7 @@ pub fn bicg_distributed_with_observer<A: DistOperator + ?Sized>(
             flops: d_flops,
             comm_words: d_words,
             sim_time,
+            predicted_time,
             rollbacks: 0,
         };
         if monitor.observe(stats.residual_norm, b_norm)? {
@@ -203,6 +205,7 @@ pub fn bicgstab_distributed_with_observer<A: DistOperator + ?Sized>(
                 flops: d_flops,
                 comm_words: d_words,
                 sim_time: machine.elapsed(),
+                predicted_time: mark.predicted(),
                 rollbacks: 0,
             });
             stats.converged = true;
@@ -230,6 +233,7 @@ pub fn bicgstab_distributed_with_observer<A: DistOperator + ?Sized>(
         stats.dots += 1;
         let (d_flops, d_words) = mark.delta(machine);
         let sim_time = machine.elapsed();
+        let predicted_time = mark.predicted();
         let (it, rn) = (stats.iterations, stats.residual_norm);
         let sample = move |beta: f64| IterSample {
             iteration: it,
@@ -239,6 +243,7 @@ pub fn bicgstab_distributed_with_observer<A: DistOperator + ?Sized>(
             flops: d_flops,
             comm_words: d_words,
             sim_time,
+            predicted_time,
             rollbacks: 0,
         };
         if monitor.observe(stats.residual_norm, b_norm)? {
@@ -355,6 +360,7 @@ pub fn pcg_jacobi_distributed_with_observer<A: DistOperator + ?Sized>(
         stats.dots += 1;
         let (d_flops, d_words) = mark.delta(machine);
         let sim_time = machine.elapsed();
+        let predicted_time = mark.predicted();
         let (it, rn) = (stats.iterations, stats.residual_norm);
         let sample = move |beta: f64| IterSample {
             iteration: it,
@@ -364,6 +370,7 @@ pub fn pcg_jacobi_distributed_with_observer<A: DistOperator + ?Sized>(
             flops: d_flops,
             comm_words: d_words,
             sim_time,
+            predicted_time,
             rollbacks: 0,
         };
         if monitor.observe(stats.residual_norm, b_norm)? {
@@ -529,6 +536,7 @@ pub fn gmres_distributed_with_observer<A: DistOperator + ?Sized>(
                 flops: d_flops,
                 comm_words: d_words,
                 sim_time: machine.elapsed(),
+                predicted_time: mark.predicted(),
                 rollbacks: 0,
             });
             let lucky = h_next < 1e-14 * b_norm.max(1.0);

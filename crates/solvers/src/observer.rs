@@ -37,6 +37,13 @@ pub struct IterSample {
     /// cumulative, so deltas between samples give per-iteration cost.
     /// 0 for serial solves.
     pub sim_time: f64,
+    /// What the analytic cost model *predicts* the machine time should
+    /// be at the end of this iteration (cumulative, like
+    /// [`IterSample::sim_time`]; events with no closed form — faults,
+    /// redistributes — count at their measured time, so at zero drift
+    /// this equals `sim_time`). 0 for serial solves and when tracing is
+    /// disabled on the machine.
+    pub predicted_time: f64,
     /// Rollbacks performed so far in a protected solve (0 elsewhere).
     pub rollbacks: usize,
 }
@@ -120,6 +127,12 @@ impl IterObserver for RecordingObserver {
 pub(crate) struct MachineMark {
     flops: u64,
     words: u64,
+    /// Trace length at the mark — new events since it are what the cost
+    /// oracle prices for [`MachineMark::predicted`].
+    events: usize,
+    /// Cumulative analytically predicted machine time (see
+    /// [`IterSample::predicted_time`]).
+    predicted: f64,
 }
 
 impl MachineMark {
@@ -127,18 +140,40 @@ impl MachineMark {
         MachineMark {
             flops: machine.total_flops(),
             words: machine.total_words_sent(),
+            events: machine.trace().len(),
+            // Start the predicted clock at the machine's current elapsed
+            // time, so cumulative predictions stay comparable to
+            // `machine.elapsed()` even on a machine with pre-solve work.
+            predicted: machine.elapsed(),
         }
     }
 
-    /// Delta since this mark, advancing the mark to now.
+    /// Delta since this mark, advancing the mark to now (and pricing the
+    /// events recorded in between with the machine's own cost model).
     pub(crate) fn delta(&mut self, machine: &hpf_machine::Machine) -> (u64, u64) {
-        let now = Self::take(machine);
+        let flops = machine.total_flops();
+        let words = machine.total_words_sent();
         let d = (
-            now.flops.saturating_sub(self.flops),
-            now.words.saturating_sub(self.words),
+            flops.saturating_sub(self.flops),
+            words.saturating_sub(self.words),
         );
-        *self = now;
+        self.flops = flops;
+        self.words = words;
+        let events = machine.trace().events();
+        if self.events < events.len() {
+            self.predicted += hpf_machine::predict::predicted_or_measured_total(
+                &events[self.events..],
+                machine.topology(),
+                machine.cost_model(),
+            );
+            self.events = events.len();
+        }
         d
+    }
+
+    /// Cumulative predicted machine time up to the last `delta` call.
+    pub(crate) fn predicted(&self) -> f64 {
+        self.predicted
     }
 }
 
@@ -157,6 +192,7 @@ mod tests {
             flops: 10,
             comm_words: 4,
             sim_time: 0.1,
+            predicted_time: 0.1,
             rollbacks: 0,
         });
         obs.on_rollback(1, "non-finite");
@@ -179,6 +215,7 @@ mod tests {
             flops: 0,
             comm_words: 0,
             sim_time: 0.0,
+            predicted_time: 0.0,
             rollbacks: 0,
         });
         obs.on_rollback(0, "x");

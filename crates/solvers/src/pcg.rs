@@ -215,6 +215,7 @@ pub fn pcg_with_observer<A: SerialOperator + ?Sized, M: Preconditioner + ?Sized>
             flops: 0,
             comm_words: 0,
             sim_time: 0.0,
+            predicted_time: 0.0,
             rollbacks: 0,
         };
         if stop.satisfied(stats.residual_norm, b_norm) {

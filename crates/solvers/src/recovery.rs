@@ -416,6 +416,7 @@ fn protected_cg_core<A: DistOperator + ?Sized>(
             flops: d_flops,
             comm_words: d_words,
             sim_time: machine.elapsed(),
+            predicted_time: mark.predicted(),
             rollbacks: rec.rollbacks,
         });
 
