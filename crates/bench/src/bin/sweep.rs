@@ -142,12 +142,12 @@ fn balance() {
             let b_imb = partition::imbalance(&partition::loads(&weights, &block_owner, np));
             println!("{alpha},{np},block,{b_imb:.4}");
 
-            let cuts = partition::balanced_contiguous(&weights, np);
+            let cuts = partition::balanced_contiguous(&weights, np).expect("np > 0");
             let asg = partition::assignment_from_cuts(&cuts, n);
             let p_imb = partition::imbalance(&partition::loads(&weights, &asg.atom_owner, np));
             println!("{alpha},{np},balanced,{p_imb:.4}");
 
-            let lpt = partition::greedy_lpt(&weights, np);
+            let lpt = partition::greedy_lpt(&weights, np).expect("np > 0");
             let l_imb = partition::imbalance(&partition::loads(&weights, &lpt, np));
             println!("{alpha},{np},lpt,{l_imb:.4}");
         }

@@ -20,6 +20,10 @@
 //! - `summary`    critical path, load imbalance, top spans (needs `--trace`)
 //! - `drift`      cost-oracle predicted-vs-measured table (needs `--trace`)
 //! - `drift-json` the same report as strict JSON (what `/drift` serves)
+//! - `partition`  per-partitioner comm accounting: the trace is split at
+//!   every `REDISTRIBUTE USING <name>` event and each segment's measured
+//!   comm volume/time is set against the oracle's modeled time
+//!   (needs `--trace`)
 //!
 //! The oracle formats price the trace under `--topology` (default
 //! `hypercube`) and `--cost` (default `mpp-1995`; also `lan-cluster`,
@@ -35,7 +39,7 @@
 //! the exit status and written files matter). Exit status is non-zero
 //! on unreadable input, a failed validation, or a bench regression.
 
-use hpf_machine::{CostModel, Topology, Trace};
+use hpf_machine::{predicted_or_measured_total, CostModel, Event, EventKind, Topology, Trace};
 use hpf_obs::{
     critical_path, load_imbalance, render_diff, snapshot_from_json, span_costs, BenchRecord,
     DriftReport, Timeline,
@@ -55,7 +59,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: trace-report [--trace FILE] [--metrics FILE] \
-         [--format perfetto|prom|csv|summary|drift|drift-json]... \
+         [--format perfetto|prom|csv|summary|drift|drift-json|partition]... \
          [--topology NAME] [--cost PRESET] [--out DIR] [--quiet]\n\
          \x20      trace-report bench-diff PREV.json CUR.json \
          [--max-regression PCT] [--quiet]"
@@ -192,6 +196,102 @@ fn render_csv(trace: &Trace) -> String {
     out
 }
 
+/// Label prefix every partitioner-driven redistribution carries (see
+/// `hpf_dist::redistribute_using` and the sparse trio directive).
+const REDISTRIBUTE_USING: &str = "REDISTRIBUTE USING ";
+
+/// One contiguous run of trace events executed under a single
+/// partitioner's layout, delimited by `REDISTRIBUTE USING <name>`
+/// events. The opening redistribution itself is accounted separately as
+/// the segment's switch cost.
+struct PartitionSegment {
+    partitioner: String,
+    switch_words: usize,
+    switch_seconds: f64,
+    events: Vec<Event>,
+}
+
+fn partition_segments(trace: &Trace) -> Vec<PartitionSegment> {
+    let mut segments = vec![PartitionSegment {
+        partitioner: "(initial)".to_string(),
+        switch_words: 0,
+        switch_seconds: 0.0,
+        events: Vec::new(),
+    }];
+    for e in trace.events() {
+        if e.kind == EventKind::Redistribute && e.label.starts_with(REDISTRIBUTE_USING) {
+            segments.push(PartitionSegment {
+                partitioner: e.label[REDISTRIBUTE_USING.len()..].to_string(),
+                switch_words: e.words,
+                switch_seconds: e.time,
+                events: Vec::new(),
+            });
+        } else if let Some(seg) = segments.last_mut() {
+            seg.events.push(e.clone());
+        }
+    }
+    // A trace that opens with a redistribution has no pre-layout work.
+    if segments.len() > 1 && segments[0].events.is_empty() {
+        segments.remove(0);
+    }
+    segments
+}
+
+fn render_partition(trace: &Trace, topology: Topology, cost: &CostModel) -> String {
+    let segments = partition_segments(trace);
+    let mut out = format!(
+        "partition report: {} segment(s) over {} events, priced on {:?}\n",
+        segments.len(),
+        trace.events().len(),
+        topology,
+    );
+    out.push_str(&format!(
+        "{:<24} {:>7} {:>12} {:>14} {:>14} {:>9} {:>12} {:>12}\n",
+        "partitioner",
+        "events",
+        "comm-words",
+        "measured-s",
+        "modeled-s",
+        "drift%",
+        "switch-words",
+        "switch-s"
+    ));
+    for seg in &segments {
+        let comm: Vec<Event> = seg
+            .events
+            .iter()
+            .filter(|e| !matches!(e.kind, EventKind::Compute))
+            .cloned()
+            .collect();
+        let comm_words: usize = comm.iter().map(|e| e.words).sum();
+        let measured: f64 = comm.iter().map(|e| e.time).sum();
+        let modeled = predicted_or_measured_total(&comm, topology, cost);
+        let drift = if modeled > 0.0 {
+            100.0 * (measured - modeled) / modeled
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<24} {:>7} {:>12} {:>14.6e} {:>14.6e} {:>+9.1} {:>12} {:>12.6e}\n",
+            seg.partitioner,
+            seg.events.len(),
+            comm_words,
+            measured,
+            modeled,
+            drift,
+            seg.switch_words,
+            seg.switch_seconds,
+        ));
+    }
+    let switch_words: usize = segments.iter().map(|s| s.switch_words).sum();
+    let switch_seconds: f64 = segments.iter().map(|s| s.switch_seconds).sum();
+    out.push_str(&format!(
+        "total redistribution cost: {switch_words} words, {switch_seconds:.6e} s across {} switch(es)\n",
+        segments.iter().filter(|s| s.switch_words > 0).count(),
+    ));
+    out
+}
+
 fn load_bench(path: &str) -> BenchRecord {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
@@ -277,6 +377,13 @@ fn main() {
                 let report = DriftReport::from_trace(&trace, args.topology, &args.cost);
                 (report.render(), "drift.txt")
             }
+            "partition" => {
+                let trace = load_trace(&args);
+                (
+                    render_partition(&trace, args.topology, &args.cost),
+                    "partition.txt",
+                )
+            }
             "drift-json" => {
                 let trace = load_trace(&args);
                 let report = DriftReport::from_trace(&trace, args.topology, &args.cost);
@@ -304,5 +411,67 @@ fn main() {
             None if args.quiet => {}
             None => print!("{content}"),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_machine::Machine;
+
+    fn traced_machine() -> Machine {
+        let mut m = Machine::new(4, Topology::Hypercube, CostModel::mpp_1995());
+        m.set_tracing(true);
+        m
+    }
+
+    #[test]
+    fn partition_report_segments_at_redistribute_using_labels() {
+        let mut m = traced_machine();
+        m.allreduce(8, "dot-merge");
+        m.compute_uniform(100, "axpy");
+        let traffic = vec![
+            vec![0, 5, 0, 0],
+            vec![0, 0, 3, 0],
+            vec![0, 0, 0, 2],
+            vec![1, 0, 0, 0],
+        ];
+        m.exchange(&traffic, "REDISTRIBUTE USING greedy-hypergraph");
+        m.allreduce(8, "dot-merge");
+        let report = render_partition(m.trace(), Topology::Hypercube, &CostModel::mpp_1995());
+        assert!(report.contains("2 segment(s)"), "{report}");
+        assert!(report.contains("(initial)"), "{report}");
+        assert!(report.contains("greedy-hypergraph"), "{report}");
+        assert!(report.contains("across 1 switch(es)"), "{report}");
+
+        let segs = partition_segments(m.trace());
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].partitioner, "(initial)");
+        assert_eq!(segs[0].events.len(), 2);
+        assert_eq!(segs[1].partitioner, "greedy-hypergraph");
+        assert_eq!(segs[1].switch_words, 11);
+        assert_eq!(segs[1].events.len(), 1);
+    }
+
+    #[test]
+    fn leading_redistribute_has_no_initial_segment() {
+        let mut m = traced_machine();
+        let traffic = vec![vec![0; 4], vec![0; 4], vec![2, 0, 0, 0], vec![0; 4]];
+        m.exchange(&traffic, "REDISTRIBUTE USING spectral");
+        m.compute_uniform(10, "axpy");
+        let segs = partition_segments(m.trace());
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].partitioner, "spectral");
+    }
+
+    #[test]
+    fn unlabeled_redistributes_stay_inside_their_segment() {
+        let mut m = traced_machine();
+        let traffic = vec![vec![0; 4], vec![4, 0, 0, 0], vec![0; 4], vec![0; 4]];
+        m.exchange(&traffic, "halo-exchange");
+        let segs = partition_segments(m.trace());
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].partitioner, "(initial)");
+        assert_eq!(segs[0].events.len(), 1);
     }
 }

@@ -94,7 +94,7 @@ pub fn e10_load_balance(n: usize, max_row_nnz: usize, alpha: f64) -> Table {
         ]);
 
         // Balanced partitioner.
-        let bal_cuts = partition::balanced_contiguous(&weights, np);
+        let bal_cuts = partition::balanced_contiguous(&weights, np).expect("np > 0");
         let (p_imb, p_time) = matvec_with_cuts(&a, np, bal_cuts);
         t.row(vec![
             np.to_string(),

@@ -339,7 +339,7 @@ pub fn e21_redistribute_amortisation(n: usize, max_row_nnz: usize, np: usize) ->
     let t_block = per_iter(&block_op);
 
     let weights: Vec<usize> = (0..n).map(|r| a.row_nnz(r)).collect();
-    let cuts = partition::balanced_contiguous(&weights, np);
+    let cuts = partition::balanced_contiguous(&weights, np).expect("np > 0");
     let bal_op = RowwiseCsr::with_row_cuts(a.clone(), np, cuts);
     let t_bal = per_iter(&bal_op);
 

@@ -10,6 +10,7 @@ pub mod extensions_exp;
 pub mod fault_exp;
 pub mod matvec_exp;
 pub mod obs_exp;
+pub mod partition_exp;
 pub mod service_exp;
 pub mod solvers_exp;
 pub mod vector_ops;
@@ -45,10 +46,11 @@ pub fn run_all() -> Vec<Table> {
         fault_exp::e23_fault_sweep(96, 4, 5),
         obs_exp::e24_observability_overhead(10_000, 8, 3),
         drift_exp::e25_drift_oracle(1024, 8),
+        partition_exp::e26_partitioners(512),
     ]
 }
 
-/// Run one experiment by its lowercase id (`"e1"`, `"e01"`, ... `"e25"`).
+/// Run one experiment by its lowercase id (`"e1"`, `"e01"`, ... `"e26"`).
 pub fn run_one(id: &str) -> Option<Table> {
     let norm = id.trim_start_matches('e').trim_start_matches('0');
     Some(match norm {
@@ -77,6 +79,7 @@ pub fn run_one(id: &str) -> Option<Table> {
         "23" => fault_exp::e23_fault_sweep(96, 4, 5),
         "24" => obs_exp::e24_observability_overhead(10_000, 8, 3),
         "25" => drift_exp::e25_drift_oracle(1024, 8),
+        "26" => partition_exp::e26_partitioners(512),
         _ => return None,
     })
 }
@@ -87,8 +90,9 @@ mod tests {
 
     #[test]
     fn run_one_resolves_ids() {
-        // E25's regression gate writes BENCH_25.json into HPF_BENCH_DIR
-        // (default "."); keep test artifacts out of the source tree.
+        // E25/E26's regression gates write BENCH_<n>.json into
+        // HPF_BENCH_DIR (default "."); keep test artifacts out of the
+        // source tree.
         let scratch = std::env::temp_dir().join(format!("hpf-run-one-{}", std::process::id()));
         std::fs::create_dir_all(&scratch).unwrap();
         std::env::set_var("HPF_BENCH_DIR", &scratch);
@@ -103,7 +107,8 @@ mod tests {
         assert!(run_one("e23").is_some());
         assert!(run_one("e24").is_some());
         assert!(run_one("e25").is_some());
-        assert!(run_one("e26").is_none());
+        assert!(run_one("e26").is_some());
+        assert!(run_one("e27").is_none());
         assert!(run_one("nope").is_none());
         let _ = std::fs::remove_dir_all(&scratch);
     }

@@ -17,8 +17,9 @@
 //! `REDISTRIBUTE smA USING CG_BALANCED_PARTITIONER_1` extension).
 
 use hpf_dist::atoms::{AtomAssignment, AtomSpec};
+use hpf_dist::graph::ConnectivityGraph;
 use hpf_dist::partition;
-use hpf_dist::{ArrayDescriptor, DistSpec};
+use hpf_dist::{ArrayDescriptor, DistSpec, Partitioner};
 use hpf_machine::Machine;
 
 /// Which compressed scheme the trio uses.
@@ -146,6 +147,38 @@ impl SparseMatrixDirective {
         total
     }
 
+    /// `!EXT$ REDISTRIBUTE smA USING <partitioner>` — the pluggable
+    /// generalisation of [`Self::redistribute_balanced`]: run any
+    /// registered partitioner over the atom graph, move the trio to the
+    /// layout it produces, and return the words moved. Scattered target
+    /// layouts are lowered to contiguous cut points first (the trio's
+    /// cut-point descriptors require contiguity), preserving the
+    /// partitioner's per-processor load profile. Traffic is charged at
+    /// atom granularity — `idx` + `a` per element plus the `ptr` entry
+    /// per atom — under one `REDISTRIBUTE USING <name>` trace event.
+    pub fn redistribute_using(
+        &mut self,
+        machine: &mut Machine,
+        partitioner: &dyn Partitioner,
+        graph: &ConnectivityGraph,
+    ) -> usize {
+        let target = partitioner.partition(&self.atoms, graph, self.np);
+        let cuts = partition::contiguous_projection(&self.atoms, &target);
+        let lowered = partition::assignment_from_cuts(&cuts, self.atoms.n_atoms());
+        let traffic = hpf_dist::redistribute::atom_traffic_matrix(
+            &self.atoms,
+            &self.assignment,
+            &lowered,
+            2,
+            1,
+        );
+        let words = traffic.iter().map(|row| row.iter().sum::<usize>()).sum();
+        let label = format!("REDISTRIBUTE USING {}", partitioner.name());
+        machine.exchange(&traffic, &label);
+        self.assignment = lowered;
+        words
+    }
+
     /// Locality rule: accessing pointer element `i` implies the
     /// idx/value elements it points to are needed too. Returns those
     /// element ranges — "the compiler can exploit the locality rule by
@@ -216,6 +249,39 @@ mod tests {
         let a = gen::random_spd(50, 4, 2);
         let sm = SparseMatrixDirective::new(SparseFormat::Csr, a.row_ptr(), 4);
         assert_eq!(sm.loads().iter().sum::<usize>(), a.nnz());
+    }
+
+    #[test]
+    fn redistribute_using_lowers_scattered_layouts_and_labels_the_event() {
+        // A partitioner that deliberately produces a scattered layout:
+        // the directive must lower it to contiguous cuts with the same
+        // per-processor load profile and keep the trio consistent.
+        struct Cyclic;
+        impl Partitioner for Cyclic {
+            fn name(&self) -> &'static str {
+                "test-cyclic"
+            }
+            fn partition(
+                &self,
+                spec: &AtomSpec,
+                _graph: &ConnectivityGraph,
+                np: usize,
+            ) -> AtomAssignment {
+                AtomAssignment::atom_cyclic(spec, np)
+            }
+        }
+
+        let a = gen::power_law_spd(120, 30, 1.0, 4);
+        let mut sm = SparseMatrixDirective::new(SparseFormat::Csr, a.row_ptr(), 4);
+        let graph = ConnectivityGraph::from_pattern(a.n_rows(), a.row_ptr(), a.col_idx());
+        let mut m = machine(4);
+        let moved = sm.redistribute_using(&mut m, &Cyclic, &graph);
+        assert!(moved > 0);
+        assert!(sm.assignment().is_contiguous(), "lowered to cuts");
+        assert!(sm.trio_is_consistent());
+        let trace = m.trace();
+        assert_eq!(trace.count(hpf_machine::EventKind::Redistribute), 1);
+        assert_eq!(trace.events()[0].label, "REDISTRIBUTE USING test-cyclic");
     }
 
     #[test]

@@ -688,7 +688,7 @@ mod tests {
         let a = gen::power_law_spd(128, 40, 0.9, 4);
         let np = 4;
         let weights: Vec<usize> = (0..128).map(|r| a.row_nnz(r)).collect();
-        let cuts = hpf_dist::partition::balanced_contiguous(&weights, np);
+        let cuts = hpf_dist::partition::balanced_contiguous(&weights, np).unwrap();
         let balanced = RowwiseCsr::with_row_cuts(a.clone(), np, cuts);
         let blocked = RowwiseCsr::block(a, np, DataArrayLayout::RowAligned);
         let fb = balanced.flops_per_proc();

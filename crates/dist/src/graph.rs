@@ -1,0 +1,187 @@
+//! Connectivity graph over atoms and the modeled communication metrics
+//! partitioners optimise.
+//!
+//! For a rowwise-distributed sparse matvec `y = A·x`, processor `p` needs
+//! `x_j` for every column `j` appearing in a row it owns. With atoms =
+//! rows (and square, structurally symmetric `A`), that dependency is the
+//! sparsity graph itself: atom `i` is adjacent to atom `j` iff `a_ij ≠ 0`
+//! (`i ≠ j`). The hypergraph column-net model of Çatalyürek/Aykanat
+//! prices the traffic exactly: `x_j` is owned by one processor and must
+//! reach `λ_j − 1` others, where `λ_j` is the number of distinct owners
+//! of net `j = {j} ∪ neighbours(j)`. [`comm_volume`] is `Σ_j (λ_j − 1)`
+//! in words — the quantity `hpf-machine::predict` then prices in seconds.
+
+use crate::atoms::AtomAssignment;
+
+/// Undirected adjacency over atoms, built from a sparse pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectivityGraph {
+    /// `adj[i]` = sorted, deduplicated neighbours of atom `i` (self-loops
+    /// removed).
+    adj: Vec<Vec<usize>>,
+}
+
+impl ConnectivityGraph {
+    /// Build from a CSR/CSC pattern with one atom per row: atoms `i` and
+    /// `j` are adjacent iff the pattern has an entry `(i, j)` or `(j, i)`.
+    /// The pattern need not be symmetric — adjacency is symmetrised.
+    pub fn from_pattern(n_atoms: usize, row_ptr: &[usize], col_idx: &[usize]) -> Self {
+        assert_eq!(row_ptr.len(), n_atoms + 1, "pointer length mismatch");
+        let mut adj = vec![Vec::new(); n_atoms];
+        for i in 0..n_atoms {
+            for &j in &col_idx[row_ptr[i]..row_ptr[i + 1]] {
+                assert!(j < n_atoms, "column index {j} out of range");
+                if i != j {
+                    adj[i].push(j);
+                    adj[j].push(i);
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        ConnectivityGraph { adj }
+    }
+
+    /// Build from an explicit undirected edge list.
+    pub fn from_edges(n_atoms: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adj = vec![Vec::new(); n_atoms];
+        for &(u, v) in edges {
+            assert!(u < n_atoms && v < n_atoms, "edge endpoint out of range");
+            if u != v {
+                adj[u].push(v);
+                adj[v].push(u);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        ConnectivityGraph { adj }
+    }
+
+    pub fn n_atoms(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Sorted neighbours of atom `i` (no self-loop).
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    pub fn degree(&self, i: usize) -> usize {
+        self.adj[i].len()
+    }
+
+    /// Total undirected edge count.
+    pub fn n_edges(&self) -> usize {
+        self.adj.iter().map(|l| l.len()).sum::<usize>() / 2
+    }
+}
+
+/// Modeled sparse-matvec communication volume in words under the
+/// column-net model: `Σ_j (λ_j − 1)` where `λ_j` is the number of
+/// distinct processors owning atoms in `{j} ∪ neighbours(j)`. Zero iff
+/// no processor ever needs a remote `x_j`.
+pub fn comm_volume(graph: &ConnectivityGraph, asg: &AtomAssignment) -> usize {
+    assert_eq!(graph.n_atoms(), asg.n_atoms(), "graph/assignment mismatch");
+    let np = asg.np;
+    // Per-processor "last seen in net j" stamps avoid a HashSet per net.
+    let mut stamp = vec![usize::MAX; np];
+    let mut volume = 0usize;
+    for j in 0..graph.n_atoms() {
+        let mut lambda = 0usize;
+        let owner_j = asg.atom_owner[j];
+        stamp[owner_j] = j;
+        lambda += 1;
+        for &i in graph.neighbors(j) {
+            let p = asg.atom_owner[i];
+            if stamp[p] != j {
+                stamp[p] = j;
+                lambda += 1;
+            }
+        }
+        volume += lambda - 1;
+    }
+    volume
+}
+
+/// Undirected edges whose endpoints live on different processors — the
+/// classic graph-cut metric (an upper-bound proxy for comm volume).
+pub fn cut_edges(graph: &ConnectivityGraph, asg: &AtomAssignment) -> usize {
+    assert_eq!(graph.n_atoms(), asg.n_atoms(), "graph/assignment mismatch");
+    let mut cut = 0usize;
+    for i in 0..graph.n_atoms() {
+        for &j in graph.neighbors(i) {
+            if j > i && asg.atom_owner[i] != asg.atom_owner[j] {
+                cut += 1;
+            }
+        }
+    }
+    cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atoms::AtomSpec;
+
+    /// 6-atom path graph from a tridiagonal pattern.
+    fn path6() -> ConnectivityGraph {
+        ConnectivityGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+    }
+
+    #[test]
+    fn from_pattern_symmetrises_and_dedups() {
+        // Pattern rows: 0 -> {0,1}, 1 -> {1}, 2 -> {0, 0}.
+        let g = ConnectivityGraph::from_pattern(3, &[0, 2, 3, 5], &[0, 1, 1, 0, 0]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.n_edges(), 2);
+    }
+
+    #[test]
+    fn path_comm_volume_counts_boundary_nets() {
+        let g = path6();
+        let spec = AtomSpec::uniform(6, 1);
+        // One processor: nothing is remote.
+        let one = AtomAssignment::atom_block(&spec, 1);
+        assert_eq!(comm_volume(&g, &one), 0);
+        // Two contiguous halves: nets 2 and 3 straddle the cut -> λ=2 each.
+        let two = AtomAssignment::atom_block(&spec, 2);
+        assert_eq!(comm_volume(&g, &two), 2);
+        assert_eq!(cut_edges(&g, &two), 1);
+        // Cyclic over 2 procs: every net spans both owners.
+        let cyc = AtomAssignment::atom_cyclic(&spec, 2);
+        assert_eq!(comm_volume(&g, &cyc), 6);
+        assert_eq!(cut_edges(&g, &cyc), 5);
+    }
+
+    #[test]
+    fn volume_invariant_under_relabeling() {
+        let g = ConnectivityGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 4)]);
+        let asg = AtomAssignment::from_owners(vec![0, 0, 1, 1, 1], 2);
+        let v = comm_volume(&g, &asg);
+        // Relabel atoms by permutation π = reverse.
+        let perm: Vec<usize> = (0..5).rev().collect();
+        let edges: Vec<(usize, usize)> = [(0, 1), (0, 2), (1, 3), (2, 4), (3, 4)]
+            .iter()
+            .map(|&(u, v)| (perm[u], perm[v]))
+            .collect();
+        let g2 = ConnectivityGraph::from_edges(5, &edges);
+        let mut owner2 = vec![0usize; 5];
+        for (a, &p) in asg.atom_owner.iter().enumerate() {
+            owner2[perm[a]] = p;
+        }
+        let asg2 = AtomAssignment::from_owners(owner2, 2);
+        assert_eq!(comm_volume(&g2, &asg2), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_rejected() {
+        ConnectivityGraph::from_edges(2, &[(0, 5)]);
+    }
+}

@@ -20,6 +20,7 @@
 pub mod align;
 pub mod atoms;
 pub mod descriptor;
+pub mod graph;
 pub mod partition;
 pub mod redistribute;
 pub mod spec;
@@ -27,4 +28,6 @@ pub mod spec;
 pub use align::{AlignError, AlignmentGraph};
 pub use atoms::{AtomAssignment, AtomSpec};
 pub use descriptor::ArrayDescriptor;
+pub use graph::{comm_volume, cut_edges, ConnectivityGraph};
+pub use partition::{PartitionError, Partitioner};
 pub use spec::{DistSpec, ProcessorGrid};

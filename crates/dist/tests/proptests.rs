@@ -109,7 +109,7 @@ proptest! {
         weights in proptest::collection::vec(0usize..50, 1..60),
         np in 1usize..8,
     ) {
-        let cuts = partition::balanced_contiguous(&weights, np);
+        let cuts = partition::balanced_contiguous(&weights, np).unwrap();
         prop_assert_eq!(cuts.len(), np + 1);
         prop_assert_eq!(cuts[0], 0);
         prop_assert_eq!(*cuts.last().unwrap(), weights.len());
@@ -136,7 +136,7 @@ proptest! {
         weights in proptest::collection::vec(1usize..100, 1..50),
         np in 1usize..8,
     ) {
-        let owner = partition::greedy_lpt(&weights, np);
+        let owner = partition::greedy_lpt(&weights, np).unwrap();
         let l = partition::loads(&weights, &owner, np);
         let max = *l.iter().max().unwrap();
         let bound = weights.iter().sum::<usize>() / np + weights.iter().max().unwrap();

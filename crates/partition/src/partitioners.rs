@@ -1,0 +1,474 @@
+//! The pluggable partitioner implementations behind
+//! `REDISTRIBUTE ... USING <name>`.
+//!
+//! All four are deterministic and dependency-free (the build is offline;
+//! no external graph-partitioning library exists in-tree), and all honor
+//! the [`Partitioner`] trait contract: every atom assigned exactly once,
+//! owners `< np`, and no empty processor when `np <= n_atoms`.
+//!
+//! * [`BalancedContiguous`] (`balanced-rows`) — the paper's
+//!   `CG_BALANCED_PARTITIONER_1`: contiguous bottleneck-minimising row
+//!   cuts. Ignores communication entirely.
+//! * [`NnzBisection`] (`nnz-bisect`) — recursive weight bisection: split
+//!   the atom range so each side's nnz matches its processor share, then
+//!   recurse. Contiguous, cheaper than the exact bottleneck search.
+//! * [`GreedyHypergraph`] (`greedy-hypergraph`) — greedy graph growing in
+//!   the column-net spirit of Çatalyürek/Aykanat: parts absorb the
+//!   unassigned atom with the most neighbours already inside, shrinking
+//!   boundary nets (and thus `Σ_j (λ_j − 1)`). Scattered layout.
+//! * [`SpectralBisection`] (`spectral`) — recursive bisection along an
+//!   approximate Fiedler vector obtained by deflated power iteration on
+//!   `cI − L` of the connectivity Laplacian. Scattered layout.
+
+use hpf_dist::atoms::{AtomAssignment, AtomSpec};
+use hpf_dist::graph::ConnectivityGraph;
+use hpf_dist::partition::{assignment_from_cuts, balanced_contiguous};
+use hpf_dist::Partitioner;
+use hpf_sparse::CsrMatrix;
+
+/// Name of the partitioner used when a request does not pick one — the
+/// paper's own heuristic.
+pub const DEFAULT_PARTITIONER: &str = "balanced-rows";
+
+/// Connectivity graph of a square CSR matrix with one atom per row.
+pub fn connectivity_of(matrix: &CsrMatrix) -> ConnectivityGraph {
+    ConnectivityGraph::from_pattern(matrix.n_rows(), matrix.row_ptr(), matrix.col_idx())
+}
+
+/// All registered partitioners, in registry order.
+pub fn all_partitioners() -> Vec<Box<dyn Partitioner>> {
+    vec![
+        Box::new(BalancedContiguous),
+        Box::new(NnzBisection),
+        Box::new(GreedyHypergraph),
+        Box::new(SpectralBisection),
+    ]
+}
+
+/// Registered partitioner names, in registry order.
+pub fn partitioner_names() -> Vec<&'static str> {
+    all_partitioners().iter().map(|p| p.name()).collect()
+}
+
+/// Look a partitioner up by its `USING <name>` identifier.
+pub fn by_name(name: &str) -> Option<Box<dyn Partitioner>> {
+    all_partitioners().into_iter().find(|p| p.name() == name)
+}
+
+/// Repair pass shared by the contiguous partitioners: shift cut points so
+/// no group is empty while another holds more than one atom (the trait
+/// guarantees nonempty parts whenever `np <= n_atoms`).
+fn ensure_nonempty_cuts(cuts: &mut [usize], n_atoms: usize) {
+    let np = cuts.len() - 1;
+    if n_atoms < np {
+        return;
+    }
+    let mut sizes: Vec<usize> = cuts.windows(2).map(|w| w[1] - w[0]).collect();
+    while let Some(z) = sizes.iter().position(|&s| s == 0) {
+        // Nearest donor with atoms to spare.
+        let donor = (0..np)
+            .filter(|&p| sizes[p] > 1)
+            .min_by_key(|&p| p.abs_diff(z));
+        let Some(d) = donor else { break };
+        sizes[d] -= 1;
+        sizes[z] += 1;
+    }
+    let mut acc = 0usize;
+    for (p, &s) in sizes.iter().enumerate() {
+        cuts[p] = acc;
+        acc += s;
+        cuts[p + 1] = acc;
+    }
+}
+
+/// `CG_BALANCED_PARTITIONER_1` behind the trait: contiguous cuts with the
+/// minimal bottleneck nnz load.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BalancedContiguous;
+
+impl Partitioner for BalancedContiguous {
+    fn name(&self) -> &'static str {
+        "balanced-rows"
+    }
+
+    fn partition(&self, spec: &AtomSpec, _graph: &ConnectivityGraph, np: usize) -> AtomAssignment {
+        let mut cuts = balanced_contiguous(&spec.weights(), np).expect("np must be > 0");
+        ensure_nonempty_cuts(&mut cuts, spec.n_atoms());
+        assignment_from_cuts(&cuts, spec.n_atoms())
+    }
+}
+
+/// Contiguous nnz-balanced recursive bisection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NnzBisection;
+
+impl NnzBisection {
+    /// Split `weights[lo..hi]` for processors `p0..p0+k` in place.
+    fn bisect(weights: &[usize], lo: usize, hi: usize, p0: usize, k: usize, owner: &mut [usize]) {
+        if k <= 1 {
+            for o in &mut owner[lo..hi] {
+                *o = p0;
+            }
+            return;
+        }
+        let k1 = k / 2;
+        let k2 = k - k1;
+        let total: usize = weights[lo..hi].iter().sum();
+        let target = (total as f64 * k1 as f64 / k as f64).round() as usize;
+        // Walk to the prefix closest to the proportional target.
+        let mut cut = lo;
+        let mut acc = 0usize;
+        while cut < hi && acc + weights[cut] <= target {
+            acc += weights[cut];
+            cut += 1;
+        }
+        if cut < hi && (acc + weights[cut]).abs_diff(target) < target.abs_diff(acc) {
+            cut += 1;
+        }
+        // Keep both sides populatable: at least one atom per processor
+        // when the range is large enough.
+        let n = hi - lo;
+        if n >= k {
+            cut = cut.clamp(lo + k1, hi - k2);
+        } else if n >= 2 {
+            cut = cut.clamp(lo + 1, hi - 1);
+        }
+        Self::bisect(weights, lo, cut, p0, k1, owner);
+        Self::bisect(weights, cut, hi, p0 + k1, k2, owner);
+    }
+}
+
+impl Partitioner for NnzBisection {
+    fn name(&self) -> &'static str {
+        "nnz-bisect"
+    }
+
+    fn partition(&self, spec: &AtomSpec, _graph: &ConnectivityGraph, np: usize) -> AtomAssignment {
+        assert!(np > 0, "np must be > 0");
+        let weights = spec.weights();
+        let mut owner = vec![0usize; spec.n_atoms()];
+        Self::bisect(&weights, 0, spec.n_atoms(), 0, np, &mut owner);
+        AtomAssignment::from_owners(owner, np)
+    }
+}
+
+/// Greedy hypergraph-inspired graph growing: each part absorbs the atom
+/// with the highest connectivity into the part (ties: heavier atom, then
+/// lower index), bounded by the proportional nnz target. Minimising newly
+/// exposed boundary keeps column nets internal, which is exactly the
+/// `Σ_j (λ_j − 1)` volume the cost oracle prices.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyHypergraph;
+
+impl Partitioner for GreedyHypergraph {
+    fn name(&self) -> &'static str {
+        "greedy-hypergraph"
+    }
+
+    fn partition(&self, spec: &AtomSpec, graph: &ConnectivityGraph, np: usize) -> AtomAssignment {
+        assert!(np > 0, "np must be > 0");
+        let n = spec.n_atoms();
+        assert_eq!(graph.n_atoms(), n, "graph/spec mismatch");
+        let weights = spec.weights();
+        let total: usize = weights.iter().sum();
+        let target = total.div_ceil(np).max(1);
+        const UNASSIGNED: usize = usize::MAX;
+        let mut owner = vec![UNASSIGNED; n];
+        let mut unassigned = n;
+        // gain[i] = neighbours of i already inside the part being grown;
+        // epoch-stamped so switching parts resets it in O(1).
+        let mut gain = vec![0usize; n];
+        let mut epoch = vec![usize::MAX; n];
+
+        for p in 0..np {
+            if unassigned == 0 {
+                break;
+            }
+            if p == np - 1 {
+                // Last processor takes the remainder; the loop ends here,
+                // so the unassigned counter no longer needs maintaining.
+                for o in &mut owner {
+                    if *o == UNASSIGNED {
+                        *o = p;
+                    }
+                }
+                break;
+            }
+            let mut load = 0usize;
+            let mut part_atoms = 0usize;
+            let remaining_parts = np - p - 1;
+            loop {
+                if unassigned == 0 {
+                    break;
+                }
+                // Stop growing once at the target, or when later parts
+                // would starve.
+                if part_atoms > 0 && (load >= target || unassigned <= remaining_parts) {
+                    break;
+                }
+                // Deterministic pick: max gain, then max weight (heavy
+                // atoms anchor parts), then min index. Gain 0 for every
+                // candidate means this picks a fresh seed.
+                let mut best = UNASSIGNED;
+                for i in 0..n {
+                    if owner[i] != UNASSIGNED {
+                        continue;
+                    }
+                    let gi = if epoch[i] == p { gain[i] } else { 0 };
+                    if best == UNASSIGNED {
+                        best = i;
+                        continue;
+                    }
+                    let gb = if epoch[best] == p { gain[best] } else { 0 };
+                    if gi > gb || (gi == gb && weights[i] > weights[best]) {
+                        best = i;
+                    }
+                }
+                owner[best] = p;
+                unassigned -= 1;
+                load += weights[best];
+                part_atoms += 1;
+                for &j in graph.neighbors(best) {
+                    if owner[j] == UNASSIGNED {
+                        if epoch[j] != p {
+                            epoch[j] = p;
+                            gain[j] = 0;
+                        }
+                        gain[j] += 1;
+                    }
+                }
+            }
+        }
+        // np > n leaves trailing processors empty — legal; atoms all have
+        // owners either way.
+        for o in &mut owner {
+            if *o == UNASSIGNED {
+                *o = np - 1;
+            }
+        }
+        AtomAssignment::from_owners(owner, np)
+    }
+}
+
+/// Spectral-ish recursive bisection: order each sub-range by an
+/// approximate Fiedler vector (deflated power iteration on `cI − L`, no
+/// external eigensolver), then split by proportional weight.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpectralBisection;
+
+impl SpectralBisection {
+    const POWER_ITERS: usize = 40;
+
+    /// Approximate Fiedler order of the subgraph induced by `atoms`.
+    fn fiedler_order(graph: &ConnectivityGraph, atoms: &[usize]) -> Vec<usize> {
+        let ns = atoms.len();
+        if ns <= 2 {
+            return atoms.to_vec();
+        }
+        // Local index of each member atom (usize::MAX = outside).
+        let mut local = vec![usize::MAX; graph.n_atoms()];
+        for (li, &a) in atoms.iter().enumerate() {
+            local[a] = li;
+        }
+        let deg: Vec<usize> = atoms
+            .iter()
+            .map(|&a| {
+                graph
+                    .neighbors(a)
+                    .iter()
+                    .filter(|&&b| local[b] != usize::MAX)
+                    .count()
+            })
+            .collect();
+        let c = (*deg.iter().max().unwrap() + 1) as f64;
+        // Deterministic non-constant start vector (Knuth hash phase).
+        let mut v: Vec<f64> = (0..ns)
+            .map(|i| ((i as u64).wrapping_mul(2654435761) % 1009) as f64 / 1009.0 - 0.5)
+            .collect();
+        let mut w = vec![0.0f64; ns];
+        for _ in 0..Self::POWER_ITERS {
+            // w = (cI − L) v = (c − deg) v + Σ_neigh v
+            for (li, &a) in atoms.iter().enumerate() {
+                let mut acc = (c - deg[li] as f64) * v[li];
+                for &b in graph.neighbors(a) {
+                    let lb = local[b];
+                    if lb != usize::MAX {
+                        acc += v[lb];
+                    }
+                }
+                w[li] = acc;
+            }
+            // Deflate the constant eigenvector, then normalise.
+            let mean = w.iter().sum::<f64>() / ns as f64;
+            for x in &mut w {
+                *x -= mean;
+            }
+            let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-30 {
+                break; // disconnected/degenerate: keep current order
+            }
+            for (vi, wi) in v.iter_mut().zip(w.iter()) {
+                *vi = wi / norm;
+            }
+        }
+        // Clean up the scratch map and emit atoms by Fiedler value.
+        let mut order: Vec<usize> = (0..ns).collect();
+        order.sort_by(|&i, &j| {
+            v[i].partial_cmp(&v[j])
+                .unwrap()
+                .then(atoms[i].cmp(&atoms[j]))
+        });
+        order.into_iter().map(|li| atoms[li]).collect()
+    }
+
+    fn bisect(
+        spec: &AtomSpec,
+        graph: &ConnectivityGraph,
+        atoms: &[usize],
+        p0: usize,
+        k: usize,
+        owner: &mut [usize],
+    ) {
+        if k <= 1 {
+            for &a in atoms {
+                owner[a] = p0;
+            }
+            return;
+        }
+        let k1 = k / 2;
+        let k2 = k - k1;
+        let ordered = Self::fiedler_order(graph, atoms);
+        let total: usize = ordered.iter().map(|&a| spec.atom_size(a)).sum();
+        let target = (total as f64 * k1 as f64 / k as f64).round() as usize;
+        let mut cut = 0usize;
+        let mut acc = 0usize;
+        while cut < ordered.len() && acc + spec.atom_size(ordered[cut]) <= target {
+            acc += spec.atom_size(ordered[cut]);
+            cut += 1;
+        }
+        let n = ordered.len();
+        if n >= k {
+            cut = cut.clamp(k1, n - k2);
+        } else if n >= 2 {
+            cut = cut.clamp(1, n - 1);
+        }
+        Self::bisect(spec, graph, &ordered[..cut], p0, k1, owner);
+        Self::bisect(spec, graph, &ordered[cut..], p0 + k1, k2, owner);
+    }
+}
+
+impl Partitioner for SpectralBisection {
+    fn name(&self) -> &'static str {
+        "spectral"
+    }
+
+    fn partition(&self, spec: &AtomSpec, graph: &ConnectivityGraph, np: usize) -> AtomAssignment {
+        assert!(np > 0, "np must be > 0");
+        assert_eq!(graph.n_atoms(), spec.n_atoms(), "graph/spec mismatch");
+        let atoms: Vec<usize> = (0..spec.n_atoms()).collect();
+        let mut owner = vec![0usize; spec.n_atoms()];
+        Self::bisect(spec, graph, &atoms, 0, np, &mut owner);
+        AtomAssignment::from_owners(owner, np)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_dist::graph::comm_volume;
+    use hpf_sparse::gen;
+
+    fn setup(n: usize) -> (AtomSpec, ConnectivityGraph) {
+        let a = gen::poisson_2d(n, n);
+        (
+            AtomSpec::from_pointer_array(a.row_ptr()),
+            connectivity_of(&a),
+        )
+    }
+
+    #[test]
+    fn registry_has_four_unique_names() {
+        let names = partitioner_names();
+        assert_eq!(names.len(), 4);
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+        assert!(names.contains(&DEFAULT_PARTITIONER));
+        assert!(by_name("greedy-hypergraph").is_some());
+        assert!(by_name("no-such-heuristic").is_none());
+    }
+
+    #[test]
+    fn every_partitioner_covers_all_atoms_with_nonempty_parts() {
+        let (spec, graph) = setup(8); // 64 atoms
+        for p in all_partitioners() {
+            for np in [1usize, 3, 4, 7, 16] {
+                let asg = p.partition(&spec, &graph, np);
+                assert_eq!(asg.n_atoms(), spec.n_atoms(), "{}", p.name());
+                assert!(asg.atom_owner.iter().all(|&o| o < np), "{}", p.name());
+                let mut count = vec![0usize; np];
+                for &o in &asg.atom_owner {
+                    count[o] += 1;
+                }
+                assert!(
+                    count.iter().all(|&c| c > 0),
+                    "{} np={np} left a processor empty: {count:?}",
+                    p.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioners_are_deterministic() {
+        let (spec, graph) = setup(7);
+        for p in all_partitioners() {
+            let a = p.partition(&spec, &graph, 6);
+            let b = p.partition(&spec, &graph, 6);
+            assert_eq!(a, b, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn hypergraph_beats_balanced_rows_on_power_law_volume() {
+        let a = gen::power_law_spd(256, 32, 0.9, 7);
+        let spec = AtomSpec::from_pointer_array(a.row_ptr());
+        let graph = connectivity_of(&a);
+        let np = 16;
+        let rows = BalancedContiguous.modeled_comm_volume(&spec, &graph, np);
+        let hyper = GreedyHypergraph.modeled_comm_volume(&spec, &graph, np);
+        assert!(
+            hyper < rows,
+            "hypergraph volume {hyper} should beat balanced rows {rows}"
+        );
+    }
+
+    #[test]
+    fn spectral_recovers_a_mesh_split() {
+        // 2D Poisson grid: spectral bisection should find a low-volume cut
+        // competitive with (or better than) naive contiguous halves.
+        let a = gen::poisson_2d(12, 12); // 144 atoms
+        let spec = AtomSpec::from_pointer_array(a.row_ptr());
+        let graph = connectivity_of(&a);
+        let asg = SpectralBisection.partition(&spec, &graph, 2);
+        let vol = comm_volume(&graph, &asg);
+        // A straight half split of a 12x12 5-point grid exposes one row of
+        // 12 nodes on each side: volume 24. Allow slack but require the
+        // same order of magnitude, far below a scattered layout.
+        assert!(vol <= 48, "spectral volume {vol} too high");
+        let imb = asg.imbalance(&spec);
+        assert!(imb < 1.2, "spectral imbalance {imb}");
+    }
+
+    #[test]
+    fn bisection_balances_nnz() {
+        let a = gen::power_law_spd(200, 24, 1.0, 3);
+        let spec = AtomSpec::from_pointer_array(a.row_ptr());
+        let graph = connectivity_of(&a);
+        let asg = NnzBisection.partition(&spec, &graph, 8);
+        assert!(asg.is_contiguous());
+        let imb = asg.imbalance(&spec);
+        assert!(imb < 1.5, "nnz-bisect imbalance {imb}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests on the partitioner registry: the trait contract
+//! (total coverage, valid owners, nonempty parts) holds for every
+//! registered heuristic on arbitrary sparse structures, and the
+//! column-net volume model is invariant under atom relabeling.
+
+use hpf_dist::atoms::AtomSpec;
+use hpf_dist::graph::{comm_volume, ConnectivityGraph};
+use hpf_dist::AtomAssignment;
+use hpf_partition::partitioners::all_partitioners;
+use proptest::prelude::*;
+
+/// Deterministic pointer array from per-atom weights (nnz counts).
+fn ptr_of(weights: &[usize]) -> Vec<usize> {
+    let mut ptr = vec![0usize];
+    for w in weights {
+        ptr.push(ptr.last().unwrap() + w);
+    }
+    ptr
+}
+
+/// Deterministic sparse symmetric adjacency from a seed: each atom gets a
+/// few pseudo-random neighbors (xorshift stream, no rand dependency).
+fn graph_of(n: usize, seed: u64) -> ConnectivityGraph {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut edges = Vec::new();
+    for i in 0..n {
+        let deg = (next() % 4) as usize;
+        for _ in 0..deg {
+            let j = (next() % n as u64) as usize;
+            if j != i {
+                edges.push((i, j));
+            }
+        }
+    }
+    ConnectivityGraph::from_edges(n, &edges)
+}
+
+/// Deterministic permutation of `0..n` (Fisher-Yates over an xorshift
+/// stream).
+fn permutation_of(n: usize, seed: u64) -> Vec<usize> {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    /// Every registered partitioner assigns each atom exactly once to a
+    /// valid owner, and leaves no processor empty when `np <= n_atoms`.
+    #[test]
+    fn partitioners_honor_the_trait_contract(
+        weights in proptest::collection::vec(1usize..40, 1..50),
+        np in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let ptr = ptr_of(&weights);
+        let spec = AtomSpec::from_pointer_array(&ptr);
+        let n = spec.n_atoms();
+        let graph = graph_of(n, seed);
+        for p in all_partitioners() {
+            let asg = p.partition(&spec, &graph, np);
+            prop_assert_eq!(asg.np, np, "{}", p.name());
+            prop_assert_eq!(asg.atom_owner.len(), n, "{}", p.name());
+            prop_assert!(
+                asg.atom_owner.iter().all(|&o| o < np),
+                "{}: owner out of range",
+                p.name()
+            );
+            if np <= n {
+                let mut seen = vec![false; np];
+                for &o in &asg.atom_owner {
+                    seen[o] = true;
+                }
+                prop_assert!(
+                    seen.iter().all(|&s| s),
+                    "{}: empty part with np {} <= n {}",
+                    p.name(),
+                    np,
+                    n
+                );
+            }
+        }
+    }
+
+    /// `Σ_j (λ_j − 1)` depends only on the partition structure, not on
+    /// atom numbering: relabeling atoms (and the assignment with them)
+    /// leaves the modeled comm volume unchanged.
+    #[test]
+    fn comm_volume_is_relabeling_invariant(
+        n in 2usize..60,
+        np in 1usize..7,
+        graph_seed in any::<u64>(),
+        perm_seed in any::<u64>(),
+    ) {
+        let graph = graph_of(n, graph_seed);
+        // Any assignment works for the invariance; use a cheap scattered one.
+        let owner: Vec<usize> = (0..n).map(|i| (i * 7 + 3) % np).collect();
+        let asg = AtomAssignment::from_owners(owner.clone(), np);
+        let vol = comm_volume(&graph, &asg);
+
+        let perm = permutation_of(n, perm_seed);
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for &j in graph.neighbors(i) {
+                edges.push((perm[i], perm[j]));
+            }
+        }
+        let relabeled_graph = ConnectivityGraph::from_edges(n, &edges);
+        let mut relabeled_owner = vec![0usize; n];
+        for (i, &o) in owner.iter().enumerate() {
+            relabeled_owner[perm[i]] = o;
+        }
+        let relabeled = AtomAssignment::from_owners(relabeled_owner, np);
+        prop_assert_eq!(vol, comm_volume(&relabeled_graph, &relabeled));
+    }
+}

@@ -38,7 +38,9 @@ impl Job {
     /// Key under which jobs may share one execution. The matrix pointer
     /// (not just the structural fingerprint) is part of the key: two
     /// matrices can share a pattern yet differ in values, and only the
-    /// *plan* is safe to share then — not the built operator.
+    /// *plan* is safe to share then — not the built operator. The
+    /// partitioner name is part of the key too: jobs laid out by
+    /// different partitioners use different operators.
     pub fn batch_key(&self) -> BatchKey {
         BatchKey {
             matrix_ptr: Arc::as_ptr(&self.request.matrix) as usize,
@@ -46,6 +48,9 @@ impl Job {
             solver: self.request.solver,
             stop: StopBits::of(self.request.stop),
             max_iters: self.request.max_iters,
+            partitioner: hpf_partition::by_name(&self.request.partitioner)
+                .map(|p| p.name())
+                .unwrap_or(hpf_partition::DEFAULT_PARTITIONER),
         }
     }
 }
@@ -88,6 +93,8 @@ pub struct BatchKey {
     pub solver: SolverKind,
     pub stop: StopBits,
     pub max_iters: usize,
+    /// Canonical registry name of the requested partitioner.
+    pub partitioner: &'static str,
 }
 
 /// A group of jobs sharing one [`BatchKey`], executed together.
@@ -175,6 +182,19 @@ mod tests {
         let ids: Vec<u64> = batch.jobs.iter().map(|j| j.id).collect();
         assert_eq!(ids, vec![1, 4]);
         assert_eq!(pending.len(), 2);
+    }
+
+    #[test]
+    fn differing_partitioner_splits_batches() {
+        let a = Arc::new(gen::tridiagonal(8, 4.0, -1.0));
+        let mut other = job(2, &a);
+        other.request.partitioner = "greedy-hypergraph".to_string();
+        let mut pending: VecDeque<Job> = [other, job(3, &a)].into();
+        let batch = form_batch(job(1, &a), &mut pending, 16);
+        let ids: Vec<u64> = batch.jobs.iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![1, 3]);
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].id, 2);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 
 use crate::fingerprint::Fingerprint;
 use hpf_core::ext::sparse_directive::{SparseFormat, SparseMatrixDirective, TrioDescriptors};
+use hpf_dist::{ConnectivityGraph, Partitioner};
 use hpf_machine::{CostModel, Machine, Topology};
+use hpf_partition::BalancedContiguous;
 use hpf_sparse::CsrMatrix;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -20,6 +22,10 @@ use std::sync::Arc;
 pub struct SolvePlan {
     /// Structure this plan was derived from.
     pub fingerprint: Fingerprint,
+    /// `USING <name>` identifier of the partitioner that laid the
+    /// structure out — part of the cache key: the same fingerprint under
+    /// a different partitioner is a different plan.
+    pub partitioner: &'static str,
     /// Machine size the plan targets.
     pub np: usize,
     /// Row cut-points (length `np + 1`): processor `p` owns rows
@@ -39,18 +45,30 @@ pub struct SolvePlan {
 }
 
 impl SolvePlan {
-    /// Partition `matrix`'s structure for `np` processors. This is the
-    /// single partitioner call site in the service; everything else
-    /// reuses plans.
+    /// Partition `matrix`'s structure for `np` processors with the
+    /// default partitioner (the paper's balanced-rows heuristic).
     pub fn build(matrix: &CsrMatrix, np: usize, topology: Topology) -> SolvePlan {
+        Self::build_with(matrix, np, topology, &BalancedContiguous)
+    }
+
+    /// Partition `matrix`'s structure for `np` processors with any
+    /// registered partitioner. This is the single partitioner call site
+    /// in the service; everything else reuses plans.
+    pub fn build_with(
+        matrix: &CsrMatrix,
+        np: usize,
+        topology: Topology,
+        partitioner: &dyn Partitioner,
+    ) -> SolvePlan {
         let fingerprint = Fingerprint::of(matrix);
         let n = matrix.n_rows();
         // `!EXT$ INDIVISABLE row(ATOM:i) :: col(i:i+1)` — rows are the
         // atoms, weighted by their nonzeros — then
-        // `!EXT$ REDISTRIBUTE smA USING CG_BALANCED_PARTITIONER_1`.
+        // `!EXT$ REDISTRIBUTE smA USING <partitioner>`.
         let mut directive = SparseMatrixDirective::new(SparseFormat::Csr, matrix.row_ptr(), np);
+        let graph = ConnectivityGraph::from_pattern(n, matrix.row_ptr(), matrix.col_idx());
         let mut scratch = Machine::new(np, topology, CostModel::mpp_1995());
-        let redistribution_words = directive.redistribute_balanced(&mut scratch);
+        let redistribution_words = directive.redistribute_using(&mut scratch, partitioner, &graph);
         debug_assert!(directive.trio_is_consistent());
 
         // Contiguous atom assignment → row cut-points.
@@ -69,6 +87,7 @@ impl SolvePlan {
         let imbalance = directive.imbalance();
         SolvePlan {
             fingerprint,
+            partitioner: partitioner.name(),
             np,
             row_cuts,
             directive,
@@ -91,14 +110,19 @@ pub enum CacheOutcome {
     Miss,
 }
 
-/// Bounded map from [`Fingerprint`] to [`SolvePlan`], evicting the
-/// oldest-inserted plan once full (structures tend to be submitted in
-/// runs, so insertion order approximates recency well enough here).
+/// Cache key: the same structure laid out by two different partitioners
+/// yields two distinct plans.
+pub type PlanKey = (Fingerprint, String);
+
+/// Bounded map from [`PlanKey`] (structural fingerprint + partitioner
+/// name) to [`SolvePlan`], evicting the oldest-inserted plan once full
+/// (structures tend to be submitted in runs, so insertion order
+/// approximates recency well enough here).
 #[derive(Debug)]
 pub struct PlanCache {
     capacity: usize,
-    plans: HashMap<Fingerprint, Arc<SolvePlan>>,
-    order: VecDeque<Fingerprint>,
+    plans: HashMap<PlanKey, Arc<SolvePlan>>,
+    order: VecDeque<PlanKey>,
 }
 
 impl PlanCache {
@@ -119,15 +143,15 @@ impl PlanCache {
         self.plans.is_empty()
     }
 
-    pub fn get(&self, fp: &Fingerprint) -> Option<Arc<SolvePlan>> {
-        self.plans.get(fp).cloned()
+    pub fn get(&self, fp: &Fingerprint, partitioner: &str) -> Option<Arc<SolvePlan>> {
+        self.plans.get(&(*fp, partitioner.to_string())).cloned()
     }
 
     /// Insert a plan, evicting the oldest entry if at capacity.
     pub fn insert(&mut self, plan: Arc<SolvePlan>) {
-        let fp = plan.fingerprint;
-        if self.plans.insert(fp, plan).is_none() {
-            self.order.push_back(fp);
+        let key = (plan.fingerprint, plan.partitioner.to_string());
+        if self.plans.insert(key.clone(), plan).is_none() {
+            self.order.push_back(key);
             if self.order.len() > self.capacity {
                 if let Some(old) = self.order.pop_front() {
                     self.plans.remove(&old);
@@ -144,14 +168,15 @@ impl PlanCache {
         matrix: &CsrMatrix,
         np: usize,
         topology: Topology,
+        partitioner: &dyn Partitioner,
         on_build: impl FnOnce(),
     ) -> (Arc<SolvePlan>, CacheOutcome) {
-        let fp = Fingerprint::of(matrix);
-        if let Some(plan) = self.plans.get(&fp) {
+        let key = (Fingerprint::of(matrix), partitioner.name().to_string());
+        if let Some(plan) = self.plans.get(&key) {
             return (plan.clone(), CacheOutcome::Hit);
         }
         on_build();
-        let plan = Arc::new(SolvePlan::build(matrix, np, topology));
+        let plan = Arc::new(SolvePlan::build_with(matrix, np, topology, partitioner));
         self.insert(plan.clone());
         (plan, CacheOutcome::Miss)
     }
@@ -213,12 +238,45 @@ mod tests {
         let a = gen::banded_spd(48, 4, 2);
         let mut cache = PlanCache::new(4);
         let mut builds = 0usize;
-        let (_, o1) = cache.get_or_build(&a, 4, Topology::Hypercube, || builds += 1);
-        let (_, o2) = cache.get_or_build(&a, 4, Topology::Hypercube, || builds += 1);
+        let (_, o1) = cache.get_or_build(&a, 4, Topology::Hypercube, &BalancedContiguous, || {
+            builds += 1
+        });
+        let (_, o2) = cache.get_or_build(&a, 4, Topology::Hypercube, &BalancedContiguous, || {
+            builds += 1
+        });
         assert_eq!(o1, CacheOutcome::Miss);
         assert_eq!(o2, CacheOutcome::Hit);
         assert_eq!(builds, 1);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_keys_include_the_partitioner() {
+        let a = gen::power_law_spd(80, 16, 0.9, 6);
+        let mut cache = PlanCache::new(4);
+        let mut builds = 0usize;
+        let (p1, o1) = cache.get_or_build(&a, 4, Topology::Hypercube, &BalancedContiguous, || {
+            builds += 1
+        });
+        let (p2, o2) = cache.get_or_build(
+            &a,
+            4,
+            Topology::Hypercube,
+            &hpf_partition::GreedyHypergraph,
+            || builds += 1,
+        );
+        // Same structure, different partitioner: both are misses and
+        // both plans live in the cache side by side.
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::Miss);
+        assert_eq!(builds, 2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(p1.fingerprint, p2.fingerprint);
+        assert_eq!(p1.partitioner, "balanced-rows");
+        assert_eq!(p2.partitioner, "greedy-hypergraph");
+        assert!(cache.get(&p1.fingerprint, "balanced-rows").is_some());
+        assert!(cache.get(&p1.fingerprint, "greedy-hypergraph").is_some());
+        assert!(cache.get(&p1.fingerprint, "spectral").is_none());
     }
 
     #[test]
@@ -228,12 +286,12 @@ mod tests {
         let m2 = gen::tridiagonal(11, 4.0, -1.0);
         let m3 = gen::tridiagonal(12, 4.0, -1.0);
         for m in [&m1, &m2, &m3] {
-            let (_, _) = cache.get_or_build(m, 2, Topology::Hypercube, || {});
+            let (_, _) = cache.get_or_build(m, 2, Topology::Hypercube, &BalancedContiguous, || {});
         }
         assert_eq!(cache.len(), 2);
         // m1 (oldest) was evicted; m2 and m3 remain.
-        assert!(cache.get(&Fingerprint::of(&m1)).is_none());
-        assert!(cache.get(&Fingerprint::of(&m2)).is_some());
-        assert!(cache.get(&Fingerprint::of(&m3)).is_some());
+        assert!(cache.get(&Fingerprint::of(&m1), "balanced-rows").is_none());
+        assert!(cache.get(&Fingerprint::of(&m2), "balanced-rows").is_some());
+        assert!(cache.get(&Fingerprint::of(&m3), "balanced-rows").is_some());
     }
 }

@@ -59,6 +59,11 @@ pub struct SolveRequest {
     /// so callers can split counters by workload. Defaults to
     /// `"default"`.
     pub scenario: String,
+    /// Which registered partitioner lays the matrix out
+    /// (`REDISTRIBUTE ... USING <name>`). Must name an entry of the
+    /// `hpf-partition` registry; validated at submission. Defaults to
+    /// the paper's own heuristic, `"balanced-rows"`.
+    pub partitioner: String,
 }
 
 impl SolveRequest {
@@ -75,6 +80,7 @@ impl SolveRequest {
             deadline: None,
             fault_plan: None,
             scenario: "default".to_string(),
+            partitioner: hpf_partition::DEFAULT_PARTITIONER.to_string(),
         }
     }
 
@@ -111,6 +117,13 @@ impl SolveRequest {
 
     pub fn scenario(mut self, scenario: impl Into<String>) -> Self {
         self.scenario = scenario.into();
+        self
+    }
+
+    /// Pick the partitioner by its `USING <name>` identifier (see
+    /// `hpf_partition::partitioner_names`).
+    pub fn partitioner(mut self, name: impl Into<String>) -> Self {
+        self.partitioner = name.into();
         self
     }
 }
@@ -200,6 +213,15 @@ mod tests {
     fn scenario_defaults_to_default() {
         let a = Arc::new(gen::tridiagonal(4, 4.0, -1.0));
         assert_eq!(SolveRequest::new(a, vec![1.0; 4]).scenario, "default");
+    }
+
+    #[test]
+    fn partitioner_defaults_to_balanced_rows_and_is_overridable() {
+        let a = Arc::new(gen::tridiagonal(4, 4.0, -1.0));
+        let r = SolveRequest::new(a.clone(), vec![1.0; 4]);
+        assert_eq!(r.partitioner, "balanced-rows");
+        let r = SolveRequest::new(a, vec![1.0; 4]).partitioner("greedy-hypergraph");
+        assert_eq!(r.partitioner, "greedy-hypergraph");
     }
 
     #[test]

@@ -62,6 +62,9 @@ pub struct SolveResponse {
     pub plan_source: PlanSource,
     /// nnz-load imbalance of the plan's partition (1.0 = perfect).
     pub plan_imbalance: f64,
+    /// `USING <name>` identifier of the partitioner that laid out the
+    /// plan this job ran under.
+    pub partitioner: &'static str,
     /// Number of other jobs merged into the same execution batch.
     pub batched_with: usize,
     /// Solver that actually produced the answer (differs from the

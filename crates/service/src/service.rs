@@ -275,6 +275,13 @@ fn validate(request: &SolveRequest) -> Result<(), String> {
     if request.max_iters == 0 {
         return Err("max_iters must be positive".into());
     }
+    if hpf_partition::by_name(&request.partitioner).is_none() {
+        return Err(format!(
+            "unknown partitioner {:?}; registered: {}",
+            request.partitioner,
+            hpf_partition::partitioner_names().join(", ")
+        ));
+    }
     Ok(())
 }
 

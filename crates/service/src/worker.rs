@@ -83,17 +83,24 @@ pub fn execute_batch(
     let matrix = batch.jobs[0].request.matrix.clone();
 
     // Batch-wide setup: plan resolution (the service's only partitioner
-    // call site) and one operator build serving every job.
+    // call site) and one operator build serving every job. The batch key
+    // includes the partitioner name, so jobs[0] speaks for the batch;
+    // unknown names were rejected at submission.
+    let partitioner = hpf_partition::by_name(&batch.jobs[0].request.partitioner)
+        .unwrap_or_else(|| Box::new(hpf_partition::BalancedContiguous));
     let setup = catch_unwind(AssertUnwindSafe(|| {
         let (plan, source) = if config.plan_cache_enabled {
-            let (plan, outcome) =
-                cache
-                    .lock()
-                    .get_or_build(&matrix, config.np, config.topology, || {
-                        metrics
-                            .partitioner_invocations
-                            .fetch_add(1, Ordering::Relaxed);
-                    });
+            let (plan, outcome) = cache.lock().get_or_build(
+                &matrix,
+                config.np,
+                config.topology,
+                partitioner.as_ref(),
+                || {
+                    metrics
+                        .partitioner_invocations
+                        .fetch_add(1, Ordering::Relaxed);
+                },
+            );
             match outcome {
                 CacheOutcome::Hit => {
                     metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -108,7 +115,12 @@ pub fn execute_batch(
             metrics
                 .partitioner_invocations
                 .fetch_add(1, Ordering::Relaxed);
-            let plan = Arc::new(SolvePlan::build(&matrix, config.np, config.topology));
+            let plan = Arc::new(SolvePlan::build_with(
+                &matrix,
+                config.np,
+                config.topology,
+                partitioner.as_ref(),
+            ));
             (plan, PlanSource::Built)
         };
         let op =
@@ -243,6 +255,7 @@ pub fn execute_batch(
                     fingerprint: plan.fingerprint,
                     plan_source: source,
                     plan_imbalance: plan.imbalance,
+                    partitioner: plan.partitioner,
                     batched_with,
                     solver_used: kind,
                     attempts,

@@ -261,9 +261,50 @@ fn invalid_requests_fail_fast() {
     let zero_iters = service.submit(SolveRequest::new(a.clone(), vec![1.0; 8]).max_iters(0));
     assert!(matches!(zero_iters, Err(ServiceError::InvalidRequest(_))));
 
+    let bad_partitioner =
+        service.submit(SolveRequest::new(a.clone(), vec![1.0; 8]).partitioner("metis"));
+    match bad_partitioner {
+        Err(ServiceError::InvalidRequest(why)) => {
+            assert!(why.contains("metis"), "{why}");
+            assert!(why.contains("balanced-rows"), "{why}");
+        }
+        other => panic!("expected InvalidRequest, got {other:?}"),
+    }
+
     let m = service.shutdown();
-    assert_eq!(m.rejected_invalid, 3);
+    assert_eq!(m.rejected_invalid, 4);
     assert_eq!(m.accepted, 0);
+}
+
+/// Every registered partitioner solves end to end, and the response
+/// reports the one that laid out the plan. Each (structure, partitioner)
+/// pair builds its own cached plan.
+#[test]
+fn every_partitioner_solves_through_the_service() {
+    let service = SolverService::start(ServiceConfig {
+        workers: 2,
+        np: 4,
+        ..ServiceConfig::default()
+    });
+    let a = Arc::new(gen::power_law_spd(80, 14, 0.9, 17));
+    let (b, _x) = gen::rhs_for_known_solution(&a);
+
+    for name in hpf_partition::partitioner_names() {
+        let resp = service
+            .solve(SolveRequest::new(a.clone(), b.clone()).partitioner(name))
+            .unwrap();
+        assert_eq!(resp.partitioner, name);
+        assert!(resp.stats[0].converged, "{name}");
+        assert!(residual_ok(&a, &resp.solutions[0], &b, 1e-6), "{name}");
+    }
+
+    assert_eq!(
+        service.cached_plans(),
+        hpf_partition::partitioner_names().len()
+    );
+    let m = service.shutdown();
+    assert_eq!(m.partitioner_invocations, 4);
+    assert_eq!(m.completed, 4);
 }
 
 /// Every configured solver kind works end to end on an SPD system.

@@ -74,6 +74,13 @@ pub trait IterObserver {
     fn on_restart(&mut self, iteration: usize) {
         let _ = iteration;
     }
+
+    /// An auto-repartitioning driver moved the data layout mid-solve
+    /// (`REDISTRIBUTE ... USING <partitioner>`). `iteration` is the
+    /// cumulative iteration count at the moment of the move.
+    fn on_repartition(&mut self, iteration: usize, partitioner: &str) {
+        let _ = (iteration, partitioner);
+    }
 }
 
 /// The do-nothing observer used by the plain (un-observed) solver entry
@@ -94,6 +101,9 @@ pub struct RecordingObserver {
     pub rollbacks: Vec<(usize, String)>,
     /// Iterations at which a restart-from-true-residual happened.
     pub restarts: Vec<usize>,
+    /// `(iteration, partitioner name)` pairs for mid-solve
+    /// `REDISTRIBUTE USING` moves, in occurrence order.
+    pub repartitions: Vec<(usize, String)>,
 }
 
 impl RecordingObserver {
@@ -118,6 +128,10 @@ impl IterObserver for RecordingObserver {
 
     fn on_restart(&mut self, iteration: usize) {
         self.restarts.push(iteration);
+    }
+
+    fn on_repartition(&mut self, iteration: usize, partitioner: &str) {
+        self.repartitions.push((iteration, partitioner.to_string()));
     }
 }
 
@@ -197,10 +211,12 @@ mod tests {
         });
         obs.on_rollback(1, "non-finite");
         obs.on_restart(2);
+        obs.on_repartition(3, "greedy-hypergraph");
         assert_eq!(obs.samples.len(), 1);
         assert_eq!(obs.samples[0].comm_bytes(), 32);
         assert_eq!(obs.rollbacks, vec![(1, "non-finite".to_string())]);
         assert_eq!(obs.restarts, vec![2]);
+        assert_eq!(obs.repartitions, vec![(3, "greedy-hypergraph".to_string())]);
         assert_eq!(obs.residuals(), vec![0.5]);
     }
 

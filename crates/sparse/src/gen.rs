@@ -440,8 +440,36 @@ mod tests {
     }
 
     #[test]
+    fn power_law_is_strictly_diagonally_dominant() {
+        let a = power_law_spd(128, 24, 0.8, 13);
+        assert!(a.is_symmetric(1e-12));
+        for i in 0..128 {
+            let offsum: f64 = a
+                .row(i)
+                .filter(|&(j, _)| j != i)
+                .map(|(_, v)| v.abs())
+                .sum();
+            assert!(a.get(i, i) > offsum, "row {i} not strictly dominant");
+        }
+    }
+
+    #[test]
     fn generators_are_deterministic_per_seed() {
         assert_eq!(random_spd(32, 3, 9), random_spd(32, 3, 9));
         assert_ne!(random_spd(32, 3, 9), random_spd(32, 3, 10));
+    }
+
+    #[test]
+    fn irregular_generators_are_deterministic_per_seed() {
+        assert_eq!(power_law_spd(64, 12, 0.9, 7), power_law_spd(64, 12, 0.9, 7));
+        assert_ne!(power_law_spd(64, 12, 0.9, 7), power_law_spd(64, 12, 0.9, 8));
+        assert_eq!(
+            block_irregular_mesh(&[10, 3, 3], 4),
+            block_irregular_mesh(&[10, 3, 3], 4)
+        );
+        assert_ne!(
+            block_irregular_mesh(&[10, 3, 3], 4),
+            block_irregular_mesh(&[10, 3, 3], 5)
+        );
     }
 }

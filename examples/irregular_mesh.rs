@@ -62,7 +62,7 @@ fn main() {
 
     // Row cuts from the partitioner drive the distributed operator.
     let weights: Vec<usize> = (0..n).map(|r| a.row_nnz(r)).collect();
-    let cuts = partition::balanced_contiguous(&weights, np);
+    let cuts = partition::balanced_contiguous(&weights, np).expect("np > 0");
     let op_bal = RowwiseCsr::with_row_cuts(a.clone(), np, cuts);
     let flops_b = op_bal.flops_per_proc();
     let imb_bal =

@@ -5,9 +5,10 @@
 //! ([`sparse`]), the directive front-end ([`lang`]), the HPF
 //! data-parallel model with the paper's proposed extensions ([`core`]),
 //! the CG solver family ([`solvers`]), the solver-as-a-service layer
-//! with plan caching and batching ([`service`]), and the observability
-//! layer — spans, per-iteration telemetry, Perfetto/Prometheus
-//! exporters, trace analysis ([`obs`]).
+//! with plan caching and batching ([`service`]), the pluggable
+//! `REDISTRIBUTE ... USING` partitioner registry and auto-repartitioner
+//! ([`partition`]), and the observability layer — spans, per-iteration
+//! telemetry, Perfetto/Prometheus exporters, trace analysis ([`obs`]).
 //!
 //! ```
 //! use hpf::prelude::*;
@@ -30,6 +31,7 @@ pub use hpf_dist as dist;
 pub use hpf_lang as lang;
 pub use hpf_machine as machine;
 pub use hpf_obs as obs;
+pub use hpf_partition as partition;
 pub use hpf_service as service;
 pub use hpf_solvers as solvers;
 pub use hpf_sparse as sparse;
@@ -44,6 +46,9 @@ pub mod prelude {
     pub use hpf_lang::{elaborate, parse_program, Env};
     pub use hpf_machine::{CostModel, FaultPlan, FaultRates, Machine, Topology};
     pub use hpf_obs::{ConvergenceLog, IterObserver, IterSample, Timeline};
+    pub use hpf_partition::{
+        cg_auto_repartition, AutoRepartitionOutcome, Partitioner, RepartitionPolicy,
+    };
     pub use hpf_service::{ServiceConfig, SolveRequest, SolverKind, SolverService};
     pub use hpf_solvers::{
         bicg, bicg_distributed, bicgstab, bicgstab_distributed, cg, cg_distributed,

@@ -120,7 +120,7 @@ fn atom_assignment_to_descriptor_to_vector_roundtrip() {
 fn on_processor_table_mapping_matches_partitioner() {
     use hpf::dist::partition;
     let weights: Vec<usize> = (0..50).map(|i| (i * 7) % 13 + 1).collect();
-    let cuts = partition::balanced_contiguous(&weights, 4);
+    let cuts = partition::balanced_contiguous(&weights, 4).expect("np > 0");
     let asg = partition::assignment_from_cuts(&cuts, weights.len());
     let mapping = OnProcessor::from_table(asg.atom_owner.clone(), 4);
     for (atom, &owner) in asg.atom_owner.iter().enumerate() {
