@@ -13,7 +13,7 @@ fn main() {
             match experiments::run_one(&a.to_lowercase()) {
                 Some(t) => out.push(t),
                 None => {
-                    eprintln!("unknown experiment id '{a}' (expected e1..e24)");
+                    eprintln!("unknown experiment id '{a}' (expected e1..e27, or 'soak')");
                     std::process::exit(2);
                 }
             }

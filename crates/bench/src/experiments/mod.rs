@@ -12,6 +12,7 @@ pub mod matvec_exp;
 pub mod obs_exp;
 pub mod partition_exp;
 pub mod service_exp;
+pub mod soak_exp;
 pub mod solvers_exp;
 pub mod vector_ops;
 
@@ -47,10 +48,12 @@ pub fn run_all() -> Vec<Table> {
         obs_exp::e24_observability_overhead(10_000, 8, 3),
         drift_exp::e25_drift_oracle(1024, 8),
         partition_exp::e26_partitioners(512),
+        soak_exp::e27_chaos_soak(soak_exp::default_requests()),
     ]
 }
 
-/// Run one experiment by its lowercase id (`"e1"`, `"e01"`, ... `"e26"`).
+/// Run one experiment by its lowercase id (`"e1"`, `"e01"`, ... `"e27"`);
+/// `"soak"` is an alias for the E27 chaos soak.
 pub fn run_one(id: &str) -> Option<Table> {
     let norm = id.trim_start_matches('e').trim_start_matches('0');
     Some(match norm {
@@ -80,6 +83,7 @@ pub fn run_one(id: &str) -> Option<Table> {
         "24" => obs_exp::e24_observability_overhead(10_000, 8, 3),
         "25" => drift_exp::e25_drift_oracle(1024, 8),
         "26" => partition_exp::e26_partitioners(512),
+        "27" | "soak" => soak_exp::e27_chaos_soak(soak_exp::default_requests()),
         _ => return None,
     })
 }
@@ -108,7 +112,11 @@ mod tests {
         assert!(run_one("e24").is_some());
         assert!(run_one("e25").is_some());
         assert!(run_one("e26").is_some());
-        assert!(run_one("e27").is_none());
+        // E27 is the chaos soak; keep the in-test run small.
+        std::env::set_var("HPF_SOAK_REQUESTS", "600");
+        assert!(run_one("e27").is_some());
+        assert!(run_one("soak").is_some());
+        assert!(run_one("e28").is_none());
         assert!(run_one("nope").is_none());
         let _ = std::fs::remove_dir_all(&scratch);
     }

@@ -51,6 +51,12 @@ pub enum FaultKind {
     /// whole machine stalls for [`CRASH_RESTART_STARTUPS`] start-ups
     /// while it rejoins.
     Crash,
+    /// The *host thread* servicing the machine freezes for `millis` of
+    /// wall-clock time (simulated clocks do not advance). Models a hung
+    /// worker — a deadlocked lock, an OS-level stall — rather than slow
+    /// simulated compute, so supervision tests and the chaos soak can
+    /// exercise hang detection deterministically.
+    Stall { millis: u64 },
 }
 
 impl FaultKind {
@@ -61,6 +67,7 @@ impl FaultKind {
             FaultKind::MessageDrop => "drop",
             FaultKind::Straggler { .. } => "straggler",
             FaultKind::Crash => "crash",
+            FaultKind::Stall { .. } => "stall",
         }
     }
 }
@@ -128,6 +135,18 @@ impl FaultPlan {
             op,
             proc,
             kind: FaultKind::Crash,
+        });
+        self
+    }
+
+    /// Freeze the host thread for `millis` wall-clock milliseconds at
+    /// operation `op` (a hung-worker fault; never drawn by
+    /// [`FaultPlan::random`], only planted explicitly).
+    pub fn with_stall(mut self, op: usize, proc: usize, millis: u64) -> Self {
+        self.push(Fault {
+            op,
+            proc,
+            kind: FaultKind::Stall { millis },
         });
         self
     }

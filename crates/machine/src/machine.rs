@@ -63,6 +63,32 @@ pub struct Machine {
     pending: Option<PendingCorruption>,
     /// Per-processor straggler state (compute-time multiplier).
     skew: Vec<Skew>,
+    /// Per-operation heartbeat/cancellation callback (see [`ProgressHook`]).
+    hook: Option<ProgressHook>,
+}
+
+/// Callback fired once at the start of every public machine operation,
+/// with the operation index about to execute.
+///
+/// This is the heartbeat source for worker supervision: a service worker
+/// installs a hook that bumps an atomic counter (proving the solve is
+/// making progress) and checks an abort flag (so a supervisor can cancel
+/// a runaway job cooperatively — the hook panics with a typed payload the
+/// worker catches). The hook runs on the hot path, so implementations
+/// should be a couple of atomic ops at most.
+#[derive(Clone)]
+pub struct ProgressHook(pub std::sync::Arc<dyn Fn(usize) + Send + Sync>);
+
+impl ProgressHook {
+    pub fn new(f: impl Fn(usize) + Send + Sync + 'static) -> Self {
+        ProgressHook(std::sync::Arc::new(f))
+    }
+}
+
+impl std::fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressHook(..)")
+    }
 }
 
 /// Straggler slowdown applied to one processor's compute phases.
@@ -96,6 +122,7 @@ impl Machine {
             injector: None,
             pending: None,
             skew: vec![Skew::NONE; np],
+            hook: None,
         }
     }
 
@@ -206,6 +233,17 @@ impl Machine {
         self.skew.iter_mut().for_each(|s| *s = Skew::NONE);
     }
 
+    /// Install a per-operation progress hook (heartbeat/cancellation
+    /// point). Survives [`Machine::reset`]; replaced by the next call.
+    pub fn set_progress_hook(&mut self, hook: ProgressHook) {
+        self.hook = Some(hook);
+    }
+
+    /// Remove the progress hook.
+    pub fn clear_progress_hook(&mut self) {
+        self.hook = None;
+    }
+
     /// Number of faults injected since the plan was installed (or the
     /// machine last reset).
     pub fn faults_injected(&self) -> usize {
@@ -249,6 +287,11 @@ impl Machine {
     fn begin_op(&mut self) {
         let op = self.op_index;
         self.op_index += 1;
+        if let Some(h) = &self.hook {
+            // May panic (cooperative cancellation) — the panic unwinds
+            // out of the machine operation into the worker's catch site.
+            (h.0)(op);
+        }
         if self.injector.is_none() {
             return;
         }
@@ -297,6 +340,13 @@ impl Machine {
                 self.synchronise();
                 self.clocks.iter_mut().for_each(|c| *c += t);
                 (t, format!("fault:crash:p{proc}:op{op}"))
+            }
+            FaultKind::Stall { millis } => {
+                // Wall-clock hang: the host thread freezes, the simulated
+                // clocks stand still. This is what a supervisor sees as a
+                // dead heartbeat.
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+                (0.0, format!("fault:stall:p{proc}:op{op}:ms{millis}"))
             }
         };
         self.record_at(
@@ -1184,6 +1234,54 @@ mod tests {
         let ev = &m.trace().events()[0];
         assert_eq!(ev.kind, EventKind::Send);
         assert!((ev.start - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn progress_hook_fires_once_per_operation_and_survives_reset() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let beats = Arc::new(AtomicUsize::new(0));
+        let b = beats.clone();
+        let mut m = Machine::hypercube(4);
+        m.set_progress_hook(ProgressHook::new(move |_| {
+            b.fetch_add(1, Ordering::Relaxed);
+        }));
+        m.compute_uniform(1, "a");
+        m.allreduce(1, "b");
+        m.allgather(1, "c");
+        assert_eq!(beats.load(Ordering::Relaxed), 3);
+        m.reset();
+        m.barrier("d");
+        assert_eq!(beats.load(Ordering::Relaxed), 4, "hook survives reset");
+        m.clear_progress_hook();
+        m.barrier("e");
+        assert_eq!(beats.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn progress_hook_panic_unwinds_out_of_machine_ops() {
+        let mut m = Machine::hypercube(2);
+        m.set_progress_hook(ProgressHook::new(|op| {
+            if op >= 2 {
+                panic!("cancelled");
+            }
+        }));
+        m.compute_uniform(1, "a");
+        m.compute_uniform(1, "b");
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.compute_uniform(1, "c")));
+        assert!(r.is_err(), "hook panic cancels the operation");
+    }
+
+    #[test]
+    fn stall_fault_freezes_wall_clock_not_simulated_time() {
+        let mut m = Machine::new(2, Topology::Hypercube, unit_cost());
+        m.set_fault_plan(FaultPlan::new().with_stall(0, 0, 30));
+        let wall = std::time::Instant::now();
+        m.compute_uniform(1, "w");
+        assert!(wall.elapsed() >= std::time::Duration::from_millis(25));
+        assert_eq!(m.elapsed(), 1.0, "stall charges no simulated time");
+        assert_eq!(m.trace().count(EventKind::Fault), 1);
     }
 
     #[test]

@@ -72,6 +72,33 @@ pub fn predicted_time(event: &Event, topology: Topology, cost: &CostModel) -> Op
     }
 }
 
+/// Closed-form simulated seconds for one rowwise-CG iteration on an
+/// `np`-processor machine: the §4 pricing of the iteration's phases
+/// *before any job runs*, usable by admission control at submit time.
+///
+/// The rowwise `(BLOCK, *)` iteration is: replicate the direction vector
+/// (allgather of `n/np` per processor), the local matvec (`2·nnz/np`
+/// flops balanced), two dot products (`2·n/np` flops each plus a
+/// one-word allreduce merge), and three saxpys (`2·n/np` flops each).
+/// This is deliberately the *ideal* price — no faults, no imbalance — so
+/// admission errs toward accepting; the calibration layer above scales
+/// it to observed wall time.
+pub fn cg_iteration_seconds(
+    n: usize,
+    nnz: usize,
+    np: usize,
+    topology: Topology,
+    cost: &CostModel,
+) -> f64 {
+    let np = np.max(1);
+    let block = n.div_ceil(np);
+    let gather = topology.allgather_time(np, block, cost);
+    let matvec = cost.t_flop * (2 * nnz).div_ceil(np) as f64;
+    let dots = 2.0 * (cost.t_flop * (2 * block) as f64 + topology.allreduce_time(np, 1, cost));
+    let saxpys = 3.0 * cost.t_flop * (2 * block) as f64;
+    gather + matvec + dots + saxpys
+}
+
 /// Sum of [`predicted_time`] over `events`, counting events with no
 /// prediction at their *measured* time (so the total stays comparable to
 /// the trace's measured total, and unpredictable events contribute zero
@@ -194,6 +221,32 @@ mod tests {
         let total =
             predicted_or_measured_total(m.trace().events(), Topology::Hypercube, m.cost_model());
         assert!((total - m.trace().total_time()).abs() < 1e-12 * total);
+    }
+
+    /// The admission estimate is the same price the machine charges when
+    /// the rowwise iteration's phases are driven by hand.
+    #[test]
+    fn cg_iteration_estimate_matches_a_driven_iteration() {
+        let (np, n, nnz) = (8usize, 1024usize, 5 * 1024usize);
+        let cost = CostModel::mpp_1995();
+        let mut m = Machine::new(np, Topology::Hypercube, cost);
+        let block = n.div_ceil(np);
+        m.allgather(block, "replicate-p");
+        m.compute_uniform((2 * nnz).div_ceil(np), "matvec");
+        for _ in 0..2 {
+            m.compute_uniform(2 * block, "dot-local");
+            m.allreduce(1, "dot-merge");
+        }
+        for _ in 0..3 {
+            m.compute_uniform(2 * block, "saxpy");
+        }
+        let driven = m.elapsed();
+        let est = cg_iteration_seconds(n, nnz, np, Topology::Hypercube, &cost);
+        assert!(
+            (est - driven).abs() <= 1e-9 * driven,
+            "estimate {est} vs driven {driven}"
+        );
+        assert!(cg_iteration_seconds(0, 0, 0, Topology::Hypercube, &cost) >= 0.0);
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! - **Cost oracle** — [`oracle`] attributes every event to one of the
 //!   paper's Section-4 analytic categories, prices it with the closed
 //!   forms, and emits a [`DriftReport`] of predicted-vs-measured time.
+//! - **Admission audit** — [`admission::AdmissionAudit`] judges the
+//!   service's shed decisions in hindsight against completed-job
+//!   latencies, pricing over-shedding as a "shed-when-feasible" rate.
 //! - **Regression gate** — [`gate`] persists bench runs as
 //!   schema-versioned `BENCH_<n>.json` records plus a rolling
 //!   `bench-history.jsonl`, and fails (typed [`GateError`]) when a
@@ -31,6 +34,7 @@
 //! Everything is hand-rolled plain text/JSON: the offline build has no
 //! real serde, and the formats here are the public contract.
 
+pub mod admission;
 pub mod analysis;
 pub mod gate;
 pub mod json;
@@ -40,6 +44,7 @@ pub mod prom;
 pub mod telemetry;
 pub mod timeline;
 
+pub use admission::{percentile_us, AdmissionAudit, ShedSample};
 pub use analysis::{critical_path, load_imbalance, span_costs, CriticalPathReport, SpanCost};
 pub use gate::{
     render_diff, BenchRecord, GateError, GateOutcome, RegressionGate, Violation,

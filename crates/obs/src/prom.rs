@@ -51,6 +51,17 @@ pub fn snapshot_from_json(text: &str) -> Result<MetricsSnapshot, String> {
         "null" => f64::NAN,
         s => s.parse().map_err(|_| "bad uptime_seconds".to_string())?,
     };
+    let saturation = match scalar(text, "queue_saturation")?.as_str() {
+        "null" => f64::NAN,
+        s => s.parse().map_err(|_| "bad queue_saturation".to_string())?,
+    };
+    let class_depths: Vec<u64> = section(text, "\"class_queue_depth\":[", ']')?
+        .split(',')
+        .map(|t| t.trim().parse().map_err(|_| "bad class depth".to_string()))
+        .collect::<Result<_, String>>()?;
+    let class_queue_depth: [u64; 3] = class_depths
+        .try_into()
+        .map_err(|_| "class_queue_depth must have 3 entries".to_string())?;
     let mut outcomes = Vec::new();
     let outcome_section = section(text, "\"solve_outcomes\":[", ']')?;
     for obj in outcome_section.split('{').skip(1) {
@@ -85,7 +96,12 @@ pub fn snapshot_from_json(text: &str) -> Result<MetricsSnapshot, String> {
         retries: u("retries")?,
         escalations: u("escalations")?,
         breaker_open: u("breaker_open")?,
+        shed_total: u("shed_total")?,
+        supervisor_kills: u("supervisor_kills")?,
+        worker_restarts: u("worker_restarts")?,
         queue_depth: u("queue_depth")? as usize,
+        class_queue_depth,
+        queue_saturation: saturation,
         uptime_seconds: uptime,
         latency_bucket_bounds_us: bounds,
         latency_buckets: counts,

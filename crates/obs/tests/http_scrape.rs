@@ -97,10 +97,10 @@ fn live_serve_loop_is_scrapable_end_to_end() {
     assert_eq!(body, report.to_json());
     assert!(body.contains("\"categories\""));
 
-    // Shutdown flips /healthz to 503.
+    // Shutdown flips /healthz to draining / 503.
     service.shutdown();
     let (head, body) = http_get(server.addr(), "/healthz");
     assert!(head.starts_with("HTTP/1.1 503"), "{head}");
-    assert!(body.contains("shutting-down"));
+    assert!(body.contains("\"status\":\"draining\""), "{body}");
     drop(server);
 }

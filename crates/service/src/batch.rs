@@ -22,6 +22,10 @@ pub struct Job {
     pub request: SolveRequest,
     pub fingerprint: Fingerprint,
     pub submitted: Instant,
+    /// The admission controller's predicted cost (µs) accounted into its
+    /// backlog when this job was admitted; released at every terminal
+    /// path. Zero before calibration.
+    pub admission_us: u64,
     /// Delivers exactly one result back to the submitter's handle.
     pub responder: Sender<Result<SolveResponse, ServiceError>>,
 }
@@ -145,6 +149,7 @@ mod tests {
             fingerprint: Fingerprint::of(matrix),
             request,
             submitted: Instant::now(),
+            admission_us: 0,
             responder: tx,
         }
     }

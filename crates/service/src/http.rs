@@ -145,29 +145,38 @@ fn route(
         ),
         "/healthz" => {
             let snap = state.metrics.snapshot();
-            let down = state.shutting_down.load(Ordering::Relaxed);
+            let open_circuits = state.breaker.open_circuits();
+            // Three states: `draining` (503) once shutdown begins,
+            // `degraded` (200, the service still answers) when the
+            // intake queue is nearly full or any structure's breaker is
+            // open, `ok` otherwise. Load balancers key off the status
+            // code; dashboards read the body.
+            let (status, code) = if state.shutting_down.load(Ordering::Relaxed) {
+                ("draining", "503 Service Unavailable")
+            } else if snap.queue_saturation > 0.8 || open_circuits > 0 {
+                ("degraded", "200 OK")
+            } else {
+                ("ok", "200 OK")
+            };
             let body = format!(
-                "{{\"status\":\"{}\",\"queue_depth\":{},\"in_flight\":{},\
-                 \"open_circuits\":{},\"uptime_seconds\":{}}}",
-                if down { "shutting-down" } else { "ok" },
+                "{{\"status\":\"{}\",\"queue_depth\":{},\"queue_saturation\":{},\
+                 \"in_flight\":{},\"open_circuits\":{},\"uptime_seconds\":{}}}",
+                status,
                 snap.queue_depth,
+                if snap.queue_saturation.is_finite() {
+                    format!("{}", snap.queue_saturation)
+                } else {
+                    "null".to_string()
+                },
                 snap.in_flight,
-                state.breaker.open_circuits(),
+                open_circuits,
                 if snap.uptime_seconds.is_finite() {
                     format!("{}", snap.uptime_seconds)
                 } else {
                     "null".to_string()
                 }
             );
-            (
-                if down {
-                    "503 Service Unavailable"
-                } else {
-                    "200 OK"
-                },
-                "application/json",
-                body,
-            )
+            (code, "application/json", body)
         }
         "/drift" => match drift.lock().clone() {
             Some(report) => ("200 OK", "application/json", report),
@@ -236,14 +245,47 @@ mod tests {
     }
 
     #[test]
-    fn healthz_turns_503_on_shutdown() {
+    fn healthz_turns_503_draining_on_shutdown() {
         let state = test_state();
         let flag = state.shutting_down.clone();
         let mut server = spawn("127.0.0.1:0", state).unwrap();
         flag.store(true, Ordering::SeqCst);
         let health = get(server.addr(), "/healthz");
         assert!(health.starts_with("HTTP/1.1 503"), "{health}");
-        assert!(health.contains("shutting-down"));
+        assert!(health.contains("\"status\":\"draining\""));
+        server.stop();
+    }
+
+    #[test]
+    fn healthz_degrades_on_queue_saturation_or_open_breaker() {
+        use std::sync::atomic::Ordering;
+        let state = test_state();
+        let metrics = state.metrics.clone();
+        let breaker = state.breaker.clone();
+        let mut server = spawn("127.0.0.1:0", state).unwrap();
+        // One class queue above the 80% threshold degrades, still 200.
+        metrics.queue_capacity.store(10, Ordering::Relaxed);
+        metrics.class_queue_depth[1].store(9, Ordering::Relaxed);
+        let health = get(server.addr(), "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        assert!(health.contains("\"status\":\"degraded\""), "{health}");
+        assert!(health.contains("\"queue_saturation\":0.9"), "{health}");
+        // Back under the threshold: ok again.
+        metrics.class_queue_depth[1].store(1, Ordering::Relaxed);
+        let health = get(server.addr(), "/healthz");
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+        // An open circuit degrades even with an empty queue.
+        let fp = crate::fingerprint::Fingerprint {
+            n_rows: 4,
+            n_cols: 4,
+            nnz: 8,
+            pattern_hash: 99,
+        };
+        for _ in 0..5 {
+            breaker.record_failure(fp);
+        }
+        let health = get(server.addr(), "/healthz");
+        assert!(health.contains("\"status\":\"degraded\""), "{health}");
         server.stop();
     }
 

@@ -32,6 +32,7 @@
 //! assert!(response.stats[0].converged);
 //! ```
 
+pub mod admission;
 pub mod batch;
 pub mod fingerprint;
 pub mod http;
@@ -41,13 +42,18 @@ pub mod request;
 pub mod response;
 pub mod retry;
 pub mod service;
+pub mod supervisor;
 pub mod worker;
 
+pub use admission::{AdmissionController, AdmissionDecision};
 pub use fingerprint::Fingerprint;
 pub use http::MetricsServer;
 pub use metrics::{Metrics, MetricsSnapshot, SolveOutcome, LATENCY_BUCKET_BOUNDS_US};
 pub use plan::{CacheOutcome, PlanCache, SolvePlan};
-pub use request::{ServiceConfig, SolveRequest, SolverKind};
+pub use request::{QosClass, ServiceConfig, SolveRequest, SolverKind};
 pub use response::{PlanSource, ServiceError, SolveResponse, TraceSummary};
-pub use retry::{backoff_delay, escalate, is_retryable, Admission, CircuitBreaker};
+pub use retry::{
+    backoff_delay, backoff_delay_jittered, escalate, is_retryable, Admission, CircuitBreaker,
+};
 pub use service::{JobHandle, SolverService};
+pub use supervisor::{SupervisorAbort, WorkerState};

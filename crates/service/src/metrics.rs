@@ -42,9 +42,21 @@ pub struct Metrics {
     pub escalations: AtomicU64,
     /// Jobs refused because a structure's circuit breaker was open.
     pub breaker_open: AtomicU64,
+    /// Jobs refused on arrival by deadline-aware admission control.
+    pub shed_total: AtomicU64,
+    /// Hung workers the supervisor flagged for death.
+    pub supervisor_kills: AtomicU64,
+    /// Worker threads the supervisor respawned.
+    pub worker_restarts: AtomicU64,
     /// Gauge: jobs sitting in the intake queue right now (accepted by
     /// `submit`, not yet pulled by the dispatcher).
     pub queue_depth: AtomicU64,
+    /// Gauge: per-QoS-class intake queue depth, indexed by
+    /// [`crate::QosClass::index`].
+    pub class_queue_depth: [AtomicU64; 3],
+    /// Per-class intake queue capacity (set once at service start;
+    /// denominator of the `queue_saturation` gauge).
+    pub queue_capacity: AtomicU64,
     latency_buckets: [AtomicU64; LATENCY_BUCKET_BOUNDS_US.len()],
     /// Total observed latency in microseconds (histogram `_sum`).
     latency_sum_us: AtomicU64,
@@ -91,7 +103,12 @@ impl Metrics {
             retries: z(),
             escalations: z(),
             breaker_open: z(),
+            shed_total: z(),
+            supervisor_kills: z(),
+            worker_restarts: z(),
             queue_depth: z(),
+            class_queue_depth: Default::default(),
+            queue_capacity: z(),
             latency_buckets: Default::default(),
             latency_sum_us: AtomicU64::new(0),
             solve_outcomes: Mutex::new(BTreeMap::new()),
@@ -150,7 +167,27 @@ impl Metrics {
             retries: g(&self.retries),
             escalations: g(&self.escalations),
             breaker_open: g(&self.breaker_open),
+            shed_total: g(&self.shed_total),
+            supervisor_kills: g(&self.supervisor_kills),
+            worker_restarts: g(&self.worker_restarts),
             queue_depth: g(&self.queue_depth) as usize,
+            class_queue_depth: [
+                g(&self.class_queue_depth[0]),
+                g(&self.class_queue_depth[1]),
+                g(&self.class_queue_depth[2]),
+            ],
+            queue_saturation: {
+                // The most saturated class queue: one full sub-queue
+                // means that class's submitters are about to see Busy,
+                // regardless of how empty the others are.
+                let cap = g(&self.queue_capacity);
+                let worst = self.class_queue_depth.iter().map(g).max().unwrap_or(0);
+                if cap == 0 {
+                    0.0
+                } else {
+                    worst as f64 / cap as f64
+                }
+            },
             uptime_seconds: self.started.elapsed().as_secs_f64(),
             latency_bucket_bounds_us: LATENCY_BUCKET_BOUNDS_US.to_vec(),
             latency_buckets: self.latency_buckets.iter().map(g).collect(),
@@ -222,7 +259,15 @@ pub struct MetricsSnapshot {
     pub retries: u64,
     pub escalations: u64,
     pub breaker_open: u64,
+    pub shed_total: u64,
+    pub supervisor_kills: u64,
+    pub worker_restarts: u64,
     pub queue_depth: usize,
+    /// Queued jobs per QoS class (Interactive, Batch, BestEffort).
+    pub class_queue_depth: [u64; 3],
+    /// Depth of the most saturated class queue over the per-class
+    /// capacity (0.0 when capacity is unknown).
+    pub queue_saturation: f64,
     /// Seconds since the service (its `Metrics`) was created.
     pub uptime_seconds: f64,
     /// Inclusive bucket upper bounds in microseconds (last = +inf).
@@ -269,7 +314,10 @@ impl MetricsSnapshot {
              \"batches_executed\":{},\"batched_jobs\":{},\"rhs_solved\":{},\
              \"in_flight\":{},\"faults_injected\":{},\"faults_detected\":{},\
              \"rollbacks\":{},\"retries\":{},\"escalations\":{},\
-             \"breaker_open\":{},\"queue_depth\":{},\"uptime_seconds\":{},\
+             \"breaker_open\":{},\"shed_total\":{},\"supervisor_kills\":{},\
+             \"worker_restarts\":{},\"queue_depth\":{},\
+             \"class_queue_depth\":[{},{},{}],\"queue_saturation\":{},\
+             \"uptime_seconds\":{},\
              \"latency_sum_us\":{},\"latency\":[{}],\"solve_outcomes\":[{}]}}",
             self.accepted,
             self.rejected_busy,
@@ -290,7 +338,18 @@ impl MetricsSnapshot {
             self.retries,
             self.escalations,
             self.breaker_open,
+            self.shed_total,
+            self.supervisor_kills,
+            self.worker_restarts,
             self.queue_depth,
+            self.class_queue_depth[0],
+            self.class_queue_depth[1],
+            self.class_queue_depth[2],
+            if self.queue_saturation.is_finite() {
+                format!("{}", self.queue_saturation)
+            } else {
+                "null".to_string()
+            },
             if self.uptime_seconds.is_finite() {
                 format!("{}", self.uptime_seconds)
             } else {
@@ -311,7 +370,7 @@ impl MetricsSnapshot {
     pub fn to_prometheus(&self) -> String {
         const PREFIX: &str = "hpf_service";
         let mut out = String::new();
-        let counters: [(&str, u64, &str); 17] = [
+        let counters: [(&str, u64, &str); 20] = [
             ("accepted", self.accepted, "Jobs accepted by submit()"),
             (
                 "rejected_busy",
@@ -369,6 +428,21 @@ impl MetricsSnapshot {
                 self.escalations,
                 "Retries that escalated the solver",
             ),
+            (
+                "shed",
+                self.shed_total,
+                "Jobs refused on arrival by deadline-aware admission",
+            ),
+            (
+                "supervisor_kills",
+                self.supervisor_kills,
+                "Hung workers killed by the supervisor",
+            ),
+            (
+                "worker_restarts",
+                self.worker_restarts,
+                "Worker threads respawned by the supervisor",
+            ),
         ];
         for (name, value, help) in counters {
             out.push_str(&format!(
@@ -406,7 +480,7 @@ impl MetricsSnapshot {
                 ));
             }
         }
-        let gauges: [(&str, String, &str); 3] = [
+        let gauges: [(&str, String, &str); 4] = [
             (
                 "in_flight",
                 self.in_flight.to_string(),
@@ -416,6 +490,11 @@ impl MetricsSnapshot {
                 "queue_depth",
                 self.queue_depth.to_string(),
                 "Jobs waiting in the intake queue",
+            ),
+            (
+                "queue_saturation",
+                format!("{}", self.queue_saturation),
+                "Intake queue depth over capacity (0.0 to 1.0)",
             ),
             (
                 "uptime_seconds",
@@ -428,6 +507,18 @@ impl MetricsSnapshot {
                 "# HELP {PREFIX}_{name} {help}\n\
                  # TYPE {PREFIX}_{name} gauge\n\
                  {PREFIX}_{name} {value}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "# HELP {PREFIX}_class_queue_depth Queued jobs per QoS class\n\
+             # TYPE {PREFIX}_class_queue_depth gauge\n"
+        ));
+        for (class, depth) in ["interactive", "batch", "best-effort"]
+            .iter()
+            .zip(self.class_queue_depth)
+        {
+            out.push_str(&format!(
+                "{PREFIX}_class_queue_depth{{class=\"{class}\"}} {depth}\n"
             ));
         }
         out.push_str(&format!(
@@ -527,7 +618,12 @@ mod tests {
             "retries",
             "escalations",
             "breaker_open",
+            "shed_total",
+            "supervisor_kills",
+            "worker_restarts",
             "queue_depth",
+            "class_queue_depth",
+            "queue_saturation",
             "uptime_seconds",
             "latency",
             "+inf",
@@ -563,6 +659,31 @@ mod tests {
         assert_eq!(s.solve_outcomes[0].failed, 1);
         // The space was sanitized away at record time.
         assert_eq!(s.solve_outcomes[1].scenario, "col_block");
+    }
+
+    #[test]
+    fn queue_saturation_is_the_most_saturated_class() {
+        let m = Metrics::new();
+        // Capacity unknown: saturation pinned to 0 rather than NaN.
+        m.class_queue_depth[1].store(3, Ordering::Relaxed);
+        assert_eq!(m.snapshot().queue_saturation, 0.0);
+        m.queue_capacity.store(12, Ordering::Relaxed);
+        m.class_queue_depth[0].store(2, Ordering::Relaxed);
+        m.class_queue_depth[1].store(3, Ordering::Relaxed);
+        m.class_queue_depth[2].store(1, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.class_queue_depth, [2, 3, 1]);
+        assert!((s.queue_saturation - 0.25).abs() < 1e-12);
+        let text = s.to_prometheus();
+        assert!(text.contains("hpf_service_queue_saturation 0.25"), "{text}");
+        assert!(
+            text.contains("hpf_service_class_queue_depth{class=\"interactive\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hpf_service_class_queue_depth{class=\"best-effort\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -34,6 +34,43 @@ impl SolverKind {
     }
 }
 
+/// Per-tenant quality-of-service class. Each class has its own bounded
+/// sub-queue (so one tenant's flood cannot crowd out another class) and
+/// a weighted-fair share of dispatcher attention
+/// ([`ServiceConfig::qos_weights`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum QosClass {
+    /// Latency-sensitive: highest dequeue weight; the class the soak
+    /// asserts a p99 band for.
+    Interactive,
+    /// Default throughput traffic.
+    Batch,
+    /// Scavenger class: runs when nothing better is queued.
+    BestEffort,
+}
+
+impl QosClass {
+    pub const ALL: [QosClass; 3] = [QosClass::Interactive, QosClass::Batch, QosClass::BestEffort];
+
+    /// Stable label used in metrics and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QosClass::Interactive => "interactive",
+            QosClass::Batch => "batch",
+            QosClass::BestEffort => "best-effort",
+        }
+    }
+
+    /// Index into per-class arrays (`ALL[i].index() == i`).
+    pub fn index(&self) -> usize {
+        match self {
+            QosClass::Interactive => 0,
+            QosClass::Batch => 1,
+            QosClass::BestEffort => 2,
+        }
+    }
+}
+
 /// One unit of work for the service: a matrix, one or more right-hand
 /// sides, and how to solve them.
 #[derive(Debug, Clone)]
@@ -64,6 +101,11 @@ pub struct SolveRequest {
     /// `hpf-partition` registry; validated at submission. Defaults to
     /// the paper's own heuristic, `"balanced-rows"`.
     pub partitioner: String,
+    /// Quality-of-service class this job is queued and scheduled under.
+    /// Defaults to [`QosClass::Batch`].
+    pub qos: QosClass,
+    /// Free-form tenant label (reporting only; scheduling is by `qos`).
+    pub tenant: String,
 }
 
 impl SolveRequest {
@@ -81,6 +123,8 @@ impl SolveRequest {
             fault_plan: None,
             scenario: "default".to_string(),
             partitioner: hpf_partition::DEFAULT_PARTITIONER.to_string(),
+            qos: QosClass::Batch,
+            tenant: "anonymous".to_string(),
         }
     }
 
@@ -126,6 +170,18 @@ impl SolveRequest {
         self.partitioner = name.into();
         self
     }
+
+    /// Queue this job under `qos` (default [`QosClass::Batch`]).
+    pub fn qos(mut self, qos: QosClass) -> Self {
+        self.qos = qos;
+        self
+    }
+
+    /// Attach a tenant label (reporting only).
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
 }
 
 /// Static service configuration, fixed at start-up.
@@ -164,6 +220,32 @@ pub struct ServiceConfig {
     /// Run CG/PCG jobs through the checkpoint/rollback protected
     /// solvers; `None` uses the unprotected recurrences.
     pub recovery: Option<RecoveryConfig>,
+    /// Weighted-fair dequeue shares per QoS class, indexed by
+    /// [`QosClass::index`] (Interactive, Batch, BestEffort). A class's
+    /// weight is how many batches it may dispatch per round-robin round
+    /// while other classes have work queued; zero weights are treated
+    /// as one.
+    pub qos_weights: [u32; 3],
+    /// Deadline-aware admission control: reject-on-arrival (typed
+    /// [`crate::ServiceError::Shed`]) for jobs whose deadline the cost
+    /// oracle predicts cannot be met given the current backlog.
+    pub admission_enabled: bool,
+    /// Completed solves observed before admission trusts its wall-clock
+    /// calibration enough to shed (cold start admits everything).
+    pub admission_min_samples: u64,
+    /// Supervise workers: detect hung/crashed worker threads via per-job
+    /// progress heartbeats, kill and restart them.
+    pub supervision_enabled: bool,
+    /// A busy worker whose heartbeat has not advanced for this long is
+    /// declared hung and killed.
+    pub hang_timeout: Duration,
+    /// Supervisor polling interval.
+    pub supervisor_poll: Duration,
+    /// First worker-restart backoff delay; doubles per consecutive
+    /// restart of the same slot.
+    pub restart_backoff_base: Duration,
+    /// Worker-restart backoff ceiling.
+    pub restart_backoff_cap: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -184,6 +266,14 @@ impl Default for ServiceConfig {
             breaker_threshold: 5,
             breaker_cooldown: Duration::from_millis(250),
             recovery: Some(RecoveryConfig::default()),
+            qos_weights: [6, 3, 1],
+            admission_enabled: true,
+            admission_min_samples: 8,
+            supervision_enabled: true,
+            hang_timeout: Duration::from_millis(500),
+            supervisor_poll: Duration::from_millis(20),
+            restart_backoff_base: Duration::from_millis(10),
+            restart_backoff_cap: Duration::from_secs(1),
         }
     }
 }

@@ -100,6 +100,18 @@ pub enum ServiceError {
     /// This structure's circuit breaker is open: its recent jobs kept
     /// failing, so the service refuses new ones until the cooldown.
     CircuitOpen { fingerprint: Fingerprint },
+    /// Admission control refused the job on arrival: the cost oracle's
+    /// `predicted` completion time (backlog ahead plus this job's own
+    /// solve) exceeds the request's deadline `budget`. Cheaper for
+    /// everyone than queuing work that is doomed to miss.
+    Shed {
+        predicted: Duration,
+        budget: Duration,
+    },
+    /// The supervisor killed the worker executing this job (its progress
+    /// heartbeat went stale); `after` is how long the job had been
+    /// executing. The job may be resubmitted.
+    WorkerKilled { after: Duration },
 }
 
 impl fmt::Display for ServiceError {
@@ -117,6 +129,16 @@ impl fmt::Display for ServiceError {
             ServiceError::Shutdown => write!(f, "service shut down"),
             ServiceError::CircuitOpen { fingerprint } => {
                 write!(f, "circuit open for structure {}", fingerprint.short())
+            }
+            ServiceError::Shed { predicted, budget } => {
+                write!(
+                    f,
+                    "shed on arrival: predicted completion {:?} exceeds deadline budget {:?}",
+                    predicted, budget
+                )
+            }
+            ServiceError::WorkerKilled { after } => {
+                write!(f, "worker killed by supervisor after {:?} executing", after)
             }
         }
     }

@@ -1,25 +1,41 @@
-//! The service facade: bounded intake queue → dispatcher (batcher) →
-//! worker pool.
+//! The service facade: admission control → per-class bounded intake
+//! queues → weighted-fair dispatcher (batcher) → supervised worker pool.
 //!
 //! ```text
-//!  submit() ──try_send──► job queue (bounded; full ⇒ Busy)
-//!                             │ recv
-//!                        dispatcher ── groups same-key jobs ──► batch
-//!                             │                                 queue
-//!                             ▼                                 (bounded)
-//!                        pending buffer                            │
-//!                                              workers ◄───────────┘
-//!                                                 │  plan cache / partition
-//!                                                 ▼
-//!                                           responder channels
+//!  submit() ──validate──► admission (deadline vs predicted cost) ⇒ Shed?
+//!      │ try_send (per QoS class; full ⇒ Busy)
+//!      ▼
+//!  class queues: [Interactive] [Batch] [BestEffort]   (bounded each)
+//!      │ weighted-fair dequeue (deficit round-robin, qos_weights)
+//!  dispatcher ── groups same-key, same-class jobs ──► batch queue
+//!      │                                              (bounded)
+//!      ▼                                                  │
+//!  pending buffers (per class)        workers ◄───────────┘
+//!                                        │  plan cache / partition
+//!                              supervisor│  (heartbeats, kill+restart)
+//!                                        ▼
+//!                                  responder channels
 //! ```
 //!
-//! The dispatcher owns a small pending buffer so it can look past the
-//! head job for batch mates without reordering unrelated work. The
-//! batch queue is bounded at the worker count, so backpressure reaches
-//! the intake queue (and submitters, as `Busy`) instead of ballooning
-//! in memory.
+//! The dispatcher owns per-class pending buffers so it can look past the
+//! head job for batch mates without reordering unrelated work, and a
+//! deficit-round-robin credit scheme (seeded from
+//! [`ServiceConfig::qos_weights`]) so a flood of best-effort work cannot
+//! starve interactive jobs. The batch queue is bounded at the worker
+//! count, so backpressure reaches the class queues (and submitters, as
+//! `Busy`) instead of ballooning in memory. A supervisor thread watches
+//! per-worker progress heartbeats and kills/respawns wedged workers
+//! (see [`crate::supervisor`]).
+//!
+//! Because the dispatcher must block on *several* class queues at once
+//! and the bundled channel library has no `select`, wake-ups ride a
+//! dedicated unbounded signal channel: `submit` sends the job to its
+//! class queue and then one `()` signal; the dispatcher blocks only on
+//! the signal channel and drains every class queue opportunistically.
+//! A job is always visible in its class queue by the time its signal is
+//! received, so no wake-up is ever lost.
 
+use crate::admission::{AdmissionController, AdmissionDecision};
 use crate::batch::{form_batch, Batch, Job};
 use crate::fingerprint::Fingerprint;
 use crate::metrics::{Metrics, MetricsSnapshot};
@@ -27,7 +43,8 @@ use crate::plan::PlanCache;
 use crate::request::{ServiceConfig, SolveRequest};
 use crate::response::{ServiceError, SolveResponse};
 use crate::retry::CircuitBreaker;
-use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+use crate::supervisor::{supervisor_loop, WorkerFactory, WorkerSlot, WorkerState};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError, TrySendError};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -59,6 +76,15 @@ impl JobHandle {
             }
         }
     }
+
+    /// Non-blocking check; `None` means still running.
+    pub fn poll(&self) -> Option<Result<SolveResponse, ServiceError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(ServiceError::Shutdown)),
+        }
+    }
 }
 
 /// A running solver service. Dropping it (or calling
@@ -66,23 +92,30 @@ impl JobHandle {
 /// joins every thread.
 pub struct SolverService {
     config: ServiceConfig,
-    job_tx: Option<Sender<Job>>,
+    class_txs: Option<[Sender<Job>; 3]>,
+    signal_tx: Option<Sender<()>>,
     metrics: Arc<Metrics>,
     cache: Arc<Mutex<PlanCache>>,
     next_id: AtomicU64,
     shutting_down: Arc<AtomicBool>,
     breaker: Arc<CircuitBreaker>,
+    admission: Arc<AdmissionController>,
     dispatcher: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    slots: Arc<Mutex<Vec<WorkerSlot>>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl SolverService {
-    /// Start the dispatcher and worker threads described by `config`.
+    /// Start the dispatcher, worker pool, and (if enabled) supervisor
+    /// described by `config`.
     pub fn start(config: ServiceConfig) -> Self {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         assert!(config.np > 0, "machine size must be positive");
         let metrics = Arc::new(Metrics::new());
+        metrics
+            .queue_capacity
+            .store(config.queue_capacity as u64, Ordering::Relaxed);
         let cache = Arc::new(Mutex::new(PlanCache::new(
             config.plan_cache_capacity.max(1),
         )));
@@ -91,46 +124,81 @@ impl SolverService {
             config.breaker_threshold,
             config.breaker_cooldown,
         ));
+        let admission = Arc::new(AdmissionController::new(&config));
 
-        let (job_tx, job_rx) = bounded::<Job>(config.queue_capacity);
+        // One bounded intake queue per QoS class plus the wake-up signal
+        // channel (see the module docs for the no-select rationale).
+        let (tx0, rx0) = bounded::<Job>(config.queue_capacity);
+        let (tx1, rx1) = bounded::<Job>(config.queue_capacity);
+        let (tx2, rx2) = bounded::<Job>(config.queue_capacity);
+        let (signal_tx, signal_rx) = unbounded::<()>();
         // Bounded at the worker count: a saturated pool pushes back into
-        // the job queue rather than accumulating formed batches.
+        // the class queues rather than accumulating formed batches.
         let (batch_tx, batch_rx) = bounded::<Batch>(config.workers);
 
         let dispatcher = {
             let cfg = config.clone();
             let shutting_down = shutting_down.clone();
             let metrics = metrics.clone();
+            let admission = admission.clone();
             std::thread::Builder::new()
                 .name("hpf-service-dispatcher".into())
-                .spawn(move || dispatcher_loop(cfg, job_rx, batch_tx, shutting_down, metrics))
+                .spawn(move || {
+                    dispatcher_loop(
+                        cfg,
+                        [rx0, rx1, rx2],
+                        signal_rx,
+                        batch_tx,
+                        shutting_down,
+                        metrics,
+                        admission,
+                    )
+                })
                 .expect("spawn dispatcher")
         };
 
-        let workers = (0..config.workers)
+        let factory = WorkerFactory {
+            batch_rx,
+            cache: cache.clone(),
+            config: config.clone(),
+            metrics: metrics.clone(),
+            breaker: breaker.clone(),
+            admission: admission.clone(),
+        };
+        let slots: Vec<WorkerSlot> = (0..config.workers)
             .map(|i| {
-                let rx = batch_rx.clone();
-                let cache = cache.clone();
-                let metrics = metrics.clone();
-                let cfg = config.clone();
-                let breaker = breaker.clone();
-                std::thread::Builder::new()
-                    .name(format!("hpf-service-worker-{i}"))
-                    .spawn(move || worker_loop(rx, cache, cfg, metrics, breaker))
-                    .expect("spawn worker")
+                let state = WorkerState::new();
+                WorkerSlot::new(factory.spawn(i, state.clone()), state)
             })
             .collect();
+        let slots = Arc::new(Mutex::new(slots));
+
+        let supervisor = if config.supervision_enabled {
+            let slots = slots.clone();
+            let shutting_down = shutting_down.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("hpf-service-supervisor".into())
+                    .spawn(move || supervisor_loop(slots, factory, shutting_down))
+                    .expect("spawn supervisor"),
+            )
+        } else {
+            None
+        };
 
         SolverService {
             config,
-            job_tx: Some(job_tx),
+            class_txs: Some([tx0, tx1, tx2]),
+            signal_tx: Some(signal_tx),
             metrics,
             cache,
             next_id: AtomicU64::new(1),
             shutting_down,
             breaker,
+            admission,
             dispatcher: Some(dispatcher),
-            workers,
+            slots,
+            supervisor,
         }
     }
 
@@ -138,9 +206,12 @@ impl SolverService {
         &self.config
     }
 
-    /// Validate and enqueue a request. Non-blocking: a full queue returns
-    /// [`ServiceError::Busy`] immediately (backpressure), malformed
-    /// requests fail up front.
+    /// Validate and enqueue a request. Non-blocking: a full class queue
+    /// returns [`ServiceError::Busy`] immediately (backpressure),
+    /// malformed requests fail up front, and — once the admission
+    /// controller is calibrated — jobs whose deadline cannot be met are
+    /// refused with a typed [`ServiceError::Shed`] rather than queued to
+    /// die.
     pub fn submit(&self, request: SolveRequest) -> Result<JobHandle, ServiceError> {
         if let Err(why) = validate(&request) {
             self.metrics
@@ -148,21 +219,37 @@ impl SolverService {
                 .fetch_add(1, Ordering::Relaxed);
             return Err(ServiceError::InvalidRequest(why));
         }
+        let predicted_us = match self.admission.decide(&request) {
+            AdmissionDecision::Admit { predicted_us } => predicted_us,
+            AdmissionDecision::Shed { predicted, budget } => {
+                self.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::Shed { predicted, budget });
+            }
+        };
         let job_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = bounded(1);
+        let qos = request.qos;
+        let class = qos.index();
         let job = Job {
             id: job_id,
             fingerprint: Fingerprint::of(&request.matrix),
             request,
             submitted: Instant::now(),
+            admission_us: predicted_us,
             responder: tx,
         };
-        let job_tx = self.job_tx.as_ref().ok_or(ServiceError::Shutdown)?;
-        match job_tx.try_send(job) {
+        let class_txs = self.class_txs.as_ref().ok_or(ServiceError::Shutdown)?;
+        match class_txs[class].try_send(job) {
             Ok(()) => {
+                self.admission.admit(qos, predicted_us);
                 self.metrics.accepted.fetch_add(1, Ordering::Relaxed);
                 self.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
                 self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+                self.metrics.class_queue_depth[class].fetch_add(1, Ordering::Relaxed);
+                // Wake the dispatcher *after* the job is in its queue.
+                if let Some(signal) = self.signal_tx.as_ref() {
+                    let _ = signal.send(());
+                }
                 Ok(JobHandle { job_id, rx })
             }
             Err(TrySendError::Full(_)) => {
@@ -180,7 +267,7 @@ impl SolverService {
         self.submit(request)?.wait()
     }
 
-    /// Point-in-time counters (including the current queue-depth gauge
+    /// Point-in-time counters (including the current queue-depth gauges
     /// and service uptime).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
@@ -189,6 +276,12 @@ impl SolverService {
     /// Number of plans currently cached.
     pub fn cached_plans(&self) -> usize {
         self.cache.lock().len()
+    }
+
+    /// The deadline-aware admission controller (calibration state and
+    /// predicted backlog are readable for reports and tests).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
     }
 
     /// Stop intake, answer every still-queued job with
@@ -211,10 +304,11 @@ impl SolverService {
 
     /// Expose this service over HTTP at `addr` (`"127.0.0.1:0"` picks a
     /// free port, reported by [`crate::http::MetricsServer::addr`]):
-    /// `GET /metrics` (Prometheus text), `GET /healthz` (JSON liveness,
-    /// `503` once shutdown begins), and `GET /drift` (the latest
-    /// published cost-oracle report). The listener runs on its own
-    /// thread and outlives neither the returned handle nor the process.
+    /// `GET /metrics` (Prometheus text), `GET /healthz` (JSON liveness:
+    /// `ok` / `degraded` / `draining`, `503` once shutdown begins), and
+    /// `GET /drift` (the latest published cost-oracle report). The
+    /// listener runs on its own thread and outlives neither the returned
+    /// handle nor the process.
     pub fn serve_http(&self, addr: &str) -> std::io::Result<crate::http::MetricsServer> {
         crate::http::spawn(
             addr,
@@ -228,16 +322,24 @@ impl SolverService {
 
     fn shutdown_in_place(&mut self) {
         // Raise the flag first so the dispatcher refuses (rather than
-        // executes) whatever is still queued, then close the job queue:
-        // the dispatcher drains, answers the stragglers, and exits; that
-        // drops the batch sender, which winds down the workers.
+        // executes) whatever is still queued, then close the intake and
+        // signal channels: the dispatcher drains, answers the
+        // stragglers, and exits; that drops the batch sender, which
+        // winds down the workers. The supervisor is joined before the
+        // workers so it cannot respawn a slot we are trying to reap.
         self.shutting_down.store(true, Ordering::SeqCst);
-        self.job_tx.take();
+        self.class_txs.take();
+        self.signal_tx.take();
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
+        }
         if let Some(d) = self.dispatcher.take() {
             let _ = d.join();
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        for slot in self.slots.lock().drain(..) {
+            if let Some(h) = slot.handle {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -285,64 +387,117 @@ fn validate(request: &SolveRequest) -> Result<(), String> {
     Ok(())
 }
 
-/// Dispatcher: pull jobs, group batch mates, forward to the pool. Owns a
-/// pending buffer (≤ queue capacity) used to look past the head job.
-/// During shutdown it stops forwarding and instead answers every job
-/// still queued or buffered with a typed [`ServiceError::Shutdown`], so
-/// no submitter is left hanging on a silently dropped responder.
+/// Dispatcher: pull jobs from the class queues, pick the next class by
+/// deficit round-robin, group batch mates *within* that class, forward
+/// to the pool. During shutdown it stops forwarding and instead answers
+/// every job still queued or buffered with a typed
+/// [`ServiceError::Shutdown`], so no submitter is left hanging on a
+/// silently dropped responder.
+#[allow(clippy::too_many_arguments)]
 fn dispatcher_loop(
     config: ServiceConfig,
-    job_rx: Receiver<Job>,
+    class_rxs: [Receiver<Job>; 3],
+    signal_rx: Receiver<()>,
     batch_tx: Sender<Batch>,
     shutting_down: Arc<AtomicBool>,
     metrics: Arc<Metrics>,
+    admission: Arc<AdmissionController>,
 ) {
     let refuse = |job: Job| {
+        admission.release(job.request.qos, job.admission_us);
         metrics.failed.fetch_add(1, Ordering::Relaxed);
         metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
         let _ = job.responder.send(Err(ServiceError::Shutdown));
     };
-    let mut pending: VecDeque<Job> = VecDeque::new();
-    let pending_cap = config.queue_capacity;
+    // Zero weights would never earn a dequeue; treat them as one.
+    let weights: [u32; 3] = std::array::from_fn(|i| config.qos_weights[i].max(1));
+    let mut credits: [u32; 3] = weights;
+    let mut pending: [VecDeque<Job>; 3] = Default::default();
     let mut intake_open = true;
     loop {
-        // Seed job: buffered first, else block on the queue.
-        let seed = match pending.pop_front() {
-            Some(j) => j,
-            None if intake_open => match job_rx.recv() {
-                Ok(j) => {
-                    metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                    j
+        // Pull everything queued right now into the per-class pending
+        // buffers (bounded by the class-queue capacities, so this is
+        // bounded memory). Intake is closed once every class channel
+        // reports disconnected.
+        let mut all_disconnected = true;
+        for (i, rx) in class_rxs.iter().enumerate() {
+            loop {
+                match rx.try_recv() {
+                    Ok(j) => {
+                        metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        metrics.class_queue_depth[i].fetch_sub(1, Ordering::Relaxed);
+                        pending[i].push_back(j);
+                    }
+                    Err(TryRecvError::Empty) => {
+                        all_disconnected = false;
+                        break;
+                    }
+                    Err(TryRecvError::Disconnected) => break,
+                }
+            }
+        }
+        if all_disconnected {
+            intake_open = false;
+        }
+        if shutting_down.load(Ordering::SeqCst) {
+            // Drain mode: answer everything buffered, then wait for the
+            // channels to close (or more stragglers to refuse).
+            for q in pending.iter_mut() {
+                while let Some(job) = q.pop_front() {
+                    refuse(job);
+                }
+            }
+            if !intake_open {
+                break;
+            }
+            match signal_rx.recv() {
+                Ok(()) => continue,
+                Err(_) => {
+                    // Signal closed; one more refill pass drains the
+                    // class queues to disconnection, then we exit above.
+                    continue;
+                }
+            }
+        }
+        if pending.iter().all(|q| q.is_empty()) {
+            if !intake_open {
+                break;
+            }
+            // Nothing to do: block on the signal channel. Each accepted
+            // job sends exactly one signal *after* it is enqueued, so a
+            // wake-up here guarantees the next refill sees the job.
+            match signal_rx.recv() {
+                Ok(()) => {
+                    // Collapse the signal backlog; the refill drains the
+                    // class queues wholesale anyway.
+                    while signal_rx.try_recv().is_ok() {}
+                    continue;
                 }
                 Err(_) => {
                     intake_open = false;
                     continue;
                 }
-            },
-            None => break, // intake closed and nothing buffered: drain done
-        };
-        if shutting_down.load(Ordering::SeqCst) {
-            // Drain mode: answer this job and everything behind it.
-            refuse(seed);
-            continue;
-        }
-        // Pull whatever else is queued right now into the buffer, so
-        // batch formation sees it (bounded by the pending cap).
-        while pending.len() < pending_cap {
-            match job_rx.try_recv() {
-                Ok(j) => {
-                    metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                    pending.push_back(j);
-                }
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => {
-                    intake_open = false;
-                    break;
-                }
             }
         }
+        // Deficit round-robin: the first class (in priority order) with
+        // work and credits wins; when every backlogged class is out of
+        // credits, replenish all from the configured weights.
+        let class = match (0..3).find(|&i| !pending[i].is_empty() && credits[i] > 0) {
+            Some(i) => i,
+            None => {
+                credits = weights;
+                (0..3)
+                    .find(|&i| !pending[i].is_empty())
+                    .expect("some class has work")
+            }
+        };
+        credits[class] -= 1;
+        let seed = pending[class].pop_front().expect("class has work");
+        // Batch mates come only from the same class: co-executing a
+        // best-effort job inside an interactive batch would let it jump
+        // the weighted queue.
         let batch = if config.batching_enabled {
-            form_batch(seed, &mut pending, config.max_batch)
+            form_batch(seed, &mut pending[class], config.max_batch)
         } else {
             Batch { jobs: vec![seed] }
         };
@@ -352,29 +507,49 @@ fn dispatcher_loop(
             for job in send_err.0.jobs {
                 refuse(job);
             }
-            while let Some(job) = pending.pop_front() {
-                refuse(job);
+            for q in pending.iter_mut() {
+                while let Some(job) = q.pop_front() {
+                    refuse(job);
+                }
             }
             break;
         }
     }
 }
 
-/// Worker: execute batches until the batch channel closes.
-/// `execute_batch` already answers every job exactly once (including on
-/// panics inside solves); the outer `catch_unwind` is a last resort for
-/// bugs in the bookkeeping itself — the batch's handles then observe
-/// `Shutdown` when their responders drop, and the worker keeps serving.
-fn worker_loop(
+/// Worker: execute batches until the batch channel closes or the
+/// supervisor flags this worker for death. `execute_batch` already
+/// answers every job exactly once (including on panics inside solves);
+/// the outer `catch_unwind` is a last resort for bugs in the bookkeeping
+/// itself — the batch's handles then observe `Shutdown` when their
+/// responders drop, and the worker keeps serving.
+pub(crate) fn worker_loop(
     batch_rx: Receiver<Batch>,
     cache: Arc<Mutex<PlanCache>>,
     config: ServiceConfig,
     metrics: Arc<Metrics>,
     breaker: Arc<CircuitBreaker>,
+    admission: Arc<AdmissionController>,
+    state: Arc<WorkerState>,
 ) {
     while let Ok(batch) = batch_rx.recv() {
         let _ = catch_unwind(AssertUnwindSafe(|| {
-            crate::worker::execute_batch(batch, &cache, &config, &metrics, &breaker);
+            crate::worker::execute_batch(
+                batch,
+                &cache,
+                &config,
+                &metrics,
+                &breaker,
+                &admission,
+                Some(&state),
+            );
         }));
+        if state.abort.load(Ordering::SeqCst) {
+            // The supervisor killed this worker mid-batch. The batch has
+            // been answered (WorkerKilled); exit so the supervisor can
+            // reap the thread and respawn the slot with fresh state.
+            *state.current.lock() = None;
+            return;
+        }
     }
 }

@@ -14,12 +14,14 @@
 //! attempt, and a retryable solver failure re-runs the job — with
 //! backoff, on a clean machine, escalating CG → BiCGSTAB → GMRES.
 
+use crate::admission::AdmissionController;
 use crate::batch::Batch;
 use crate::metrics::Metrics;
 use crate::plan::{CacheOutcome, PlanCache, SolvePlan};
 use crate::request::{ServiceConfig, SolverKind};
 use crate::response::{PlanSource, ServiceError, SolveResponse, TraceSummary};
-use crate::retry::{backoff_delay, escalate, is_retryable, Admission, CircuitBreaker};
+use crate::retry::{backoff_delay_jittered, escalate, is_retryable, Admission, CircuitBreaker};
+use crate::supervisor::{CurrentJob, SupervisorAbort, WorkerState};
 use hpf_core::RowwiseCsr;
 use hpf_machine::{CostModel, Machine};
 use hpf_solvers::{
@@ -36,13 +38,14 @@ use std::time::Instant;
 /// Fail every deadline-expired job in `batch` now, returning the live
 /// remainder. Expired jobs get a typed error instead of occupying a
 /// worker — the queue can shed load it can no longer serve in time.
-pub fn shed_expired(batch: Batch, metrics: &Metrics) -> Batch {
+pub fn shed_expired(batch: Batch, metrics: &Metrics, admission: &AdmissionController) -> Batch {
     let now = Instant::now();
     let (expired, live): (Vec<_>, Vec<_>) = batch
         .jobs
         .into_iter()
         .partition(|j| j.deadline_expired(now));
     for job in expired {
+        admission.release(job.request.qos, job.admission_us);
         metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
         metrics.failed.fetch_add(1, Ordering::Relaxed);
         metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
@@ -55,21 +58,28 @@ pub fn shed_expired(batch: Batch, metrics: &Metrics) -> Batch {
 }
 
 /// Execute a (non-empty, same-key) batch end to end and answer each job
-/// exactly once.
+/// exactly once. `worker_state`, when present, receives per-operation
+/// progress heartbeats through the simulated machine's hook and is how
+/// the supervisor's kill order (the abort flag) reaches the solve: the
+/// hook panics with [`SupervisorAbort`], the per-job catch site answers
+/// [`ServiceError::WorkerKilled`], and the caller's loop exits.
 pub fn execute_batch(
     batch: Batch,
     cache: &Mutex<PlanCache>,
     config: &ServiceConfig,
     metrics: &Metrics,
     breaker: &CircuitBreaker,
+    admission: &AdmissionController,
+    worker_state: Option<&Arc<WorkerState>>,
 ) {
-    let batch = shed_expired(batch, metrics);
+    let batch = shed_expired(batch, metrics, admission);
     if batch.jobs.is_empty() {
         return;
     }
     let fingerprint = batch.jobs[0].fingerprint;
     if breaker.admit(fingerprint) == Admission::Refuse {
         for job in batch.jobs {
+            admission.release(job.request.qos, job.admission_us);
             metrics.breaker_open.fetch_add(1, Ordering::Relaxed);
             metrics.failed.fetch_add(1, Ordering::Relaxed);
             metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
@@ -134,6 +144,7 @@ pub fn execute_batch(
         Err(payload) => {
             let msg = panic_message(payload.as_ref());
             for job in batch.jobs {
+                admission.release(job.request.qos, job.admission_us);
                 metrics.failed.fetch_add(1, Ordering::Relaxed);
                 metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
                 let _ = job
@@ -143,6 +154,18 @@ pub fn execute_batch(
             return;
         }
     };
+    if let Some(state) = worker_state {
+        // Heartbeat once per simulated-machine operation; observe the
+        // supervisor's kill order at the same granularity. The panic
+        // unwinds into the per-job catch site below.
+        let s = Arc::clone(state);
+        machine.set_progress_hook(hpf_machine::ProgressHook::new(move |_op| {
+            s.heartbeat.fetch_add(1, Ordering::Relaxed);
+            if s.abort.load(Ordering::SeqCst) {
+                std::panic::panic_any(SupervisorAbort);
+            }
+        }));
+    }
 
     let batched_with = batch.jobs.len() - 1;
     metrics.batches_executed.fetch_add(1, Ordering::Relaxed);
@@ -157,6 +180,13 @@ pub fn execute_batch(
         // multi-job traces stay attributable: "job=7/solve/iter=3/...".
         let _job_span = hpf_machine::span::enter(format!("job={}", job.id));
         let job_started = Instant::now();
+        if let Some(state) = worker_state {
+            *state.current.lock() = Some(CurrentJob {
+                job_id: job.id,
+                fingerprint,
+                since: job_started,
+            });
+        }
         let max_attempts = config.max_attempts.max(1);
         let mut kind = job.request.solver;
         let mut attempts = 0usize;
@@ -221,25 +251,45 @@ pub fn execute_batch(
                                 metrics.escalations.fetch_add(1, Ordering::Relaxed);
                             }
                         }
-                        std::thread::sleep(backoff_delay(
+                        std::thread::sleep(backoff_delay_jittered(
                             config.backoff_base,
                             config.backoff_cap,
                             attempts as u32,
+                            job.id,
                         ));
                         continue;
                     }
                     break Err(ServiceError::Solver(e));
                 }
                 Err(payload) => {
-                    break Err(ServiceError::WorkerPanic(panic_message(payload.as_ref())))
+                    if payload.as_ref().downcast_ref::<SupervisorAbort>().is_some() {
+                        break Err(ServiceError::WorkerKilled {
+                            after: job_started.elapsed(),
+                        });
+                    }
+                    break Err(ServiceError::WorkerPanic(panic_message(payload.as_ref())));
                 }
             }
         };
+        admission.release(job.request.qos, job.admission_us);
         metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
         let result = match outcome {
             Ok((solutions, stats, recovery)) => {
                 breaker.record_success(fingerprint);
                 metrics.completed.fetch_add(1, Ordering::Relaxed);
+                // Calibrate the admission oracle on clean first-attempt
+                // successes only: retries and fault-plan runs would
+                // teach it the faults, not the costs.
+                if attempts == 1 && job.request.fault_plan.is_none() && !stats.is_empty() {
+                    let mean_iters = stats.iter().map(|s| s.iterations).sum::<usize>() as f64
+                        / stats.len() as f64;
+                    admission.observe(
+                        job.request.matrix.n_rows(),
+                        mean_iters,
+                        machine.elapsed(),
+                        job_started.elapsed(),
+                    );
+                }
                 // `kind` is the post-escalation solver that produced
                 // the outcome, not necessarily the one requested.
                 metrics.record_solve_outcome(kind.name(), &job.request.scenario, true);
@@ -273,6 +323,9 @@ pub fn execute_batch(
             }
         };
         let _ = job.responder.send(result);
+        if let Some(state) = worker_state {
+            *state.current.lock() = None;
+        }
     }
 }
 
@@ -359,6 +412,7 @@ mod tests {
                 fingerprint: Fingerprint::of(matrix),
                 request,
                 submitted: Instant::now(),
+                admission_us: 0,
                 responder: tx,
             },
             rx,
@@ -376,6 +430,10 @@ mod tests {
         CircuitBreaker::new(0, Duration::ZERO)
     }
 
+    fn admission(np: usize) -> AdmissionController {
+        AdmissionController::new(&config(np))
+    }
+
     #[test]
     fn batch_execution_answers_every_job_correctly() {
         let a = Arc::new(gen::banded_spd(48, 3, 9));
@@ -390,7 +448,15 @@ mod tests {
         let cache = Mutex::new(PlanCache::new(8));
         let metrics = Metrics::new();
         metrics.in_flight.fetch_add(3, Ordering::Relaxed);
-        execute_batch(batch, &cache, &config(4), &metrics, &breaker());
+        execute_batch(
+            batch,
+            &cache,
+            &config(4),
+            &metrics,
+            &breaker(),
+            &admission(4),
+            None,
+        );
 
         for rx in rxs {
             let resp = rx.recv().unwrap().unwrap();
@@ -431,6 +497,8 @@ mod tests {
             &config(2),
             &metrics,
             &breaker(),
+            &admission(2),
+            None,
         );
         match rx.recv().unwrap() {
             Err(ServiceError::DeadlineExceeded { waited }) => {
@@ -461,6 +529,8 @@ mod tests {
                 &cfg,
                 &metrics,
                 &breaker(),
+                &admission(4),
+                None,
             );
             assert!(rx.recv().unwrap().is_ok());
         }
@@ -490,6 +560,8 @@ mod tests {
             &config(2),
             &metrics,
             &breaker(),
+            &admission(2),
+            None,
         );
         let out = rx.recv().unwrap();
         assert!(matches!(out, Err(ServiceError::Solver(_))) || out.is_ok());
@@ -511,6 +583,8 @@ mod tests {
             &config(4),
             &metrics,
             &breaker(),
+            &admission(2),
+            None,
         );
         let resp = rx.recv().unwrap().unwrap();
         assert_eq!(resp.solutions.len(), 4);

@@ -3,7 +3,8 @@
 
 use hpf_machine::Topology;
 use hpf_service::{
-    PlanSource, ServiceConfig, ServiceError, SolvePlan, SolveRequest, SolverKind, SolverService,
+    PlanSource, QosClass, ServiceConfig, ServiceError, SolvePlan, SolveRequest, SolverKind,
+    SolverService,
 };
 use hpf_solvers::StopCriterion;
 use hpf_sparse::gen;
@@ -497,4 +498,248 @@ fn shutdown_drains_queued_jobs_with_typed_errors() {
     assert_eq!(metrics.completed + metrics.failed, 9);
     assert_eq!(metrics.in_flight, 0);
     assert_eq!(metrics.failed as usize, drained);
+}
+
+/// Tentpole acceptance: once the admission oracle has a calibration
+/// sample, a deadline no prediction can meet is refused at `submit`
+/// with a typed `Shed` — before the job consumes a queue slot — while
+/// feasible deadlines keep flowing.
+#[test]
+fn calibrated_admission_sheds_impossible_deadlines_at_submit() {
+    let service = SolverService::start(ServiceConfig {
+        workers: 1,
+        np: 4,
+        admission_min_samples: 1,
+        ..ServiceConfig::default()
+    });
+    let a = Arc::new(gen::banded_spd(256, 3, 11));
+    let (b, _x) = gen::rhs_for_known_solution(&a);
+    // One clean solve teaches the oracle this structure's wall cost.
+    let resp = service
+        .solve(SolveRequest::new(a.clone(), b.clone()))
+        .unwrap();
+    assert!(resp.stats[0].converged);
+
+    // A 1 ns budget sits far below any calibrated prediction.
+    let out =
+        service.submit(SolveRequest::new(a.clone(), b.clone()).deadline(Duration::from_nanos(1)));
+    match out {
+        Err(ServiceError::Shed { predicted, budget }) => {
+            assert_eq!(budget, Duration::from_nanos(1));
+            assert!(predicted > budget, "{predicted:?} vs {budget:?}");
+        }
+        other => panic!("expected Shed, got {other:?}"),
+    }
+
+    // A generous deadline is still admitted and solved.
+    let ok = service
+        .solve(SolveRequest::new(a.clone(), b.clone()).deadline(Duration::from_secs(3600)))
+        .unwrap();
+    assert!(ok.stats[0].converged);
+
+    let m = service.shutdown();
+    assert_eq!(m.shed_total, 1);
+    assert_eq!(m.accepted, 2);
+    assert_eq!(m.completed, 2);
+    assert_eq!(m.failed, 0);
+}
+
+/// Tentpole acceptance: with the single worker pinned by a slow batch
+/// job, best-effort work submitted *first* still runs *after* the
+/// interactive work that arrived later — weighted-fair dequeue, not
+/// arrival order.
+#[test]
+fn interactive_jobs_overtake_best_effort_under_load() {
+    let service = SolverService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 64,
+        np: 4,
+        batching_enabled: false,
+        ..ServiceConfig::default()
+    });
+    // A slow head job pins the worker while the contest queues up.
+    let slow_a = Arc::new(gen::poisson_2d(32, 32));
+    let (sb, _x) = gen::rhs_for_known_solution(&slow_a);
+    let blocker = service
+        .submit(SolveRequest::with_rhs_set(slow_a.clone(), vec![sb; 8]))
+        .unwrap();
+    while service.metrics().batches_executed == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // Two decoys park the dispatcher: one fills the worker hand-off
+    // channel, the next blocks the dispatcher mid-send. Everything
+    // submitted afterwards is dequeued in one weighted pass.
+    let decoys: Vec<_> = (0..2)
+        .map(|i| {
+            let a = Arc::new(gen::banded_spd(32, 2, 200 + i));
+            let (b, _x) = gen::rhs_for_known_solution(&a);
+            service
+                .submit(SolveRequest::new(a, b).qos(QosClass::Interactive))
+                .unwrap()
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let order = Arc::new(parking_lot::Mutex::new(Vec::<char>::new()));
+    let mut contest = Vec::new();
+    // Best-effort first: heavy enough that the completion gap at the
+    // class boundary dwarfs waiter-thread wake-up jitter.
+    for i in 0..3u64 {
+        let a = Arc::new(gen::power_law_spd(256, 16, 0.9, 50 + i));
+        let (b, _x) = gen::rhs_for_known_solution(&a);
+        let h = service
+            .submit(SolveRequest::new(a, b).qos(QosClass::BestEffort))
+            .unwrap();
+        let order = order.clone();
+        contest.push(std::thread::spawn(move || {
+            assert!(h.wait().is_ok());
+            order.lock().push('B');
+        }));
+    }
+    for i in 0..3u64 {
+        let a = Arc::new(gen::banded_spd(48, 2, 300 + i));
+        let (b, _x) = gen::rhs_for_known_solution(&a);
+        let h = service
+            .submit(SolveRequest::new(a, b).qos(QosClass::Interactive))
+            .unwrap();
+        let order = order.clone();
+        contest.push(std::thread::spawn(move || {
+            assert!(h.wait().is_ok());
+            order.lock().push('I');
+        }));
+    }
+
+    assert!(blocker.wait().is_ok());
+    for d in decoys {
+        assert!(d.wait().is_ok());
+    }
+    for t in contest {
+        t.join().unwrap();
+    }
+    let observed: String = order.lock().iter().collect();
+    assert_eq!(
+        observed, "IIIBBB",
+        "interactive must drain before best-effort"
+    );
+    let m = service.shutdown();
+    assert_eq!(m.completed, 9);
+}
+
+/// Tentpole acceptance: a worker hung mid-solve (wall-clock stall fault,
+/// no heartbeats) is killed by the supervisor — the job is answered with
+/// a typed `WorkerKilled`, the worker is respawned, and the pool keeps
+/// serving.
+#[test]
+fn hung_worker_is_killed_and_respawned() {
+    let service = SolverService::start(ServiceConfig {
+        workers: 1,
+        np: 4,
+        hang_timeout: Duration::from_millis(100),
+        supervisor_poll: Duration::from_millis(10),
+        breaker_threshold: 10,
+        ..ServiceConfig::default()
+    });
+    let a = Arc::new(gen::banded_spd(64, 3, 7));
+    let (b, _x) = gen::rhs_for_known_solution(&a);
+    // A 600 ms stall on processor 0, six times the hang timeout:
+    // heartbeats stop, the supervisor flags the worker, and the next
+    // machine operation observes the abort.
+    let plan = hpf_machine::FaultPlan::new().with_stall(30, 0, 600);
+    let doomed = service
+        .submit(SolveRequest::new(a.clone(), b.clone()).fault_plan(plan))
+        .unwrap();
+    match doomed.wait() {
+        Err(ServiceError::WorkerKilled { after }) => {
+            assert!(after >= Duration::from_millis(100), "{after:?}");
+        }
+        other => panic!("expected WorkerKilled, got {other:?}"),
+    }
+
+    // The respawned worker answers the next job.
+    let resp = service
+        .solve(SolveRequest::new(a.clone(), b.clone()))
+        .unwrap();
+    assert!(resp.stats[0].converged);
+
+    let m = service.shutdown();
+    assert!(m.supervisor_kills >= 1, "kills: {}", m.supervisor_kills);
+    assert!(m.worker_restarts >= 1, "restarts: {}", m.worker_restarts);
+    assert_eq!(m.completed, 1);
+    assert_eq!(m.failed, 1);
+    assert_eq!(m.in_flight, 0);
+}
+
+/// Satellite property: `shutdown` racing a full queue yields exactly
+/// one terminal response per accepted job. `wait` consuming the
+/// one-shot responder makes "at most once" structural; what this
+/// exercises is "at least once" — nothing hangs, nothing is dropped —
+/// plus a balanced completed/failed ledger, across class mixes,
+/// deadlines, and batching on/off.
+#[test]
+fn shutdown_with_full_queue_answers_every_accepted_job_exactly_once() {
+    for round in 0..3u64 {
+        let service = SolverService::start(ServiceConfig {
+            workers: 2,
+            queue_capacity: 4,
+            np: 4,
+            batching_enabled: round % 2 == 0,
+            ..ServiceConfig::default()
+        });
+        let mats: Vec<Arc<hpf_sparse::CsrMatrix>> = (0..3)
+            .map(|s| Arc::new(gen::power_law_spd(160, 12, 0.9, 40 + round * 3 + s)))
+            .collect();
+        let mut state = round.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut handles = Vec::new();
+        let mut overflowed = 0u64;
+        for _ in 0..60 {
+            let a = &mats[(next() % 3) as usize];
+            let (b, _x) = gen::rhs_for_known_solution(a);
+            let mut req = SolveRequest::new(a.clone(), b).qos(QosClass::ALL[(next() % 3) as usize]);
+            if next() % 4 == 0 {
+                // Some deadlines are generous, some already hopeless.
+                req = req.deadline(if next() % 2 == 0 {
+                    Duration::from_secs(600)
+                } else {
+                    Duration::from_nanos(1)
+                });
+            }
+            match service.submit(req) {
+                Ok(h) => handles.push(h),
+                Err(ServiceError::Busy { .. }) => overflowed += 1,
+                // Once calibrated, the hopeless deadlines are refused
+                // up front; they get no handle and owe no response.
+                Err(ServiceError::Shed { .. }) => {}
+                Err(e) => panic!("round {round}: unexpected submit error: {e}"),
+            }
+        }
+        assert!(overflowed >= 1, "round {round}: the queue never filled");
+        let accepted = handles.len() as u64;
+
+        // Shut down while the class queues are still loaded.
+        let m = service.shutdown();
+
+        let mut terminal = 0u64;
+        for h in handles {
+            match h.wait() {
+                Ok(resp) => {
+                    assert!(resp.stats.iter().all(|s| s.converged));
+                    terminal += 1;
+                }
+                Err(ServiceError::Shutdown) | Err(ServiceError::DeadlineExceeded { .. }) => {
+                    terminal += 1;
+                }
+                Err(e) => panic!("round {round}: unexpected terminal error: {e}"),
+            }
+        }
+        assert_eq!(terminal, accepted, "round {round}");
+        assert_eq!(m.accepted, accepted, "round {round}");
+        assert_eq!(m.completed + m.failed, accepted, "round {round}");
+        assert_eq!(m.in_flight, 0, "round {round}");
+    }
 }
