@@ -23,7 +23,12 @@
 //! - `partition`  per-partitioner comm accounting: the trace is split at
 //!   every `REDISTRIBUTE USING <name>` event and each segment's measured
 //!   comm volume/time is set against the oracle's modeled time
-//!   (needs `--trace`)
+//!   (needs `--trace`; exits non-zero on a trace with no redistribute
+//!   events — there is nothing to account)
+//! - `mg`         per-multigrid-level accounting: events are grouped by
+//!   the `level=L` segment of their span path and each level's time,
+//!   comm volume, and busy-time imbalance are tabulated (needs
+//!   `--trace`; exits non-zero on a trace with no level spans)
 //!
 //! The oracle formats price the trace under `--topology` (default
 //! `hypercube`) and `--cost` (default `mpp-1995`; also `lan-cluster`,
@@ -39,7 +44,9 @@
 //! the exit status and written files matter). Exit status is non-zero
 //! on unreadable input, a failed validation, or a bench regression.
 
-use hpf_machine::{predicted_or_measured_total, CostModel, Event, EventKind, Topology, Trace};
+use hpf_machine::{
+    level_of, predicted_or_measured_total, CostModel, Event, EventKind, Topology, Trace,
+};
 use hpf_obs::{
     critical_path, load_imbalance, render_diff, snapshot_from_json, span_costs, BenchRecord,
     DriftReport, Timeline,
@@ -59,7 +66,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: trace-report [--trace FILE] [--metrics FILE] \
-         [--format perfetto|prom|csv|summary|drift|drift-json|partition]... \
+         [--format perfetto|prom|csv|summary|drift|drift-json|partition|mg]... \
          [--topology NAME] [--cost PRESET] [--out DIR] [--quiet]\n\
          \x20      trace-report bench-diff PREV.json CUR.json \
          [--max-regression PCT] [--quiet]"
@@ -196,6 +203,34 @@ fn render_csv(trace: &Trace) -> String {
     out
 }
 
+/// A trace that cannot support the requested analysis. Typed (rather
+/// than a bare `fail`) so tests can assert the exact refusal and so the
+/// message always carries the event count that was inspected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ReportError {
+    /// `--format partition` on a trace with no redistribute events:
+    /// there are no layout switches or typed data motion to account.
+    NoRedistributeEvents { events: usize },
+    /// `--format mg` on a trace where no event's span carries a
+    /// `level=L` segment: nothing was executed inside a V-cycle.
+    NoLevelSpans { events: usize },
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::NoRedistributeEvents { events } => write!(
+                f,
+                "partition report needs redistribute events; none among the {events} traced"
+            ),
+            ReportError::NoLevelSpans { events } => write!(
+                f,
+                "mg report needs level= span segments; none among the {events} traced"
+            ),
+        }
+    }
+}
+
 /// Label prefix every partitioner-driven redistribution carries (see
 /// `hpf_dist::redistribute_using` and the sparse trio directive).
 const REDISTRIBUTE_USING: &str = "REDISTRIBUTE USING ";
@@ -237,7 +272,20 @@ fn partition_segments(trace: &Trace) -> Vec<PartitionSegment> {
     segments
 }
 
-fn render_partition(trace: &Trace, topology: Topology, cost: &CostModel) -> String {
+fn render_partition(
+    trace: &Trace,
+    topology: Topology,
+    cost: &CostModel,
+) -> Result<String, ReportError> {
+    if !trace
+        .events()
+        .iter()
+        .any(|e| e.kind == EventKind::Redistribute)
+    {
+        return Err(ReportError::NoRedistributeEvents {
+            events: trace.events().len(),
+        });
+    }
     let segments = partition_segments(trace);
     let mut out = format!(
         "partition report: {} segment(s) over {} events, priced on {:?}\n",
@@ -289,7 +337,70 @@ fn render_partition(trace: &Trace, topology: Topology, cost: &CostModel) -> Stri
         "total redistribution cost: {switch_words} words, {switch_seconds:.6e} s across {} switch(es)\n",
         segments.iter().filter(|s| s.switch_words > 0).count(),
     ));
-    out
+    Ok(out)
+}
+
+/// Per-multigrid-level accounting: every event whose span path carries
+/// a `level=L` segment is attributed to that level; per-level busy
+/// times come from the events' per-processor timings.
+fn render_mg(trace: &Trace) -> Result<String, ReportError> {
+    #[derive(Default)]
+    struct LevelAgg {
+        events: usize,
+        seconds: f64,
+        comm_words: usize,
+        comm_seconds: f64,
+        busy: Vec<f64>,
+    }
+    let mut levels: std::collections::BTreeMap<usize, LevelAgg> = std::collections::BTreeMap::new();
+    let mut outside = 0usize;
+    for e in trace.events() {
+        let Some(level) = level_of(&e.span) else {
+            outside += 1;
+            continue;
+        };
+        let agg = levels.entry(level).or_default();
+        agg.events += 1;
+        agg.seconds += e.time;
+        if e.kind != EventKind::Compute {
+            agg.comm_words += e.words;
+            agg.comm_seconds += e.time;
+        }
+        if agg.busy.len() < e.proc_times.len() {
+            agg.busy.resize(e.proc_times.len(), 0.0);
+        }
+        for (p, t) in e.proc_times.iter().enumerate() {
+            agg.busy[p] += t;
+        }
+    }
+    if levels.is_empty() {
+        return Err(ReportError::NoLevelSpans {
+            events: trace.events().len(),
+        });
+    }
+    let mut out = format!(
+        "multigrid report: {} level(s) over {} events ({} outside level spans)\n",
+        levels.len(),
+        trace.events().len(),
+        outside,
+    );
+    out.push_str(&format!(
+        "{:<6} {:>7} {:>14} {:>12} {:>14} {:>10}\n",
+        "level", "events", "seconds", "comm-words", "comm-s", "imbalance"
+    ));
+    for (level, agg) in &levels {
+        let mean = agg.busy.iter().sum::<f64>() / agg.busy.len().max(1) as f64;
+        let imbalance = if mean > 0.0 {
+            agg.busy.iter().cloned().fold(0.0f64, f64::max) / mean
+        } else {
+            1.0
+        };
+        out.push_str(&format!(
+            "{:<6} {:>7} {:>14.6e} {:>12} {:>14.6e} {:>10.3}\n",
+            level, agg.events, agg.seconds, agg.comm_words, agg.comm_seconds, imbalance,
+        ));
+    }
+    Ok(out)
 }
 
 fn load_bench(path: &str) -> BenchRecord {
@@ -379,10 +490,14 @@ fn main() {
             }
             "partition" => {
                 let trace = load_trace(&args);
-                (
-                    render_partition(&trace, args.topology, &args.cost),
-                    "partition.txt",
-                )
+                let report = render_partition(&trace, args.topology, &args.cost)
+                    .unwrap_or_else(|e| fail(&e.to_string()));
+                (report, "partition.txt")
+            }
+            "mg" => {
+                let trace = load_trace(&args);
+                let report = render_mg(&trace).unwrap_or_else(|e| fail(&e.to_string()));
+                (report, "mg.txt")
             }
             "drift-json" => {
                 let trace = load_trace(&args);
@@ -438,7 +553,8 @@ mod tests {
         ];
         m.exchange(&traffic, "REDISTRIBUTE USING greedy-hypergraph");
         m.allreduce(8, "dot-merge");
-        let report = render_partition(m.trace(), Topology::Hypercube, &CostModel::mpp_1995());
+        let report = render_partition(m.trace(), Topology::Hypercube, &CostModel::mpp_1995())
+            .expect("trace has redistribute events");
         assert!(report.contains("2 segment(s)"), "{report}");
         assert!(report.contains("(initial)"), "{report}");
         assert!(report.contains("greedy-hypergraph"), "{report}");
@@ -473,5 +589,77 @@ mod tests {
         assert_eq!(segs.len(), 1);
         assert_eq!(segs[0].partitioner, "(initial)");
         assert_eq!(segs[0].events.len(), 1);
+    }
+
+    #[test]
+    fn partition_report_refuses_traces_without_redistributes() {
+        let mut m = traced_machine();
+        m.allreduce(8, "dot-merge");
+        m.compute_uniform(100, "axpy");
+        let err = render_partition(m.trace(), Topology::Hypercube, &CostModel::mpp_1995())
+            .expect_err("no redistribute events in this trace");
+        assert_eq!(err, ReportError::NoRedistributeEvents { events: 2 });
+        assert!(err.to_string().contains("redistribute"), "{err}");
+    }
+
+    #[test]
+    fn mg_report_groups_time_volume_and_imbalance_by_level() {
+        use hpf_machine::span;
+        let mut m = traced_machine();
+        m.compute_uniform(50, "setup"); // outside any level span
+        let traffic = vec![vec![0; 4], vec![3, 0, 0, 0], vec![0; 4], vec![0; 4]];
+        {
+            let _v = span::enter("vcycle");
+            {
+                let _l = span::enter("level=0");
+                m.compute_all(&[100, 200, 100, 100], "mg-smooth");
+                m.exchange(&traffic, "mg-halo");
+            }
+            {
+                let _l = span::enter("level=1");
+                m.compute_uniform(40, "mg-smooth");
+            }
+        }
+        let report = render_mg(m.trace()).expect("trace has level spans");
+        assert!(
+            report.contains("2 level(s) over 4 events (1 outside level spans)"),
+            "{report}"
+        );
+        // Level 0 carries the halo words; level 1 carries none.
+        let l0 = report.lines().find(|l| l.starts_with("0 ")).unwrap();
+        assert!(l0.contains(" 3 "), "{l0}");
+        // The skewed compute_all shows up as busy-time imbalance > 1.
+        let imbalance: f64 = l0.split_whitespace().last().unwrap().parse().unwrap();
+        assert!(imbalance > 1.0, "{l0}");
+    }
+
+    #[test]
+    fn mg_report_refuses_traces_without_level_spans() {
+        let mut m = traced_machine();
+        m.compute_uniform(10, "axpy");
+        let err = render_mg(m.trace()).expect_err("no level spans");
+        assert_eq!(err, ReportError::NoLevelSpans { events: 1 });
+        assert!(err.to_string().contains("level="), "{err}");
+    }
+
+    /// The full MG-PCG pipeline end to end: solve traced, export the
+    /// per-level report, see every hierarchy level and the coarse work.
+    #[test]
+    fn mg_report_renders_a_real_mg_pcg_trace() {
+        use hpf_mg::{pcg_mg_distributed, GridDims, MgHierarchy, MgPreconditioner};
+        use hpf_solvers::StopCriterion;
+        let h = MgHierarchy::build(GridDims::d2(15, 15), 3, 4).unwrap();
+        let (_, b) = hpf_sparse::gen::rhs_for_known_solution(h.fine_matrix());
+        let pre = MgPreconditioner::new(h);
+        let mut m = traced_machine();
+        let (_, s) =
+            pcg_mg_distributed(&mut m, &pre, &b, StopCriterion::RelativeResidual(1e-8), 200)
+                .unwrap();
+        assert!(s.converged);
+        let report = render_mg(m.trace()).expect("MG trace has level spans");
+        assert!(report.contains("3 level(s)"), "{report}");
+        for level in ["0 ", "1 ", "2 "] {
+            assert!(report.lines().any(|l| l.starts_with(level)), "{report}");
+        }
     }
 }

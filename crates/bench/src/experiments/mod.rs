@@ -9,6 +9,7 @@ pub mod extended_exp;
 pub mod extensions_exp;
 pub mod fault_exp;
 pub mod matvec_exp;
+pub mod mg_exp;
 pub mod obs_exp;
 pub mod partition_exp;
 pub mod service_exp;
@@ -49,10 +50,11 @@ pub fn run_all() -> Vec<Table> {
         drift_exp::e25_drift_oracle(1024, 8),
         partition_exp::e26_partitioners(512),
         soak_exp::e27_chaos_soak(soak_exp::default_requests()),
+        mg_exp::e28_hpcg(),
     ]
 }
 
-/// Run one experiment by its lowercase id (`"e1"`, `"e01"`, ... `"e27"`);
+/// Run one experiment by its lowercase id (`"e1"`, `"e01"`, ... `"e28"`);
 /// `"soak"` is an alias for the E27 chaos soak.
 pub fn run_one(id: &str) -> Option<Table> {
     let norm = id.trim_start_matches('e').trim_start_matches('0');
@@ -84,6 +86,7 @@ pub fn run_one(id: &str) -> Option<Table> {
         "25" => drift_exp::e25_drift_oracle(1024, 8),
         "26" => partition_exp::e26_partitioners(512),
         "27" | "soak" => soak_exp::e27_chaos_soak(soak_exp::default_requests()),
+        "28" | "hpcg" => mg_exp::e28_hpcg(),
         _ => return None,
     })
 }
@@ -116,7 +119,12 @@ mod tests {
         std::env::set_var("HPF_SOAK_REQUESTS", "600");
         assert!(run_one("e27").is_some());
         assert!(run_one("soak").is_some());
-        assert!(run_one("e28").is_none());
+        // E28 is the HPCG-class MG sweep; keep the in-test run small.
+        std::env::set_var("HPF_E28_SMOKE", "1");
+        assert!(run_one("e28").is_some());
+        assert!(run_one("hpcg").is_some());
+        std::env::remove_var("HPF_E28_SMOKE");
+        assert!(run_one("e29").is_none());
         assert!(run_one("nope").is_none());
         let _ = std::fs::remove_dir_all(&scratch);
     }

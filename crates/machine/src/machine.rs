@@ -824,18 +824,40 @@ impl Machine {
 
     /// Gather `words_each` elements from every processor to `root`.
     pub fn gather(&mut self, root: usize, words_each: usize, label: &str) -> f64 {
+        let v = vec![words_each; self.np];
+        self.gather_varying(root, &v, label)
+    }
+
+    /// Gather `words_per_proc[p]` elements from each processor `p` to
+    /// `root` (multigrid coarse levels own unequal — often zero — block
+    /// sizes). Binomial tree: log P start-ups, bandwidth for the total
+    /// volume funnelled into the root. The event's `payload_words` is
+    /// that *total*, stamped at this emitting site, so the cost oracle
+    /// re-prices the transfer from what actually moved rather than
+    /// assuming a uniform per-processor count.
+    pub fn gather_varying(&mut self, root: usize, words_per_proc: &[usize], label: &str) -> f64 {
         assert!(root < self.np);
+        assert_eq!(
+            words_per_proc.len(),
+            self.np,
+            "one word count per processor"
+        );
         self.begin_op();
-        // Binomial-tree gather: log P rounds, data grows toward the root.
+        let total: usize = words_per_proc
+            .iter()
+            .enumerate()
+            .filter(|&(p, _)| p != root)
+            .map(|(_, &w)| w)
+            .sum();
         let t = if self.np <= 1 {
             0.0
         } else {
             let rounds = Topology::log2_ceil(self.np) as f64;
-            rounds * self.cost.t_startup + self.cost.t_word * ((self.np - 1) * words_each) as f64
+            rounds * self.cost.t_startup + self.cost.t_word * total as f64
         };
         for (p, s) in self.stats.iter_mut().enumerate() {
-            if p != root {
-                s.words_sent += words_each as u64;
+            if p != root && words_per_proc[p] > 0 {
+                s.words_sent += words_per_proc[p] as u64;
                 s.messages += 1;
             }
         }
@@ -844,8 +866,8 @@ impl Machine {
         self.record_at(
             EventKind::Gather,
             self.np,
-            words_each * (self.np - 1),
-            words_each,
+            total,
+            total,
             0,
             0,
             t,
@@ -858,23 +880,45 @@ impl Machine {
 
     /// Scatter `words_each` elements from `root` to every processor.
     pub fn scatter(&mut self, root: usize, words_each: usize, label: &str) -> f64 {
+        let v = vec![words_each; self.np];
+        self.scatter_varying(root, &v, label)
+    }
+
+    /// Scatter `words_per_proc[p]` elements from `root` to each
+    /// processor `p` — the inverse of [`Machine::gather_varying`], with
+    /// the same total-volume `payload_words` convention.
+    pub fn scatter_varying(&mut self, root: usize, words_per_proc: &[usize], label: &str) -> f64 {
         assert!(root < self.np);
+        assert_eq!(
+            words_per_proc.len(),
+            self.np,
+            "one word count per processor"
+        );
         self.begin_op();
+        let total: usize = words_per_proc
+            .iter()
+            .enumerate()
+            .filter(|&(p, _)| p != root)
+            .map(|(_, &w)| w)
+            .sum();
         let t = if self.np <= 1 {
             0.0
         } else {
             let rounds = Topology::log2_ceil(self.np) as f64;
-            rounds * self.cost.t_startup + self.cost.t_word * ((self.np - 1) * words_each) as f64
+            rounds * self.cost.t_startup + self.cost.t_word * total as f64
         };
-        self.stats[root].words_sent += ((self.np - 1) * words_each) as u64;
-        self.stats[root].messages += (self.np - 1) as u64;
+        let receivers = (0..self.np)
+            .filter(|&p| p != root && words_per_proc[p] > 0)
+            .count();
+        self.stats[root].words_sent += total as u64;
+        self.stats[root].messages += receivers as u64;
         let start = self.synchronise();
         self.clocks.iter_mut().for_each(|c| *c += t);
         self.record_at(
             EventKind::Scatter,
             self.np,
-            words_each * (self.np - 1),
-            words_each,
+            total,
+            total,
             0,
             0,
             t,
@@ -1079,6 +1123,40 @@ mod tests {
         assert_eq!(m.trace().count(EventKind::Scatter), 1);
         // Root sent 7 * 10 words.
         assert_eq!(m.stats(0).words_sent, 70);
+    }
+
+    #[test]
+    fn varying_gather_scatter_price_the_actual_volume() {
+        let c = CostModel {
+            t_startup: 1.0,
+            t_word: 0.5,
+            t_flop: 0.0,
+        };
+        let mut m = Machine::new(4, Topology::Hypercube, c);
+        // Coarse level: only procs 0 and 1 own elements; 0 is root.
+        let tg = m.gather_varying(0, &[6, 4, 0, 0], "mg-coarse-gather");
+        // log2(4)=2 start-ups + 4 words (root's own 6 move nothing).
+        assert_eq!(tg, 2.0 + 0.5 * 4.0);
+        let ev = m.trace().events().last().unwrap();
+        assert_eq!(ev.kind, EventKind::Gather);
+        assert_eq!(ev.words, 4);
+        assert_eq!(ev.payload_words, 4, "payload is the total transferred");
+        assert_eq!(m.total_messages(), 1, "only proc 1 sent");
+
+        let ts = m.scatter_varying(0, &[6, 4, 0, 0], "mg-coarse-scatter");
+        assert_eq!(ts, 2.0 + 0.5 * 4.0);
+        let ev = m.trace().events().last().unwrap();
+        assert_eq!(ev.payload_words, 4);
+        assert_eq!(m.stats(0).words_sent, 4);
+    }
+
+    #[test]
+    fn uniform_gather_payload_is_total_volume() {
+        let mut m = Machine::new(8, Topology::Hypercube, unit_cost());
+        m.gather(0, 10, "g");
+        let ev = m.trace().events().last().unwrap();
+        assert_eq!(ev.payload_words, 70, "(np-1) * words_each");
+        assert_eq!(ev.words, 70);
     }
 
     #[test]

@@ -101,6 +101,14 @@ pub fn depth() -> usize {
     STACK.with(|s| s.borrow().len())
 }
 
+/// The multigrid level of a span path: the numeric suffix of its first
+/// `level=L` segment (`solve/iter=3/vcycle/level=2/smooth` → `Some(2)`).
+/// `None` when no such segment exists or the suffix is not a number.
+pub fn level_of(span: &str) -> Option<usize> {
+    span.split('/')
+        .find_map(|seg| seg.strip_prefix("level=")?.parse().ok())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

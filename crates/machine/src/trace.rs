@@ -107,8 +107,10 @@ pub struct Event {
     pub proc_times: Vec<f64>,
     /// The *formula argument* of the operation — the per-unit message
     /// size `w` that the analytic cost formulas take (`words_each` for
-    /// allgather / reduce-scatter / alltoall / gather / scatter / group
-    /// collectives, `words` for send / broadcast / reduce / allreduce).
+    /// allgather / reduce-scatter / alltoall / group collectives,
+    /// `words` for send / broadcast / reduce / allreduce, and the
+    /// *total* transferred volume for gather / scatter, stamped at the
+    /// emitting site so unequal per-processor counts price correctly).
     /// [`Event::words`] records the aggregate network volume instead, so
     /// the two differ by a kind-specific multiplier; `payload_words` is
     /// what a cost oracle feeds back into the closed forms. 0 for pure
@@ -216,9 +218,21 @@ impl Trace {
     /// and the total simulated time; labels appear in the order the
     /// trace first saw them. Events with distinct span paths but the
     /// same label aggregate together — use
-    /// [`Trace::summary_by_span`] for the span-oriented view.
+    /// [`Trace::summary_by_span`] for the span-oriented view — with one
+    /// exception: `Redistribute` events recorded under a `level=L` span
+    /// segment (multigrid restriction/prolongation between hierarchy
+    /// levels) keep one row *per level*, keyed `label [level=L]`, so a
+    /// V-cycle's per-level transfer costs stay readable instead of
+    /// collapsing into a single row.
     pub fn summary_by_label(&self) -> Vec<LabelSummary> {
-        self.summarise(|e| e.label.clone())
+        self.summarise(|e| {
+            if e.kind == EventKind::Redistribute {
+                if let Some(l) = crate::span::level_of(&e.span) {
+                    return format!("{} [level={l}]", e.label);
+                }
+            }
+            e.label.clone()
+        })
     }
 
     /// Aggregate the trace per span path (see [`crate::span`]), in
@@ -653,6 +667,43 @@ mod tests {
         assert_eq!(s[2].count, 2);
         assert_eq!(s[2].words, 3);
         assert!((s[2].time - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_by_label_keeps_redistribute_rows_per_level() {
+        let mut t = Trace::new();
+        let mut fine = ev(EventKind::Redistribute, 100, 0, 1.0, "mg-restrict");
+        fine.span = "solve/iter=0/vcycle/level=0/restrict".into();
+        let mut coarse = ev(EventKind::Redistribute, 25, 0, 0.5, "mg-restrict");
+        coarse.span = "solve/iter=0/vcycle/level=1/restrict".into();
+        let mut fine2 = fine.clone();
+        fine2.span = "solve/iter=1/vcycle/level=0/restrict".into();
+        // A redistribute with no level segment keeps its bare label.
+        let plain = ev(EventKind::Redistribute, 7, 0, 0.1, "mg-restrict");
+        // A *compute* event under a level span is NOT split: only
+        // redistributes get the per-level treatment.
+        let mut smooth = ev(EventKind::Compute, 0, 50, 0.2, "mg-smooth");
+        smooth.span = "solve/iter=0/vcycle/level=1/smooth".into();
+        t.record(fine);
+        t.record(coarse);
+        t.record(fine2);
+        t.record(plain);
+        t.record(smooth);
+        let s = t.summary_by_label();
+        let labels: Vec<&str> = s.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "mg-restrict [level=0]",
+                "mg-restrict [level=1]",
+                "mg-restrict",
+                "mg-smooth"
+            ]
+        );
+        assert_eq!(s[0].count, 2, "both iterations' level-0 rows merge");
+        assert_eq!(s[0].words, 200);
+        assert_eq!(s[1].words, 25);
+        assert_eq!(s[2].words, 7);
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Block symmetric Gauss-Seidel smoothing.
+//!
+//! Each processor sweeps its own `(BLOCK)` diagonal block — forward
+//! `(D + L) y = r`, then backward `(D + U) z = D y` — using only
+//! in-block couplings, so one application is pure local compute: the
+//! paper's alignment discipline again, applied to the smoother. The
+//! induced operator `M = (D + L) D⁻¹ (D + U)` restricted blockwise is
+//! symmetric positive definite whenever `A` is, which is what keeps the
+//! V-cycle a legal CG preconditioner. Couplings that cross the block
+//! boundary are deferred to the residual evaluation, whose halo
+//! exchange *is* priced (label `mg-halo`).
+
+use hpf_dist::ArrayDescriptor;
+use hpf_sparse::CsrMatrix;
+
+/// One symmetric Gauss-Seidel sweep pair over every processor's
+/// diagonal block: returns `z ≈ M⁻¹ r`.
+pub(crate) fn symgs(a: &CsrMatrix, desc: &ArrayDescriptor, r: &[f64]) -> Vec<f64> {
+    let n = a.n_rows();
+    let mut y = vec![0.0f64; n];
+    let mut z = vec![0.0f64; n];
+    for q in 0..desc.np() {
+        let range = desc.contiguous_range(q).unwrap_or(0..0);
+        let (lo, hi) = (range.start, range.end);
+        // Forward: (D + L) y = r over the block.
+        for i in lo..hi {
+            let mut s = r[i];
+            let mut d = 0.0;
+            for (j, v) in a.row(i) {
+                if j == i {
+                    d = v;
+                } else if j >= lo && j < i {
+                    s -= v * y[j];
+                }
+            }
+            y[i] = s / d;
+        }
+        // Backward: (D + U) z = D y over the block.
+        for i in (lo..hi).rev() {
+            let mut s = 0.0;
+            let mut d = 0.0;
+            for (j, v) in a.row(i) {
+                if j == i {
+                    d = v;
+                } else if j > i && j < hi {
+                    s -= v * z[j];
+                }
+            }
+            z[i] = (d * y[i] + s) / d;
+        }
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_sparse::gen;
+
+    /// On one processor the block is the whole matrix, so SymGS must
+    /// satisfy M z = r with M = (D+L) D⁻¹ (D+U) exactly.
+    #[test]
+    fn single_block_symgs_inverts_the_symgs_matrix() {
+        let a = gen::poisson_2d(5, 5);
+        let n = a.n_rows();
+        let desc = ArrayDescriptor::block(n, 1);
+        let r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).cos()).collect();
+        let z = symgs(&a, &desc, &r);
+        // Rebuild M z by hand: u = (D+U) z, then M z = (D+L) D⁻¹ u.
+        let d: Vec<f64> = a.diagonal();
+        let mut u = vec![0.0; n];
+        for i in 0..n {
+            for (j, v) in a.row(i) {
+                if j >= i {
+                    u[i] += v * z[j];
+                }
+            }
+        }
+        for i in 0..n {
+            let mut s = d[i] * (u[i] / d[i]);
+            for (j, v) in a.row(i) {
+                if j < i {
+                    s += v * (u[j] / d[j]);
+                }
+            }
+            assert!((s - r[i]).abs() < 1e-12, "row {i}: {s} vs {}", r[i]);
+        }
+    }
+
+    /// The blockwise smoother is symmetric: rᵀ S r' == r'ᵀ S r.
+    #[test]
+    fn block_symgs_is_a_symmetric_operator() {
+        let a = gen::poisson_2d(6, 6);
+        let n = a.n_rows();
+        let desc = ArrayDescriptor::block(n, 3);
+        let r1: Vec<f64> = (0..n).map(|i| ((i * 7 % 11) as f64) - 5.0).collect();
+        let r2: Vec<f64> = (0..n).map(|i| ((i * 5 % 13) as f64) - 6.0).collect();
+        let s1 = symgs(&a, &desc, &r1);
+        let s2 = symgs(&a, &desc, &r2);
+        let d1: f64 = r2.iter().zip(&s1).map(|(a, b)| a * b).sum();
+        let d2: f64 = r1.iter().zip(&s2).map(|(a, b)| a * b).sum();
+        assert!((d1 - d2).abs() < 1e-10 * d1.abs().max(1.0));
+    }
+}

@@ -22,10 +22,21 @@
 //! | `matvec-gather` | §4.3 row-block `(BLOCK,*)` matvec: allgather of p |
 //! | `matvec-reduce` | §4.4 col-block `(*,BLOCK)` matvec: allreduce of q |
 //! | `redistribute`  | §5 `REDISTRIBUTE` / alltoall data motion          |
+//! | `mg-smooth`     | multigrid level work: SymGS sweeps, residual +    |
+//! |                 | halo exchange, coarsest direct solve              |
+//! | `mg-transfer`   | multigrid level transfers: restrict / prolong     |
+//! |                 | motion and apply, coarse gather/scatter funnel    |
 //! | `compute-bulk`  | other data-parallel compute (local matvec, ...)   |
 //! | `compute-serial`| single-processor compute sections                 |
 //! | `comm-other`    | remaining collectives and messages                |
 //! | `overhead`      | fault penalties; no analytic prediction exists    |
+//!
+//! The two `mg-*` categories carve the HPCG-class workload out of the
+//! generic buckets (labels stamped by `hpf-mg` start with `mg-`), so a
+//! V-cycle's smoother cost and its transfer cost drift independently.
+//! [`DriftReport::gflops_equivalent`] derives the HPCG-style figure of
+//! merit — total recorded flops over total simulated seconds — from the
+//! same cost model.
 
 use crate::json::json_f64;
 use hpf_machine::{predicted_time, CostModel, Event, EventKind, Topology, Trace};
@@ -38,6 +49,8 @@ pub enum DriftCategory {
     MatvecGather,
     MatvecReduce,
     Redistribute,
+    MgSmooth,
+    MgTransfer,
     ComputeBulk,
     ComputeSerial,
     CommOther,
@@ -45,12 +58,14 @@ pub enum DriftCategory {
 }
 
 impl DriftCategory {
-    pub const ALL: [DriftCategory; 9] = [
+    pub const ALL: [DriftCategory; 11] = [
         DriftCategory::Saxpy,
         DriftCategory::DotReduce,
         DriftCategory::MatvecGather,
         DriftCategory::MatvecReduce,
         DriftCategory::Redistribute,
+        DriftCategory::MgSmooth,
+        DriftCategory::MgTransfer,
         DriftCategory::ComputeBulk,
         DriftCategory::ComputeSerial,
         DriftCategory::CommOther,
@@ -64,6 +79,8 @@ impl DriftCategory {
             DriftCategory::MatvecGather => "matvec-gather",
             DriftCategory::MatvecReduce => "matvec-reduce",
             DriftCategory::Redistribute => "redistribute",
+            DriftCategory::MgSmooth => "mg-smooth",
+            DriftCategory::MgTransfer => "mg-transfer",
             DriftCategory::ComputeBulk => "compute-bulk",
             DriftCategory::ComputeSerial => "compute-serial",
             DriftCategory::CommOther => "comm-other",
@@ -80,6 +97,24 @@ impl DriftCategory {
 /// versus merging a distributed `q = A·p` in the `(*,BLOCK)` layout.
 pub fn classify(event: &Event) -> DriftCategory {
     let label = event.label.as_str();
+    // Multigrid labels (`mg-*`, stamped by hpf-mg) take precedence over
+    // the kind rules, splitting the V-cycle into level work versus
+    // level transfers regardless of the event's transport: a halo
+    // Redistribute belongs to the smoother it feeds, a restrict-apply
+    // Compute to the transfer it implements.
+    if event.kind != EventKind::Fault {
+        if let Some(op) = label.strip_prefix("mg-") {
+            let level_work = op.starts_with("smooth")
+                || op.starts_with("residual")
+                || op.starts_with("halo")
+                || op == "coarse-solve";
+            return if level_work {
+                DriftCategory::MgSmooth
+            } else {
+                DriftCategory::MgTransfer
+            };
+        }
+    }
     match event.kind {
         EventKind::Fault => DriftCategory::Overhead,
         EventKind::Redistribute | EventKind::AllToAll => DriftCategory::Redistribute,
@@ -167,6 +202,9 @@ pub struct DriftReport {
     pub categories: Vec<CategoryDrift>,
     pub total_predicted_seconds: f64,
     pub total_measured_seconds: f64,
+    /// Total floating-point operations recorded on the trace's compute
+    /// events (communication moves words, not flops).
+    pub total_flops: u64,
     /// Events with no closed-form prediction (counted at measured time).
     pub unpredicted_events: usize,
     /// Up to ten events with the largest absolute drift, sorted worst
@@ -198,7 +236,9 @@ impl DriftReport {
         let mut iters: std::collections::BTreeMap<usize, IterDrift> =
             std::collections::BTreeMap::new();
         let mut unpredicted = 0usize;
+        let mut total_flops = 0u64;
         for (i, event) in trace.events().iter().enumerate() {
+            total_flops += event.flops as u64;
             let category = classify(event);
             let prediction = predicted_time(event, topology, cost);
             let predicted = prediction.unwrap_or(event.time);
@@ -247,6 +287,7 @@ impl DriftReport {
             topology,
             total_predicted_seconds: cats.iter().map(|c| c.predicted_seconds).sum(),
             total_measured_seconds: cats.iter().map(|c| c.measured_seconds).sum(),
+            total_flops,
             unpredicted_events: unpredicted,
             categories: cats.into_iter().filter(|c| c.events > 0).collect(),
             worst,
@@ -261,6 +302,18 @@ impl DriftReport {
                 / self.total_predicted_seconds
         } else {
             0.0
+        }
+    }
+
+    /// HPCG-style figure of merit: GFLOP/s-equivalent under the cost
+    /// model — total recorded flops over total *simulated* seconds
+    /// (the wall-clock the machine would have taken, not host time).
+    /// `None` when the trace measured (essentially) zero time.
+    pub fn gflops_equivalent(&self) -> Option<f64> {
+        if self.total_measured_seconds > f64::EPSILON {
+            Some(self.total_flops as f64 / self.total_measured_seconds / 1e9)
+        } else {
+            None
         }
     }
 
@@ -328,6 +381,7 @@ impl DriftReport {
             "{{\"schema_version\":1,\"topology\":\"{}\",\
              \"total_predicted_seconds\":{},\"total_measured_seconds\":{},\
              \"total_rel_error\":{},\"max_abs_rel_error\":{},\
+             \"total_flops\":{},\"gflops_equivalent\":{},\
              \"unpredicted_events\":{},\"categories\":[{}],\"worst\":[{}],\
              \"iterations\":[{}]}}",
             self.topology.name(),
@@ -335,6 +389,9 @@ impl DriftReport {
             json_f64(self.total_measured_seconds),
             json_f64(self.total_rel_error()),
             json_f64(self.max_abs_rel_error()),
+            self.total_flops,
+            self.gflops_equivalent()
+                .map_or("null".to_string(), json_f64),
             self.unpredicted_events,
             cats.join(","),
             worst.join(","),
@@ -376,6 +433,12 @@ impl DriftReport {
             self.total_measured_seconds,
             format!("{:+.2}%", self.total_rel_error() * 100.0)
         ));
+        if let Some(g) = self.gflops_equivalent() {
+            out.push_str(&format!(
+                "figure of merit: {:.4} GFLOP/s-equivalent ({} flops in {:.6e} simulated s)\n",
+                g, self.total_flops, self.total_measured_seconds
+            ));
+        }
         if self.unpredicted_events > 0 {
             out.push_str(&format!(
                 "({} events had no closed-form prediction and count at measured time)\n",
@@ -488,6 +551,87 @@ mod tests {
                 assert_eq!(c.predicted_events, 0);
             }
         }
+    }
+
+    /// `mg-*` labels carve multigrid work out of the generic buckets:
+    /// smoother-side events (compute *and* its halo Redistribute) land
+    /// in `mg-smooth`, transfer-side events (restrict/prolong motion
+    /// and apply, the coarse funnel) in `mg-transfer`, while non-mg
+    /// events keep their old categories.
+    #[test]
+    fn mg_labels_split_into_smoother_and_transfer_categories() {
+        let mut m = traced_machine();
+        m.compute_all(&[40, 40, 40, 40], "mg-smooth");
+        let traffic = vec![
+            vec![0, 8, 0, 0],
+            vec![8, 0, 8, 0],
+            vec![0, 8, 0, 8],
+            vec![0, 0, 8, 0],
+        ];
+        m.exchange(&traffic, "mg-halo");
+        m.compute_all(&[60, 60, 60, 60], "mg-residual");
+        m.exchange(&traffic, "mg-restrict");
+        m.compute_all(&[20, 20, 20, 20], "mg-restrict-apply");
+        m.exchange(&traffic, "mg-prolong");
+        m.compute_all(&[20, 20, 20, 20], "mg-prolong-apply");
+        m.gather_varying(0, &[3, 2, 2, 2], "mg-coarse-gather");
+        m.compute_serial(50, "mg-coarse-solve");
+        m.scatter_varying(0, &[3, 2, 2, 2], "mg-coarse-scatter");
+        m.compute_all(&[30, 30, 30, 30], "saxpy");
+        let e = m.trace().events();
+        let cats: Vec<DriftCategory> = e.iter().map(classify).collect();
+        use DriftCategory::{MgSmooth, MgTransfer, Saxpy};
+        assert_eq!(
+            cats,
+            vec![
+                MgSmooth, MgSmooth, MgSmooth, // smooth, halo, residual
+                MgTransfer, MgTransfer, MgTransfer, MgTransfer, // restrict, prolong
+                MgTransfer, MgSmooth, MgTransfer, // coarse gather/solve/scatter
+                Saxpy,
+            ]
+        );
+        // A clean simulated V-cycle-ish trace drifts ~0 in both new
+        // categories (halo/transfer Redistributes count at measured).
+        let report = DriftReport::from_trace(m.trace(), Topology::Hypercube, m.cost_model());
+        for want in [MgSmooth, MgTransfer] {
+            let c = report
+                .categories
+                .iter()
+                .find(|c| c.category == want)
+                .unwrap();
+            assert!(c.events > 0);
+            assert!(
+                c.rel_error().unwrap().abs() < 1e-9,
+                "{}: {}",
+                want.name(),
+                report.render()
+            );
+        }
+        assert!(report.to_json().contains("\"mg-smooth\""));
+        assert!(report.to_json().contains("\"mg-transfer\""));
+    }
+
+    /// The HPCG-style figure of merit divides recorded flops by
+    /// simulated seconds and survives the empty-trace edge case.
+    #[test]
+    fn gflops_equivalent_comes_from_recorded_flops_and_simulated_time() {
+        let mut m = traced_machine();
+        m.compute_all(&[1000, 1000, 1000, 1000], "mg-smooth");
+        m.allreduce(1, "dot-merge");
+        let report = DriftReport::from_trace(m.trace(), Topology::Hypercube, m.cost_model());
+        assert_eq!(report.total_flops, 4000);
+        let g = report.gflops_equivalent().unwrap();
+        assert!((g - 4000.0 / m.elapsed() / 1e9).abs() < 1e-12 * g);
+        assert!(report.render().contains("GFLOP/s-equivalent"));
+        assert!(report.to_json().contains("\"gflops_equivalent\":"));
+
+        let empty = DriftReport::from_trace(
+            traced_machine().trace(),
+            Topology::Hypercube,
+            &CostModel::mpp_1995(),
+        );
+        assert_eq!(empty.gflops_equivalent(), None);
+        assert!(empty.to_json().contains("\"gflops_equivalent\":null"));
     }
 
     #[test]

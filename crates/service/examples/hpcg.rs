@@ -1,0 +1,95 @@
+//! The HPCG-class scenario end to end, twice over:
+//!
+//! 1. a raw MG-PCG solve on a traced machine, so the per-level V-cycle
+//!    schedule lands in `trace.jsonl` for `trace-report --format mg`;
+//! 2. the same workload through the running service via
+//!    `SolveRequest::hpcg`, demonstrating the depth-keyed plan cache
+//!    and the `[level=N]`-split labels in the response summary.
+//!
+//! Artifacts go to `$HPF_OBS_DIR` (default `target/obs-hpcg`):
+//! `trace.jsonl` plus `compute-only.jsonl`, a redistribute-free trace
+//! CI uses to prove `--format partition` refuses input it cannot
+//! account.
+//!
+//! ```console
+//! cargo run --release -p hpf-service --example hpcg
+//! cargo run --release -p hpf-bench --bin trace-report -- \
+//!     --trace target/obs-hpcg/trace.jsonl --format mg
+//! ```
+
+use hpf_machine::{CostModel, Machine, Topology};
+use hpf_mg::{pcg_mg_distributed, GridDims, MgHierarchy, MgPreconditioner};
+use hpf_service::{ServiceConfig, SolveRequest, SolverService};
+use hpf_solvers::StopCriterion;
+use hpf_sparse::gen;
+use std::path::PathBuf;
+
+fn main() {
+    let np = 4;
+    let levels = 3;
+    let dims = GridDims::d2(31, 31);
+    let stop = StopCriterion::RelativeResidual(1e-8);
+
+    // Raw traced solve for the offline per-level report.
+    let h = MgHierarchy::build(dims, levels, np).expect("31x31 supports 3 levels");
+    let (_, b) = gen::rhs_for_known_solution(h.fine_matrix());
+    let pre = MgPreconditioner::new(h);
+    let mut m = Machine::new(np, Topology::Hypercube, CostModel::mpp_1995());
+    m.set_tracing(true);
+    let (_, stats) = pcg_mg_distributed(&mut m, &pre, &b, stop, 200).expect("MG-PCG converges");
+    println!(
+        "MG-PCG on {dims}, {levels} levels, NP = {np}: {} iterations, {:.6e} simulated s",
+        stats.iterations,
+        m.elapsed()
+    );
+
+    let dir = PathBuf::from(
+        std::env::var("HPF_OBS_DIR").unwrap_or_else(|_| "target/obs-hpcg".to_string()),
+    );
+    std::fs::create_dir_all(&dir).expect("create obs dir");
+    std::fs::write(dir.join("trace.jsonl"), m.trace().to_jsonl()).expect("write trace");
+
+    // A trace with no redistribute events: nothing for the partition
+    // report to account, so trace-report must refuse it.
+    let mut plain = Machine::new(np, Topology::Hypercube, CostModel::mpp_1995());
+    plain.set_tracing(true);
+    plain.compute_uniform(1000, "local-work");
+    plain.allreduce(8, "dot-merge");
+    std::fs::write(dir.join("compute-only.jsonl"), plain.trace().to_jsonl())
+        .expect("write compute-only trace");
+
+    // The same workload as a service scenario.
+    let service = SolverService::start(ServiceConfig {
+        workers: 2,
+        np,
+        ..ServiceConfig::default()
+    });
+    for round in 0..2 {
+        let resp = service
+            .solve(SolveRequest::hpcg(dims, levels, b.clone()).stop(stop))
+            .expect("hpcg request answered");
+        assert!(resp.stats[0].converged);
+        assert_eq!(resp.solver_used.name(), "pcg-mg");
+        let levelled = resp
+            .trace
+            .by_label
+            .iter()
+            .filter(|l| l.label.contains("[level="))
+            .count();
+        println!(
+            "service round {round}: scenario=hpcg answered by {} in {} iterations, \
+             {levelled} per-level comm labels",
+            resp.solver_used.name(),
+            resp.stats[0].iterations
+        );
+        assert!(levelled > 0, "per-level attribution missing from summary");
+    }
+    let metrics = service.shutdown();
+    assert_eq!(metrics.partitioner_invocations, 1, "hierarchy built once");
+    println!(
+        "wrote {0}/trace.jsonl and {0}/compute-only.jsonl; \
+         plan cache hits: {1}",
+        dir.display(),
+        metrics.cache_hits
+    );
+}

@@ -55,6 +55,7 @@ impl Job {
             partitioner: hpf_partition::by_name(&self.request.partitioner)
                 .map(|p| p.name())
                 .unwrap_or(hpf_partition::DEFAULT_PARTITIONER),
+            grid: self.request.grid,
         }
     }
 }
@@ -99,6 +100,9 @@ pub struct BatchKey {
     pub max_iters: usize,
     /// Canonical registry name of the requested partitioner.
     pub partitioner: &'static str,
+    /// Grid dims for multigrid jobs (`None` otherwise): two jobs with
+    /// different grids need different hierarchies even on one matrix.
+    pub grid: Option<hpf_mg::GridDims>,
 }
 
 /// A group of jobs sharing one [`BatchKey`], executed together.

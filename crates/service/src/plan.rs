@@ -11,6 +11,7 @@ use crate::fingerprint::Fingerprint;
 use hpf_core::ext::sparse_directive::{SparseFormat, SparseMatrixDirective, TrioDescriptors};
 use hpf_dist::{ConnectivityGraph, Partitioner};
 use hpf_machine::{CostModel, Machine, Topology};
+use hpf_mg::{GridDims, MgHierarchy, MgPreconditioner};
 use hpf_partition::BalancedContiguous;
 use hpf_sparse::CsrMatrix;
 use std::collections::{HashMap, VecDeque};
@@ -42,6 +43,14 @@ pub struct SolvePlan {
     /// Simulated words moved by the `REDISTRIBUTE ... USING` that
     /// produced the balanced layout.
     pub redistribution_words: usize,
+    /// Hierarchy depth this plan's multigrid preconditioner was built
+    /// for; 0 for non-multigrid plans. Part of the cache key: the same
+    /// structure at a different depth is a different plan.
+    pub mg_levels: usize,
+    /// Prebuilt V-cycle preconditioner (Galerkin coarse operators,
+    /// traffic matrices, Cholesky factor) — the expensive, reusable
+    /// part of an HPCG-class job, cached exactly like partitioning.
+    pub mg: Option<Arc<MgPreconditioner>>,
 }
 
 impl SolvePlan {
@@ -94,7 +103,20 @@ impl SolvePlan {
             loads,
             imbalance,
             redistribution_words,
+            mg_levels: 0,
+            mg: None,
         }
+    }
+
+    /// Attach a `levels`-deep multigrid hierarchy over `dims` to this
+    /// plan (validation upstream guarantees buildability; a failure
+    /// here panics into the worker's setup catch site).
+    pub fn with_mg(mut self, dims: GridDims, levels: usize) -> SolvePlan {
+        let h = MgHierarchy::build(dims, levels, self.np)
+            .unwrap_or_else(|e| panic!("mg hierarchy {dims}/{levels} levels: {e}"));
+        self.mg_levels = levels;
+        self.mg = Some(Arc::new(MgPreconditioner::new(h)));
+        self
     }
 
     /// Descriptors of the `(ptr, idx, a)` trio under this plan.
@@ -111,13 +133,15 @@ pub enum CacheOutcome {
 }
 
 /// Cache key: the same structure laid out by two different partitioners
-/// yields two distinct plans.
-pub type PlanKey = (Fingerprint, String);
+/// — or carrying multigrid hierarchies of two different depths — yields
+/// distinct plans. The third component is [`SolvePlan::mg_levels`]
+/// (0 for non-multigrid plans).
+pub type PlanKey = (Fingerprint, String, usize);
 
 /// Bounded map from [`PlanKey`] (structural fingerprint + partitioner
-/// name) to [`SolvePlan`], evicting the oldest-inserted plan once full
-/// (structures tend to be submitted in runs, so insertion order
-/// approximates recency well enough here).
+/// name + hierarchy depth) to [`SolvePlan`], evicting the
+/// oldest-inserted plan once full (structures tend to be submitted in
+/// runs, so insertion order approximates recency well enough here).
 #[derive(Debug)]
 pub struct PlanCache {
     capacity: usize,
@@ -143,13 +167,24 @@ impl PlanCache {
         self.plans.is_empty()
     }
 
-    pub fn get(&self, fp: &Fingerprint, partitioner: &str) -> Option<Arc<SolvePlan>> {
-        self.plans.get(&(*fp, partitioner.to_string())).cloned()
+    pub fn get(
+        &self,
+        fp: &Fingerprint,
+        partitioner: &str,
+        mg_levels: usize,
+    ) -> Option<Arc<SolvePlan>> {
+        self.plans
+            .get(&(*fp, partitioner.to_string(), mg_levels))
+            .cloned()
     }
 
     /// Insert a plan, evicting the oldest entry if at capacity.
     pub fn insert(&mut self, plan: Arc<SolvePlan>) {
-        let key = (plan.fingerprint, plan.partitioner.to_string());
+        let key = (
+            plan.fingerprint,
+            plan.partitioner.to_string(),
+            plan.mg_levels,
+        );
         if self.plans.insert(key.clone(), plan).is_none() {
             self.order.push_back(key);
             if self.order.len() > self.capacity {
@@ -162,21 +197,33 @@ impl PlanCache {
 
     /// Look up a plan, building and caching it on a miss. Returns the
     /// plan and whether it was a hit. `on_build` runs only on misses
-    /// (the service counts partitioner invocations there).
+    /// (the service counts partitioner invocations there). `mg` asks
+    /// for a multigrid plan: `(grid, levels)` keys the entry on the
+    /// hierarchy depth and prebuilds the V-cycle preconditioner.
     pub fn get_or_build(
         &mut self,
         matrix: &CsrMatrix,
         np: usize,
         topology: Topology,
         partitioner: &dyn Partitioner,
+        mg: Option<(GridDims, usize)>,
         on_build: impl FnOnce(),
     ) -> (Arc<SolvePlan>, CacheOutcome) {
-        let key = (Fingerprint::of(matrix), partitioner.name().to_string());
+        let mg_levels = mg.map_or(0, |(_, levels)| levels);
+        let key = (
+            Fingerprint::of(matrix),
+            partitioner.name().to_string(),
+            mg_levels,
+        );
         if let Some(plan) = self.plans.get(&key) {
             return (plan.clone(), CacheOutcome::Hit);
         }
         on_build();
-        let plan = Arc::new(SolvePlan::build_with(matrix, np, topology, partitioner));
+        let mut plan = SolvePlan::build_with(matrix, np, topology, partitioner);
+        if let Some((dims, levels)) = mg {
+            plan = plan.with_mg(dims, levels);
+        }
+        let plan = Arc::new(plan);
         self.insert(plan.clone());
         (plan, CacheOutcome::Miss)
     }
@@ -238,12 +285,22 @@ mod tests {
         let a = gen::banded_spd(48, 4, 2);
         let mut cache = PlanCache::new(4);
         let mut builds = 0usize;
-        let (_, o1) = cache.get_or_build(&a, 4, Topology::Hypercube, &BalancedContiguous, || {
-            builds += 1
-        });
-        let (_, o2) = cache.get_or_build(&a, 4, Topology::Hypercube, &BalancedContiguous, || {
-            builds += 1
-        });
+        let (_, o1) = cache.get_or_build(
+            &a,
+            4,
+            Topology::Hypercube,
+            &BalancedContiguous,
+            None,
+            || builds += 1,
+        );
+        let (_, o2) = cache.get_or_build(
+            &a,
+            4,
+            Topology::Hypercube,
+            &BalancedContiguous,
+            None,
+            || builds += 1,
+        );
         assert_eq!(o1, CacheOutcome::Miss);
         assert_eq!(o2, CacheOutcome::Hit);
         assert_eq!(builds, 1);
@@ -255,14 +312,20 @@ mod tests {
         let a = gen::power_law_spd(80, 16, 0.9, 6);
         let mut cache = PlanCache::new(4);
         let mut builds = 0usize;
-        let (p1, o1) = cache.get_or_build(&a, 4, Topology::Hypercube, &BalancedContiguous, || {
-            builds += 1
-        });
+        let (p1, o1) = cache.get_or_build(
+            &a,
+            4,
+            Topology::Hypercube,
+            &BalancedContiguous,
+            None,
+            || builds += 1,
+        );
         let (p2, o2) = cache.get_or_build(
             &a,
             4,
             Topology::Hypercube,
             &hpf_partition::GreedyHypergraph,
+            None,
             || builds += 1,
         );
         // Same structure, different partitioner: both are misses and
@@ -274,9 +337,60 @@ mod tests {
         assert_eq!(p1.fingerprint, p2.fingerprint);
         assert_eq!(p1.partitioner, "balanced-rows");
         assert_eq!(p2.partitioner, "greedy-hypergraph");
-        assert!(cache.get(&p1.fingerprint, "balanced-rows").is_some());
-        assert!(cache.get(&p1.fingerprint, "greedy-hypergraph").is_some());
-        assert!(cache.get(&p1.fingerprint, "spectral").is_none());
+        assert!(cache.get(&p1.fingerprint, "balanced-rows", 0).is_some());
+        assert!(cache.get(&p1.fingerprint, "greedy-hypergraph", 0).is_some());
+        assert!(cache.get(&p1.fingerprint, "spectral", 0).is_none());
+    }
+
+    /// The ISSUE's HPCG plumbing: the cache key includes the hierarchy
+    /// depth, so one Poisson structure requested at two depths keeps two
+    /// plans — each carrying its own prebuilt V-cycle preconditioner —
+    /// while a repeat at either depth is a pure hit.
+    #[test]
+    fn cache_keys_include_the_hierarchy_depth() {
+        let dims = GridDims::d2(15, 15);
+        let a = dims.poisson();
+        let mut cache = PlanCache::new(4);
+        let (p2, o2) = cache.get_or_build(
+            &a,
+            4,
+            Topology::Hypercube,
+            &BalancedContiguous,
+            Some((dims, 2)),
+            || {},
+        );
+        let (p3, o3) = cache.get_or_build(
+            &a,
+            4,
+            Topology::Hypercube,
+            &BalancedContiguous,
+            Some((dims, 3)),
+            || {},
+        );
+        let (_, o2b) = cache.get_or_build(
+            &a,
+            4,
+            Topology::Hypercube,
+            &BalancedContiguous,
+            Some((dims, 2)),
+            || {},
+        );
+        assert_eq!(
+            (o2, o3, o2b),
+            (CacheOutcome::Miss, CacheOutcome::Miss, CacheOutcome::Hit)
+        );
+        assert_eq!(cache.len(), 2);
+        assert_eq!(p2.fingerprint, p3.fingerprint);
+        assert_eq!(p2.mg_levels, 2);
+        assert_eq!(p3.mg_levels, 3);
+        assert_eq!(p2.mg.as_ref().unwrap().hierarchy().depth(), 2);
+        assert_eq!(p3.mg.as_ref().unwrap().hierarchy().depth(), 3);
+        // A plain (non-mg) plan on the same structure is a third entry.
+        let (p0, o0) =
+            cache.get_or_build(&a, 4, Topology::Hypercube, &BalancedContiguous, None, || {});
+        assert_eq!(o0, CacheOutcome::Miss);
+        assert!(p0.mg.is_none());
+        assert_eq!(cache.len(), 3);
     }
 
     #[test]
@@ -286,12 +400,19 @@ mod tests {
         let m2 = gen::tridiagonal(11, 4.0, -1.0);
         let m3 = gen::tridiagonal(12, 4.0, -1.0);
         for m in [&m1, &m2, &m3] {
-            let (_, _) = cache.get_or_build(m, 2, Topology::Hypercube, &BalancedContiguous, || {});
+            let (_, _) =
+                cache.get_or_build(m, 2, Topology::Hypercube, &BalancedContiguous, None, || {});
         }
         assert_eq!(cache.len(), 2);
         // m1 (oldest) was evicted; m2 and m3 remain.
-        assert!(cache.get(&Fingerprint::of(&m1), "balanced-rows").is_none());
-        assert!(cache.get(&Fingerprint::of(&m2), "balanced-rows").is_some());
-        assert!(cache.get(&Fingerprint::of(&m3), "balanced-rows").is_some());
+        assert!(cache
+            .get(&Fingerprint::of(&m1), "balanced-rows", 0)
+            .is_none());
+        assert!(cache
+            .get(&Fingerprint::of(&m2), "balanced-rows", 0)
+            .is_some());
+        assert!(cache
+            .get(&Fingerprint::of(&m3), "balanced-rows", 0)
+            .is_some());
     }
 }

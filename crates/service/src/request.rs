@@ -1,6 +1,7 @@
 //! Requests and service configuration.
 
 use hpf_machine::{FaultPlan, Topology};
+use hpf_mg::GridDims;
 use hpf_solvers::{RecoveryConfig, StopCriterion};
 use hpf_sparse::CsrMatrix;
 use serde::{Deserialize, Serialize};
@@ -20,6 +21,12 @@ pub enum SolverKind {
     Bicgstab,
     /// Restarted GMRES(m).
     Gmres { restart: usize },
+    /// Multigrid-preconditioned CG over a `levels`-deep geometric
+    /// hierarchy (the HPCG-class workload). Requires
+    /// [`SolveRequest::grid`] so the worker can rebuild the hierarchy;
+    /// the hierarchy itself is cached in the plan cache, keyed on
+    /// `levels`.
+    PcgMg { levels: usize },
 }
 
 impl SolverKind {
@@ -30,6 +37,17 @@ impl SolverKind {
             SolverKind::Bicg => "bicg",
             SolverKind::Bicgstab => "bicgstab",
             SolverKind::Gmres { .. } => "gmres",
+            SolverKind::PcgMg { .. } => "pcg-mg",
+        }
+    }
+
+    /// Multigrid hierarchy depth this solver needs cached alongside the
+    /// plan; 0 for every non-multigrid method (part of the plan-cache
+    /// key).
+    pub fn mg_levels(&self) -> usize {
+        match self {
+            SolverKind::PcgMg { levels } => *levels,
+            _ => 0,
         }
     }
 }
@@ -101,6 +119,11 @@ pub struct SolveRequest {
     /// `hpf-partition` registry; validated at submission. Defaults to
     /// the paper's own heuristic, `"balanced-rows"`.
     pub partitioner: String,
+    /// Geometric grid behind the matrix, required by
+    /// [`SolverKind::PcgMg`] (the hierarchy is rebuilt from these dims;
+    /// validation checks `grid.n() == matrix.n_rows()`). Ignored by
+    /// every other solver.
+    pub grid: Option<GridDims>,
     /// Quality-of-service class this job is queued and scheduled under.
     /// Defaults to [`QosClass::Batch`].
     pub qos: QosClass,
@@ -123,9 +146,23 @@ impl SolveRequest {
             fault_plan: None,
             scenario: "default".to_string(),
             partitioner: hpf_partition::DEFAULT_PARTITIONER.to_string(),
+            grid: None,
             qos: QosClass::Batch,
             tenant: "anonymous".to_string(),
         }
+    }
+
+    /// The HPCG-class request: multigrid-preconditioned CG on the
+    /// Poisson problem over `dims`, `levels` hierarchy levels, scenario
+    /// tag `"hpcg"` (so the labeled service metrics split this workload
+    /// out). The matrix is the grid's own discretisation — exactly what
+    /// the cached hierarchy's finest level will be.
+    pub fn hpcg(dims: GridDims, levels: usize, rhs: Vec<f64>) -> Self {
+        let mut r = Self::new(Arc::new(dims.poisson()), rhs);
+        r.solver = SolverKind::PcgMg { levels };
+        r.grid = Some(dims);
+        r.scenario = "hpcg".to_string();
+        r
     }
 
     pub fn with_rhs_set(matrix: Arc<CsrMatrix>, rhs: Vec<Vec<f64>>) -> Self {
@@ -168,6 +205,13 @@ impl SolveRequest {
     /// `hpf_partition::partitioner_names`).
     pub fn partitioner(mut self, name: impl Into<String>) -> Self {
         self.partitioner = name.into();
+        self
+    }
+
+    /// Declare the geometric grid behind the matrix (required for
+    /// [`SolverKind::PcgMg`]).
+    pub fn grid(mut self, dims: GridDims) -> Self {
+        self.grid = Some(dims);
         self
     }
 
@@ -318,5 +362,20 @@ mod tests {
     fn solver_names_are_stable() {
         assert_eq!(SolverKind::Cg.name(), "cg");
         assert_eq!(SolverKind::Gmres { restart: 5 }.name(), "gmres");
+        assert_eq!(SolverKind::PcgMg { levels: 3 }.name(), "pcg-mg");
+        assert_eq!(SolverKind::PcgMg { levels: 3 }.mg_levels(), 3);
+        assert_eq!(SolverKind::Cg.mg_levels(), 0);
+    }
+
+    #[test]
+    fn hpcg_request_carries_grid_solver_and_scenario() {
+        let dims = GridDims::d2(15, 15);
+        let r = SolveRequest::hpcg(dims, 3, vec![1.0; dims.n()]);
+        assert_eq!(r.solver, SolverKind::PcgMg { levels: 3 });
+        assert_eq!(r.grid, Some(dims));
+        assert_eq!(r.scenario, "hpcg");
+        assert_eq!(r.matrix.n_rows(), dims.n());
+        // The matrix really is the grid's discretisation.
+        assert_eq!(r.matrix.as_ref(), &dims.poisson());
     }
 }

@@ -76,7 +76,9 @@ pub fn is_retryable(e: &SolverError) -> bool {
 /// chain is exhausted.
 pub fn escalate(kind: SolverKind) -> Option<SolverKind> {
     match kind {
-        SolverKind::Cg | SolverKind::PcgJacobi | SolverKind::Bicg => Some(SolverKind::Bicgstab),
+        SolverKind::Cg | SolverKind::PcgJacobi | SolverKind::PcgMg { .. } | SolverKind::Bicg => {
+            Some(SolverKind::Bicgstab)
+        }
         SolverKind::Bicgstab => Some(SolverKind::Gmres { restart: 30 }),
         SolverKind::Gmres { .. } => None,
     }
@@ -242,6 +244,12 @@ mod tests {
                 SolverKind::Bicgstab,
                 SolverKind::Gmres { restart: 30 }
             ]
+        );
+        // MG-PCG sits ahead of the chain like the rest of the CG family:
+        // a breakdown steps it down to BiCGSTAB.
+        assert_eq!(
+            escalate(SolverKind::PcgMg { levels: 3 }),
+            Some(SolverKind::Bicgstab)
         );
     }
 

@@ -377,6 +377,23 @@ fn validate(request: &SolveRequest) -> Result<(), String> {
     if request.max_iters == 0 {
         return Err("max_iters must be positive".into());
     }
+    if let crate::request::SolverKind::PcgMg { levels } = request.solver {
+        let dims = request
+            .grid
+            .ok_or("pcg-mg requires grid dims (SolveRequest::grid)")?;
+        if dims.n() != a.n_rows() {
+            return Err(format!(
+                "grid {dims} has {} unknowns, matrix has {}",
+                dims.n(),
+                a.n_rows()
+            ));
+        }
+        if !dims.supports_levels(levels) {
+            return Err(format!(
+                "grid {dims} cannot support a {levels}-level hierarchy"
+            ));
+        }
+    }
     if hpf_partition::by_name(&request.partitioner).is_none() {
         return Err(format!(
             "unknown partitioner {:?}; registered: {}",

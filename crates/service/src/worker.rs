@@ -98,6 +98,13 @@ pub fn execute_batch(
     // unknown names were rejected at submission.
     let partitioner = hpf_partition::by_name(&batch.jobs[0].request.partitioner)
         .unwrap_or_else(|| Box::new(hpf_partition::BalancedContiguous));
+    // Multigrid jobs cache their hierarchy alongside the plan, keyed on
+    // depth (grid presence was validated at submission; `grid` is in the
+    // batch key so jobs[0] speaks for the batch here too).
+    let mg_req = match (batch.jobs[0].request.solver, batch.jobs[0].request.grid) {
+        (SolverKind::PcgMg { levels }, Some(dims)) => Some((dims, levels)),
+        _ => None,
+    };
     let setup = catch_unwind(AssertUnwindSafe(|| {
         let (plan, source) = if config.plan_cache_enabled {
             let (plan, outcome) = cache.lock().get_or_build(
@@ -105,6 +112,7 @@ pub fn execute_batch(
                 config.np,
                 config.topology,
                 partitioner.as_ref(),
+                mg_req,
                 || {
                     metrics
                         .partitioner_invocations
@@ -125,13 +133,12 @@ pub fn execute_batch(
             metrics
                 .partitioner_invocations
                 .fetch_add(1, Ordering::Relaxed);
-            let plan = Arc::new(SolvePlan::build_with(
-                &matrix,
-                config.np,
-                config.topology,
-                partitioner.as_ref(),
-            ));
-            (plan, PlanSource::Built)
+            let mut plan =
+                SolvePlan::build_with(&matrix, config.np, config.topology, partitioner.as_ref());
+            if let Some((dims, levels)) = mg_req {
+                plan = plan.with_mg(dims, levels);
+            }
+            (Arc::new(plan), PlanSource::Built)
         };
         let op =
             RowwiseCsr::with_row_cuts(matrix.as_ref().clone(), config.np, plan.row_cuts.clone());
@@ -209,6 +216,7 @@ pub fn execute_batch(
                         kind,
                         &mut machine,
                         &op,
+                        plan.mg.as_deref(),
                         rhs,
                         job.request.stop,
                         job.request.max_iters,
@@ -342,16 +350,35 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Dispatch one right-hand side to the requested distributed solver.
 /// CG-family solves go through the checkpoint/rollback protected
-/// variants when a recovery config is set.
+/// variants when a recovery config is set. `mg` is the plan's cached
+/// V-cycle preconditioner; MG-PCG runs over the hierarchy's own
+/// `(BLOCK)` fine operator (the level descriptors the transfers price
+/// against), not the partitioned `op` the other methods use.
+#[allow(clippy::too_many_arguments)]
 fn run_solver(
     kind: SolverKind,
     machine: &mut Machine,
     op: &RowwiseCsr,
+    mg: Option<&hpf_mg::MgPreconditioner>,
     rhs: &[f64],
     stop: StopCriterion,
     max_iters: usize,
     recovery: Option<hpf_solvers::RecoveryConfig>,
 ) -> Result<(Vec<f64>, SolveStats, Option<RecoveryStats>), SolverError> {
+    if let SolverKind::PcgMg { .. } = kind {
+        let pre = mg.expect("validated: pcg-mg plans carry a hierarchy");
+        return match recovery {
+            Some(cfg) => {
+                let (x, s, r) =
+                    hpf_mg::pcg_mg_distributed_protected(machine, pre, rhs, stop, max_iters, cfg)?;
+                Ok((x.to_global(), s, Some(r)))
+            }
+            None => {
+                let (x, s) = hpf_mg::pcg_mg_distributed(machine, pre, rhs, stop, max_iters)?;
+                Ok((x.to_global(), s, None))
+            }
+        };
+    }
     let (x, s, rec) = match (kind, recovery) {
         (SolverKind::Cg, Some(cfg)) => {
             let (x, s, r) = cg_distributed_protected(machine, op, rhs, stop, max_iters, cfg)?;
@@ -382,6 +409,7 @@ fn run_solver(
             let (x, s) = gmres_distributed(machine, op, rhs, restart, stop, max_iters)?;
             (x, s, None)
         }
+        (SolverKind::PcgMg { .. }, _) => unreachable!("early-returned above"),
     };
     debug_assert_eq!(op.dim(), rhs.len());
     Ok((x.to_global(), s, rec))
@@ -565,6 +593,67 @@ mod tests {
         );
         let out = rx.recv().unwrap();
         assert!(matches!(out, Err(ServiceError::Solver(_))) || out.is_ok());
+    }
+
+    /// The HPCG-class path end to end at the worker level: an MG-PCG
+    /// job solves through the plan's cached hierarchy, the trace carries
+    /// the V-cycle labels, and a second batch reuses the cached
+    /// (depth-keyed) plan without re-partitioning.
+    #[test]
+    fn hpcg_jobs_run_mg_pcg_through_the_cached_hierarchy() {
+        use hpf_mg::GridDims;
+        let dims = GridDims::d2(15, 15);
+        let cache = Mutex::new(PlanCache::new(4));
+        let metrics = Metrics::new();
+        for round in 0..2 {
+            let mut request = SolveRequest::hpcg(dims, 3, vec![1.0; dims.n()]);
+            request.stop = StopCriterion::RelativeResidual(1e-8);
+            let (tx, rx) = unbounded();
+            let job = Job {
+                id: round,
+                fingerprint: Fingerprint::of(&request.matrix),
+                request,
+                submitted: Instant::now(),
+                admission_us: 0,
+                responder: tx,
+            };
+            metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+            execute_batch(
+                Batch { jobs: vec![job] },
+                &cache,
+                &config(4),
+                &metrics,
+                &breaker(),
+                &admission(4),
+                None,
+            );
+            let resp = rx.recv().unwrap().unwrap();
+            assert!(resp.stats[0].converged);
+            assert_eq!(resp.solver_used.name(), "pcg-mg");
+            let labels: Vec<&str> = resp
+                .trace
+                .by_label
+                .iter()
+                .map(|l| l.label.as_str())
+                .collect();
+            // Redistribute labels are split per level by
+            // `summary_by_label` ("mg-restrict [level=0]", ...).
+            for want in ["mg-smooth", "mg-halo", "mg-restrict", "mg-prolong"] {
+                assert!(
+                    labels.iter().any(|l| l.starts_with(want)),
+                    "missing {want} in {labels:?}"
+                );
+            }
+            assert!(
+                labels.iter().any(|l| l.contains("[level=1]")),
+                "no per-level split in {labels:?}"
+            );
+        }
+        let s = metrics.snapshot();
+        assert_eq!(s.completed, 2);
+        // One partition (and one hierarchy build) served both rounds.
+        assert_eq!(s.partitioner_invocations, 1);
+        assert_eq!(s.cache_hits, 1);
     }
 
     #[test]

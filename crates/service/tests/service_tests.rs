@@ -339,6 +339,68 @@ fn all_solver_kinds_run_through_the_service() {
     drop(service);
 }
 
+/// The HPCG-class scenario end to end: a `SolveRequest::hpcg` runs
+/// MG-PCG over the service's cached hierarchy, the answer satisfies the
+/// Poisson system, and the per-level V-cycle attribution survives into
+/// the response's trace summary.
+#[test]
+fn hpcg_scenario_solves_end_to_end_with_per_level_spans() {
+    let service = SolverService::start(ServiceConfig {
+        workers: 2,
+        np: 4,
+        ..ServiceConfig::default()
+    });
+    let dims = hpf_mg::GridDims::d2(15, 15);
+    let a = dims.poisson();
+    let (_x, b) = gen::rhs_for_known_solution(&a);
+
+    for _ in 0..2 {
+        let req =
+            SolveRequest::hpcg(dims, 3, b.clone()).stop(StopCriterion::RelativeResidual(1e-8));
+        assert_eq!(req.scenario, "hpcg");
+        let resp = service.solve(req).expect("hpcg request must be answered");
+        assert!(resp.stats[0].converged);
+        assert_eq!(resp.solver_used.name(), "pcg-mg");
+        assert!(residual_ok(&a, &resp.solutions[0], &b, 1e-6));
+        let labels: Vec<&str> = resp
+            .trace
+            .by_label
+            .iter()
+            .map(|l| l.label.as_str())
+            .collect();
+        assert!(
+            labels.iter().any(|l| l.starts_with("mg-smooth")),
+            "{labels:?}"
+        );
+        for level in [0, 1] {
+            assert!(
+                labels
+                    .iter()
+                    .any(|l| l.ends_with(&format!("[level={level}]"))),
+                "no level-{level} attribution in {labels:?}"
+            );
+        }
+    }
+
+    // Second round hit the depth-keyed plan cache.
+    let m = service.shutdown();
+    assert_eq!(m.completed, 2);
+    assert_eq!(m.partitioner_invocations, 1);
+
+    // A pcg-mg request without grid dims is refused up front.
+    let service = SolverService::start(ServiceConfig {
+        workers: 1,
+        np: 4,
+        ..ServiceConfig::default()
+    });
+    let bad =
+        SolveRequest::new(Arc::new(a.clone()), b.clone()).solver(SolverKind::PcgMg { levels: 3 });
+    match service.solve(bad) {
+        Err(ServiceError::InvalidRequest(why)) => assert!(why.contains("grid"), "{why}"),
+        other => panic!("expected InvalidRequest, got {other:?}"),
+    }
+}
+
 /// CG breakdown on an indefinite system is healed by the escalation
 /// chain: the job is answered (by GMRES, the chain's end) and the retry
 /// and escalation counters record the path taken.

@@ -11,6 +11,7 @@ use crate::cg::check_breakdown;
 use crate::error::SolverError;
 use crate::observer::{IterObserver, IterSample, MachineMark, NullObserver};
 use crate::operator::DistOperator;
+use crate::precond::{DistPreconditioner, JacobiPreconditioner};
 use crate::stopping::{ResidualMonitor, SolveStats, StopCriterion};
 use hpf_core::DistVector;
 use hpf_machine::{span, Machine};
@@ -287,6 +288,54 @@ pub fn pcg_jacobi_distributed_with_observer<A: DistOperator + ?Sized>(
     max_iters: usize,
     obs: &mut dyn IterObserver,
 ) -> Result<(DistVector, SolveStats), SolverError> {
+    let m = JacobiPreconditioner::from_operator(a)?;
+    pcg_preconditioned_distributed_with_observer(machine, a, &m, b_global, stop, max_iters, obs)
+}
+
+/// Distributed CG preconditioned by any [`DistPreconditioner`] — the
+/// entry point multigrid ([`hpf-mg`]'s V-cycle) and other structured
+/// preconditioners plug into. The recurrence is the Figure 2 PCG loop;
+/// the preconditioner application runs under a `precondition` span so
+/// its machine events (smoother compute, halo exchanges, level
+/// transfers) are attributable in the trace.
+pub fn pcg_preconditioned_distributed<A, M>(
+    machine: &mut Machine,
+    a: &A,
+    m: &M,
+    b_global: &[f64],
+    stop: StopCriterion,
+    max_iters: usize,
+) -> Result<(DistVector, SolveStats), SolverError>
+where
+    A: DistOperator + ?Sized,
+    M: DistPreconditioner + ?Sized,
+{
+    pcg_preconditioned_distributed_with_observer(
+        machine,
+        a,
+        m,
+        b_global,
+        stop,
+        max_iters,
+        &mut NullObserver,
+    )
+}
+
+/// [`pcg_preconditioned_distributed`] with per-iteration telemetry and
+/// span-tagged machine events.
+pub fn pcg_preconditioned_distributed_with_observer<A, M>(
+    machine: &mut Machine,
+    a: &A,
+    m: &M,
+    b_global: &[f64],
+    stop: StopCriterion,
+    max_iters: usize,
+    obs: &mut dyn IterObserver,
+) -> Result<(DistVector, SolveStats), SolverError>
+where
+    A: DistOperator + ?Sized,
+    M: DistPreconditioner + ?Sized,
+{
     let _solve_span = span::enter("solve");
     let n = a.dim();
     if b_global.len() != n {
@@ -295,28 +344,13 @@ pub fn pcg_jacobi_distributed_with_observer<A: DistOperator + ?Sized>(
             got: b_global.len(),
         });
     }
-    let diag = a.diagonal();
-    if let Some((i, &d)) = diag
-        .iter()
-        .enumerate()
-        .find(|(_, &d)| d.abs() < f64::MIN_POSITIVE * 1e16)
-    {
-        return Err(SolverError::SingularMatrix { pivot: i, value: d });
-    }
     let desc = a.descriptor();
-    let inv_diag_global: Vec<f64> = diag.iter().map(|d| 1.0 / d).collect();
-    let inv_diag = DistVector::from_global(desc.clone(), &inv_diag_global);
     let mut stats = SolveStats::new();
 
     let b = DistVector::from_global(desc.clone(), b_global);
     let mut x = DistVector::zeros(desc.clone());
     let mut r = b.clone();
-    // z = M^-1 r — aligned element-wise multiply (no communication).
-    let precondition = |machine: &mut Machine, r: &DistVector| {
-        let mut z = r.clone();
-        z.zip_apply(machine, &inv_diag, 1, "jacobi-apply", |ri, di| ri * di);
-        z
-    };
+    let precondition = |machine: &mut Machine, r: &DistVector| m.apply(machine, r);
     let mut z = precondition(machine, &r);
     let mut p = z.clone();
     let b_norm = b.dot(machine, &b).sqrt();

@@ -31,6 +31,7 @@ pub mod history;
 pub mod observer;
 pub mod operator;
 pub mod pcg;
+pub mod precond;
 pub mod recovery;
 pub mod spectral;
 pub mod stopping;
@@ -42,7 +43,8 @@ pub use cgs::cgs;
 pub use dist_solvers::{
     bicg_distributed, bicg_distributed_with_observer, bicgstab_distributed,
     bicgstab_distributed_with_observer, gmres_distributed, gmres_distributed_with_observer,
-    pcg_jacobi_distributed, pcg_jacobi_distributed_with_observer,
+    pcg_jacobi_distributed, pcg_jacobi_distributed_with_observer, pcg_preconditioned_distributed,
+    pcg_preconditioned_distributed_with_observer,
 };
 pub use error::SolverError;
 pub use gmres::{gmres, gmres_storage_vectors};
@@ -50,10 +52,12 @@ pub use history::{nonmonotonicity, residual_history, Method};
 pub use observer::{IterObserver, IterSample, NullObserver, RecordingObserver};
 pub use operator::{ColwiseOperator, CscVariant, DistOperator, SerialOperator};
 pub use pcg::{pcg, pcg_with_observer, IdentityPrec, JacobiPrec, Preconditioner, SsorPrec};
+pub use precond::{DistPreconditioner, JacobiPreconditioner};
 pub use recovery::{
     cg_distributed_protected, cg_distributed_protected_with_observer,
     pcg_jacobi_distributed_protected, pcg_jacobi_distributed_protected_with_observer,
-    RecoveryConfig, RecoveryStats,
+    pcg_preconditioned_distributed_protected,
+    pcg_preconditioned_distributed_protected_with_observer, RecoveryConfig, RecoveryStats,
 };
 pub use spectral::{
     cg_error_bound, cg_iterations_for, estimate_spd_spectrum, power_method, SpdSpectrum,

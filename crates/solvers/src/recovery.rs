@@ -18,6 +18,7 @@ use crate::cg::check_breakdown;
 use crate::error::SolverError;
 use crate::observer::{IterObserver, IterSample, MachineMark, NullObserver};
 use crate::operator::DistOperator;
+use crate::precond::{DistPreconditioner, JacobiPreconditioner};
 use crate::stopping::{ResidualMonitor, SolveStats, StopCriterion};
 use hpf_core::DistVector;
 use hpf_machine::{span, Machine};
@@ -134,16 +135,7 @@ pub fn pcg_jacobi_distributed_protected<A: DistOperator + ?Sized>(
     max_iters: usize,
     config: RecoveryConfig,
 ) -> Result<(DistVector, SolveStats, RecoveryStats), SolverError> {
-    let diag = a.diagonal();
-    if let Some((i, &d)) = diag
-        .iter()
-        .enumerate()
-        .find(|(_, &d)| d.abs() < f64::MIN_POSITIVE * 1e16)
-    {
-        return Err(SolverError::SingularMatrix { pivot: i, value: d });
-    }
-    let inv_diag_global: Vec<f64> = diag.iter().map(|d| 1.0 / d).collect();
-    let inv_diag = DistVector::from_global(a.descriptor().clone(), &inv_diag_global);
+    let m = JacobiPreconditioner::from_operator(a)?;
     protected_cg_core(
         machine,
         a,
@@ -151,7 +143,7 @@ pub fn pcg_jacobi_distributed_protected<A: DistOperator + ?Sized>(
         stop,
         max_iters,
         config,
-        Some(&inv_diag),
+        Some(&m),
         &mut NullObserver,
     )
 }
@@ -166,16 +158,22 @@ pub fn pcg_jacobi_distributed_protected_with_observer<A: DistOperator + ?Sized>(
     config: RecoveryConfig,
     obs: &mut dyn IterObserver,
 ) -> Result<(DistVector, SolveStats, RecoveryStats), SolverError> {
-    let diag = a.diagonal();
-    if let Some((i, &d)) = diag
-        .iter()
-        .enumerate()
-        .find(|(_, &d)| d.abs() < f64::MIN_POSITIVE * 1e16)
-    {
-        return Err(SolverError::SingularMatrix { pivot: i, value: d });
-    }
-    let inv_diag_global: Vec<f64> = diag.iter().map(|d| 1.0 / d).collect();
-    let inv_diag = DistVector::from_global(a.descriptor().clone(), &inv_diag_global);
+    let m = JacobiPreconditioner::from_operator(a)?;
+    protected_cg_core(machine, a, b_global, stop, max_iters, config, Some(&m), obs)
+}
+
+/// Fault-tolerant distributed CG preconditioned by any
+/// [`DistPreconditioner`] — how `hpf-mg`'s V-cycle gets the
+/// checkpoint/rollback machinery.
+pub fn pcg_preconditioned_distributed_protected<A: DistOperator + ?Sized>(
+    machine: &mut Machine,
+    a: &A,
+    m: &dyn DistPreconditioner,
+    b_global: &[f64],
+    stop: StopCriterion,
+    max_iters: usize,
+    config: RecoveryConfig,
+) -> Result<(DistVector, SolveStats, RecoveryStats), SolverError> {
     protected_cg_core(
         machine,
         a,
@@ -183,13 +181,29 @@ pub fn pcg_jacobi_distributed_protected_with_observer<A: DistOperator + ?Sized>(
         stop,
         max_iters,
         config,
-        Some(&inv_diag),
-        obs,
+        Some(m),
+        &mut NullObserver,
     )
 }
 
-/// Shared core: plain CG when `inv_diag` is `None`, Jacobi PCG when it
-/// holds the inverse diagonal.
+/// [`pcg_preconditioned_distributed_protected`] with per-iteration
+/// telemetry.
+#[allow(clippy::too_many_arguments)]
+pub fn pcg_preconditioned_distributed_protected_with_observer<A: DistOperator + ?Sized>(
+    machine: &mut Machine,
+    a: &A,
+    m: &dyn DistPreconditioner,
+    b_global: &[f64],
+    stop: StopCriterion,
+    max_iters: usize,
+    config: RecoveryConfig,
+    obs: &mut dyn IterObserver,
+) -> Result<(DistVector, SolveStats, RecoveryStats), SolverError> {
+    protected_cg_core(machine, a, b_global, stop, max_iters, config, Some(m), obs)
+}
+
+/// Shared core: plain CG when `precond` is `None`, preconditioned CG
+/// when it holds an `M⁻¹` application.
 #[allow(clippy::too_many_arguments)]
 fn protected_cg_core<A: DistOperator + ?Sized>(
     machine: &mut Machine,
@@ -198,7 +212,7 @@ fn protected_cg_core<A: DistOperator + ?Sized>(
     stop: StopCriterion,
     max_iters: usize,
     config: RecoveryConfig,
-    inv_diag: Option<&DistVector>,
+    precond: Option<&dyn DistPreconditioner>,
     obs: &mut dyn IterObserver,
 ) -> Result<(DistVector, SolveStats, RecoveryStats), SolverError> {
     let _solve_span = span::enter("solve");
@@ -218,14 +232,13 @@ fn protected_cg_core<A: DistOperator + ?Sized>(
     let mut rec = RecoveryStats::default();
     let mut monitor = ResidualMonitor::new(stop);
 
-    // z = M^-1 r: aligned element-wise multiply, identity when
-    // unpreconditioned (then z is just a copy of r).
+    // z = M^-1 r, identity when unpreconditioned (then z is just a copy
+    // of r).
     let precondition = |machine: &mut Machine, r: &DistVector| -> DistVector {
-        match inv_diag {
-            Some(d) => {
-                let mut z = r.clone();
-                z.zip_apply(machine, d, 1, "jacobi-apply", |ri, di| ri * di);
-                z
+        match precond {
+            Some(m) => {
+                let _s = span::enter("precondition");
+                m.apply(machine, r)
             }
             None => r.clone(),
         }
@@ -380,7 +393,7 @@ fn protected_cg_core<A: DistOperator + ?Sized>(
         // Unpreconditioned CG has z = r, so one reduction serves both
         // rho and the residual norm (keeps the faults-off overhead to
         // checkpointing alone).
-        let (rho_new, res_new) = match inv_diag {
+        let (rho_new, res_new) = match precond {
             Some(_) => {
                 z = precondition(machine, &r);
                 let rho_new = r.dot(machine, &z);

@@ -30,6 +30,7 @@ pub use hpf_core as core;
 pub use hpf_dist as dist;
 pub use hpf_lang as lang;
 pub use hpf_machine as machine;
+pub use hpf_mg as mg;
 pub use hpf_obs as obs;
 pub use hpf_partition as partition;
 pub use hpf_service as service;
@@ -45,6 +46,7 @@ pub mod prelude {
     pub use hpf_dist::{ArrayDescriptor, AtomAssignment, AtomSpec, DistSpec};
     pub use hpf_lang::{elaborate, parse_program, Env};
     pub use hpf_machine::{CostModel, FaultPlan, FaultRates, Machine, Topology};
+    pub use hpf_mg::{pcg_mg_distributed, GridDims, MgHierarchy, MgPreconditioner};
     pub use hpf_obs::{ConvergenceLog, IterObserver, IterSample, Timeline};
     pub use hpf_partition::{
         cg_auto_repartition, AutoRepartitionOutcome, Partitioner, RepartitionPolicy,
