@@ -29,6 +29,19 @@
 //!   the `level=L` segment of their span path and each level's time,
 //!   comm volume, and busy-time imbalance are tabulated (needs
 //!   `--trace`; exits non-zero on a trace with no level spans)
+//! - `flame`      collapsed-stack self-time profile (`frame;frame;leaf
+//!   <microseconds>` per line — feed it to any flamegraph renderer);
+//!   span parameters are normalized (`iter=12` → `iter=*`) so the
+//!   profile aggregates across iterations and requests (needs `--trace`)
+//!
+//! Live mode: `--follow FILE` tails a bus JSONL file (what
+//! `EventBus::drain` + `BusEvent::to_jsonl` append during a run),
+//! feeding the span profiler and the SLO tracker as lines land. It
+//! re-renders the hot-span table on each batch of new events, prints
+//! every alert transition, and exits once the file has been idle for
+//! `--idle-ms` (default 2000; `--interval-ms` sets the poll period).
+//! Partial trailing lines (a writer mid-append) are left for the next
+//! poll. Exits non-zero when no bus event was ever seen.
 //!
 //! The oracle formats price the trace under `--topology` (default
 //! `hypercube`) and `--cost` (default `mpp-1995`; also `lan-cluster`,
@@ -61,15 +74,20 @@ struct Args {
     topology: Topology,
     cost: CostModel,
     quiet: bool,
+    follow: Option<PathBuf>,
+    interval_ms: u64,
+    idle_ms: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: trace-report [--trace FILE] [--metrics FILE] \
-         [--format perfetto|prom|csv|summary|drift|drift-json|partition|mg]... \
+         [--format perfetto|prom|csv|summary|drift|drift-json|partition|mg|flame]... \
          [--topology NAME] [--cost PRESET] [--out DIR] [--quiet]\n\
+         \x20      trace-report --follow BUS.jsonl [--interval-ms N] [--idle-ms N] [--quiet]\n\
          \x20      trace-report bench-diff PREV.json CUR.json \
-         [--max-regression PCT] [--quiet]"
+         [--max-regression PCT] [--quiet]\n\
+         \x20      trace-report --version"
     );
     std::process::exit(2);
 }
@@ -108,6 +126,9 @@ fn parse_args(raw: Vec<String>) -> Args {
         topology: Topology::Hypercube,
         cost: CostModel::mpp_1995(),
         quiet: false,
+        follow: None,
+        interval_ms: 500,
+        idle_ms: 2000,
     };
     let mut it = raw.into_iter();
     while let Some(flag) = it.next() {
@@ -117,6 +138,10 @@ fn parse_args(raw: Vec<String>) -> Args {
                 usage()
             })
         };
+        let parse_ms = |name: &str, v: String| -> u64 {
+            v.parse()
+                .unwrap_or_else(|_| fail(&format!("bad {name} {v:?} (want milliseconds)")))
+        };
         match flag.as_str() {
             "--trace" => args.trace = Some(PathBuf::from(value("--trace"))),
             "--metrics" => args.metrics = Some(PathBuf::from(value("--metrics"))),
@@ -124,7 +149,14 @@ fn parse_args(raw: Vec<String>) -> Args {
             "--out" => args.out = Some(PathBuf::from(value("--out"))),
             "--topology" => args.topology = parse_topology(&value("--topology")),
             "--cost" => args.cost = parse_cost(&value("--cost")),
+            "--follow" => args.follow = Some(PathBuf::from(value("--follow"))),
+            "--interval-ms" => args.interval_ms = parse_ms("--interval-ms", value("--interval-ms")),
+            "--idle-ms" => args.idle_ms = parse_ms("--idle-ms", value("--idle-ms")),
             "--quiet" | "-q" => args.quiet = true,
+            "--version" | "-V" => {
+                println!("trace-report {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -453,6 +485,100 @@ fn bench_diff(raw: Vec<String>) -> ! {
     std::process::exit(0);
 }
 
+/// Consume every complete line in `text` past `processed`, feeding the
+/// profiler and SLO tracker; a partial trailing line (writer mid-append)
+/// is left for the next poll. Returns how many events landed.
+fn follow_consume(
+    text: &str,
+    processed: &mut usize,
+    profile: &mut hpf_obs::SpanProfile,
+    slo: &mut hpf_obs::SloTracker,
+    latest_wall: &mut f64,
+    malformed: &mut u64,
+) -> u64 {
+    let unseen = &text[(*processed).min(text.len())..];
+    let Some(last_nl) = unseen.rfind('\n') else {
+        return 0;
+    };
+    let mut landed = 0u64;
+    for line in unseen[..=last_nl].lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match hpf_obs::BusEvent::from_jsonl(line) {
+            Ok(e) => {
+                *latest_wall = latest_wall.max(e.wall_s);
+                slo.observe_bus_event(&e);
+                profile.record_bus_event(&e);
+                landed += 1;
+            }
+            Err(_) => *malformed += 1,
+        }
+    }
+    *processed += last_nl + 1;
+    landed
+}
+
+/// `--follow FILE`: tail a live bus JSONL file until it goes idle.
+fn follow(path: &std::path::Path, args: &Args) -> ! {
+    let interval = std::time::Duration::from_millis(args.interval_ms.max(1));
+    let idle = std::time::Duration::from_millis(args.idle_ms.max(1));
+    let mut profile = hpf_obs::SpanProfile::new();
+    let mut slo = hpf_obs::SloTracker::soak_defaults();
+    let mut processed = 0usize;
+    let mut seen = 0u64;
+    let mut malformed = 0u64;
+    let mut latest_wall = 0.0f64;
+    let mut last_new = std::time::Instant::now();
+    loop {
+        let text = std::fs::read_to_string(path).unwrap_or_default();
+        let landed = follow_consume(
+            &text,
+            &mut processed,
+            &mut profile,
+            &mut slo,
+            &mut latest_wall,
+            &mut malformed,
+        );
+        if landed > 0 {
+            seen += landed;
+            last_new = std::time::Instant::now();
+            for t in slo.evaluate(latest_wall) {
+                println!(
+                    "alert[{}] {} -> {} at {:.1}s (burn slow {:.2} fast {:.2})",
+                    t.class.name(),
+                    t.from.name(),
+                    t.to.name(),
+                    t.at_s,
+                    t.slow_burn,
+                    t.fast_burn,
+                );
+            }
+            if !args.quiet {
+                println!("-- {seen} event(s), bus clock {latest_wall:.1}s --");
+                print!("{}", profile.render_top(10));
+            }
+        } else if last_new.elapsed() >= idle {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+    if seen == 0 {
+        fail(&format!(
+            "follow saw no bus events in {} before going idle",
+            path.display()
+        ));
+    }
+    println!(
+        "followed {} event(s) ({malformed} malformed line(s)), {} alert transition(s)",
+        seen,
+        slo.log().len()
+    );
+    print!("{}", profile.render_top(10));
+    std::process::exit(0);
+}
+
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("bench-diff") {
@@ -460,6 +586,9 @@ fn main() {
         bench_diff(raw);
     }
     let args = parse_args(raw);
+    if let Some(path) = args.follow.clone() {
+        follow(&path, &args);
+    }
     for format in &args.formats {
         let (content, filename) = match format.as_str() {
             "perfetto" => {
@@ -506,6 +635,14 @@ fn main() {
                 hpf_obs::json::validate(&json)
                     .unwrap_or_else(|e| fail(&format!("drift export invalid: {e}")));
                 (json, "drift.json")
+            }
+            "flame" => {
+                let trace = load_trace(&args);
+                let profile = hpf_obs::SpanProfile::from_trace(&trace);
+                if !args.quiet {
+                    eprint!("{}", profile.render_top(10));
+                }
+                (profile.collapsed(), "flame.txt")
             }
             other => fail(&format!("unknown format {other:?}")),
         };
@@ -640,6 +777,79 @@ mod tests {
         let err = render_mg(m.trace()).expect_err("no level spans");
         assert_eq!(err, ReportError::NoLevelSpans { events: 1 });
         assert!(err.to_string().contains("level="), "{err}");
+    }
+
+    #[test]
+    fn follow_consume_leaves_partial_trailing_lines_for_next_poll() {
+        use hpf_machine::span;
+        let bus = hpf_obs::EventBus::new(64, hpf_obs::SamplingPolicy::keep_all());
+        let mut m = traced_machine();
+        m.set_event_sink(bus.machine_sink());
+        {
+            let _t = span::enter("trace=00000000000000ab");
+            let _s = span::enter("solve");
+            let _mv = span::enter("matvec");
+            m.compute_uniform(1000, "local");
+            m.allreduce(4, "dot-merge");
+        }
+        let mut text = String::new();
+        for e in bus.drain() {
+            text.push_str(&e.to_jsonl());
+            text.push('\n');
+        }
+        // Chop the final newline: the last line is "mid-append".
+        text.pop();
+        let mut profile = hpf_obs::SpanProfile::new();
+        let mut slo = hpf_obs::SloTracker::soak_defaults();
+        let (mut processed, mut wall, mut malformed) = (0usize, 0.0f64, 0u64);
+        let landed = follow_consume(
+            &text,
+            &mut processed,
+            &mut profile,
+            &mut slo,
+            &mut wall,
+            &mut malformed,
+        );
+        assert_eq!(landed, 1, "only the newline-terminated line lands");
+        // The writer finishes the line; the next poll picks it up.
+        text.push('\n');
+        let landed = follow_consume(
+            &text,
+            &mut processed,
+            &mut profile,
+            &mut slo,
+            &mut wall,
+            &mut malformed,
+        );
+        assert_eq!(landed, 1);
+        assert_eq!(processed, text.len());
+        assert_eq!(malformed, 0);
+        assert!(profile.top_k(1)[0].stack.contains("matvec"), "span kept");
+    }
+
+    #[test]
+    fn flame_profile_of_a_trace_is_collapsed_stack_shaped() {
+        use hpf_machine::span;
+        let mut m = traced_machine();
+        {
+            let _s = span::enter("solve");
+            for i in 0..3 {
+                let _it = span::enter(format!("iter={i}"));
+                let _mv = span::enter("matvec");
+                m.compute_uniform(10_000, "local");
+            }
+        }
+        let profile = hpf_obs::SpanProfile::from_trace(m.trace());
+        let collapsed = profile.collapsed();
+        for line in collapsed.lines() {
+            let (stack, value) = line.rsplit_once(' ').expect("frames <value>");
+            assert!(!stack.is_empty());
+            value.parse::<u64>().expect("integer microseconds");
+        }
+        assert!(
+            collapsed.contains("solve;iter=*;matvec;local"),
+            "{collapsed}"
+        );
     }
 
     /// The full MG-PCG pipeline end to end: solve traced, export the

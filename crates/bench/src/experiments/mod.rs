@@ -15,6 +15,7 @@ pub mod partition_exp;
 pub mod service_exp;
 pub mod soak_exp;
 pub mod solvers_exp;
+pub mod telemetry_exp;
 pub mod vector_ops;
 
 use crate::table::Table;
@@ -51,11 +52,13 @@ pub fn run_all() -> Vec<Table> {
         partition_exp::e26_partitioners(512),
         soak_exp::e27_chaos_soak(soak_exp::default_requests()),
         mg_exp::e28_hpcg(),
+        telemetry_exp::e29_telemetry(telemetry_exp::default_requests()),
     ]
 }
 
-/// Run one experiment by its lowercase id (`"e1"`, `"e01"`, ... `"e28"`);
-/// `"soak"` is an alias for the E27 chaos soak.
+/// Run one experiment by its lowercase id (`"e1"`, `"e01"`, ... `"e29"`);
+/// `"soak"` is an alias for the E27 chaos soak and `"telemetry"` for
+/// the E29 pipeline.
 pub fn run_one(id: &str) -> Option<Table> {
     let norm = id.trim_start_matches('e').trim_start_matches('0');
     Some(match norm {
@@ -87,6 +90,7 @@ pub fn run_one(id: &str) -> Option<Table> {
         "26" => partition_exp::e26_partitioners(512),
         "27" | "soak" => soak_exp::e27_chaos_soak(soak_exp::default_requests()),
         "28" | "hpcg" => mg_exp::e28_hpcg(),
+        "29" | "telemetry" => telemetry_exp::e29_telemetry(telemetry_exp::default_requests()),
         _ => return None,
     })
 }
@@ -124,7 +128,12 @@ mod tests {
         assert!(run_one("e28").is_some());
         assert!(run_one("hpcg").is_some());
         std::env::remove_var("HPF_E28_SMOKE");
-        assert!(run_one("e29").is_none());
+        // E29 is the telemetry soak; keep the in-test run smoke-sized.
+        std::env::set_var("HPF_E29_REQUESTS", "120");
+        assert!(run_one("e29").is_some());
+        assert!(run_one("telemetry").is_some());
+        std::env::remove_var("HPF_E29_REQUESTS");
+        assert!(run_one("e30").is_none());
         assert!(run_one("nope").is_none());
         let _ = std::fs::remove_dir_all(&scratch);
     }

@@ -65,6 +65,9 @@ pub struct Machine {
     skew: Vec<Skew>,
     /// Per-operation heartbeat/cancellation callback (see [`ProgressHook`]).
     hook: Option<ProgressHook>,
+    /// Live event tap fired from the recording chokepoint (see
+    /// [`EventSink`]); independent of `tracing`.
+    sink: Option<EventSink>,
 }
 
 /// Callback fired once at the start of every public machine operation,
@@ -88,6 +91,69 @@ impl ProgressHook {
 impl std::fmt::Debug for ProgressHook {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str("ProgressHook(..)")
+    }
+}
+
+/// Callback fired with every event the machine records, *as it happens*,
+/// independent of whether the post-hoc [`Trace`] is enabled.
+///
+/// This is the live-telemetry tap: where [`ProgressHook`] is a heartbeat
+/// (an opaque operation counter), the sink sees the full [`Event`] —
+/// kind, span path, cost — so an external bus can stream sampled events
+/// out mid-solve instead of waiting for the trace dump at completion.
+/// The sink runs on the recording path; implementations should decide
+/// quickly (a hash test and a ring-buffer push, no locks, no I/O).
+///
+/// A sink may additionally carry a *pre-filter* ([`EventSink::with_filter`]):
+/// a `(trace_id, kind) -> keep?` predicate the machine consults *before*
+/// building the [`Event`] (span-path join, label clone) whenever tracing
+/// is off. That is what makes per-job head sampling cheap — a
+/// sampled-out job's operations cost one thread-local scan and a hash,
+/// not an allocation each.
+#[derive(Clone)]
+pub struct EventSink {
+    emit: std::sync::Arc<dyn Fn(&Event) + Send + Sync>,
+    filter: Option<std::sync::Arc<dyn Fn(u64, EventKind) -> bool + Send + Sync>>,
+}
+
+impl EventSink {
+    pub fn new(f: impl Fn(&Event) + Send + Sync + 'static) -> Self {
+        EventSink {
+            emit: std::sync::Arc::new(f),
+            filter: None,
+        }
+    }
+
+    /// Attach the head-sampling pre-filter. Only consulted when tracing
+    /// is off (with tracing on the event is built for the trace anyway,
+    /// so the sink body must apply its own sampling — which a bus tap
+    /// does on publish regardless).
+    pub fn with_filter(
+        mut self,
+        f: impl Fn(u64, EventKind) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.filter = Some(std::sync::Arc::new(f));
+        self
+    }
+
+    /// Offer a built event to the sink.
+    pub fn emit(&self, event: &Event) {
+        (self.emit)(event);
+    }
+
+    /// Would the sink keep an event of `kind` for the calling thread's
+    /// current trace id? No filter means yes.
+    pub fn wants(&self, kind: EventKind) -> bool {
+        match &self.filter {
+            None => true,
+            Some(f) => f(crate::span::current_trace().unwrap_or(0), kind),
+        }
+    }
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("EventSink(..)")
     }
 }
 
@@ -123,6 +189,7 @@ impl Machine {
             pending: None,
             skew: vec![Skew::NONE; np],
             hook: None,
+            sink: None,
         }
     }
 
@@ -242,6 +309,18 @@ impl Machine {
     /// Remove the progress hook.
     pub fn clear_progress_hook(&mut self) {
         self.hook = None;
+    }
+
+    /// Install a live event sink, fired with every recorded [`Event`]
+    /// even when tracing is off. Survives [`Machine::reset`]; replaced
+    /// by the next call.
+    pub fn set_event_sink(&mut self, sink: EventSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Remove the event sink.
+    pub fn clear_event_sink(&mut self) {
+        self.sink = None;
     }
 
     /// Number of faults injected since the plan was installed (or the
@@ -391,20 +470,33 @@ impl Machine {
         label: &str,
         proc_times: Vec<f64>,
     ) {
+        if !self.tracing {
+            // Sink-only recording: let the sink veto via its cheap
+            // pre-filter before we pay for the span-path join below.
+            match &self.sink {
+                None => return,
+                Some(sink) if !sink.wants(kind) => return,
+                Some(_) => {}
+            }
+        }
+        let event = Event {
+            kind,
+            participants,
+            words,
+            flops,
+            time,
+            start,
+            span: crate::span::current_path(),
+            label: label.to_string(),
+            proc_times,
+            payload_words: payload,
+            hops,
+        };
+        if let Some(sink) = &self.sink {
+            sink.emit(&event);
+        }
         if self.tracing {
-            self.trace.record(Event {
-                kind,
-                participants,
-                words,
-                flops,
-                time,
-                start,
-                span: crate::span::current_path(),
-                label: label.to_string(),
-                proc_times,
-                payload_words: payload,
-                hops,
-            });
+            self.trace.record(event);
         }
     }
 
@@ -1334,6 +1426,46 @@ mod tests {
         m.clear_progress_hook();
         m.barrier("e");
         assert_eq!(beats.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn event_sink_streams_events_even_with_tracing_off() {
+        use std::sync::{Arc, Mutex};
+        let seen: Arc<Mutex<Vec<(EventKind, String)>>> = Arc::new(Mutex::new(Vec::new()));
+        let tap = seen.clone();
+        let mut m = Machine::hypercube(4);
+        m.set_tracing(false);
+        m.set_event_sink(EventSink::new(move |e| {
+            tap.lock().unwrap().push((e.kind, e.span.clone()));
+        }));
+        let _g = crate::span::enter("solve");
+        m.compute_uniform(8, "local");
+        m.allreduce(1, "merge");
+        drop(_g);
+        assert_eq!(m.trace().len(), 0, "tracing stays off");
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2, "sink sees every recorded event");
+        assert!(seen.iter().all(|(_, span)| span == "solve"));
+        assert_eq!(seen[1].0, EventKind::AllReduce);
+    }
+
+    #[test]
+    fn event_sink_clears_and_coexists_with_tracing() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let n = Arc::new(AtomicUsize::new(0));
+        let tap = n.clone();
+        let mut m = Machine::hypercube(2);
+        m.set_event_sink(EventSink::new(move |_| {
+            tap.fetch_add(1, Ordering::Relaxed);
+        }));
+        m.compute_uniform(1, "a");
+        assert_eq!(n.load(Ordering::Relaxed), 1);
+        assert_eq!(m.trace().len(), 1, "trace still records alongside sink");
+        m.clear_event_sink();
+        m.compute_uniform(1, "b");
+        assert_eq!(n.load(Ordering::Relaxed), 1, "cleared sink stays silent");
+        assert_eq!(m.trace().len(), 2);
     }
 
     #[test]

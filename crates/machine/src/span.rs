@@ -101,12 +101,34 @@ pub fn depth() -> usize {
     STACK.with(|s| s.borrow().len())
 }
 
+/// The trace id on the *current* thread's span stack — the first
+/// `trace=<hex>` segment, scanned in place without building the joined
+/// path. The streaming tap consults this before constructing an event,
+/// so head-sampled-out jobs pay no allocation per machine operation.
+pub fn current_trace() -> Option<u64> {
+    STACK.with(|s| {
+        s.borrow()
+            .iter()
+            .find_map(|seg| u64::from_str_radix(seg.strip_prefix("trace=")?, 16).ok())
+    })
+}
+
 /// The multigrid level of a span path: the numeric suffix of its first
 /// `level=L` segment (`solve/iter=3/vcycle/level=2/smooth` → `Some(2)`).
 /// `None` when no such segment exists or the suffix is not a number.
 pub fn level_of(span: &str) -> Option<usize> {
     span.split('/')
         .find_map(|seg| seg.strip_prefix("level=")?.parse().ok())
+}
+
+/// The trace id of a span path: the hex suffix of its first
+/// `trace=<hex>` segment (`trace=00c0ffee/solve/matvec` →
+/// `Some(0x00c0ffee)`). `None` when no such segment exists or the
+/// suffix is not hex. The service stamps this segment on the worker
+/// thread so every event a solve records carries the request's id.
+pub fn trace_of(span: &str) -> Option<u64> {
+    span.split('/')
+        .find_map(|seg| u64::from_str_radix(seg.strip_prefix("trace=")?, 16).ok())
 }
 
 #[cfg(test)]
@@ -147,6 +169,24 @@ mod tests {
     fn segments_cannot_inject_separators() {
         let s = Span::new("a/b");
         assert_eq!(s.segment(), "a:b");
+    }
+
+    #[test]
+    fn trace_of_parses_first_hex_trace_segment() {
+        assert_eq!(trace_of("trace=00c0ffee/solve/matvec"), Some(0x00c0_ffee));
+        assert_eq!(trace_of("job=3/trace=ff/iter=1"), Some(0xff));
+        assert_eq!(trace_of("solve/iter=3/matvec"), None);
+        assert_eq!(trace_of("trace=not-hex/solve"), None);
+        assert_eq!(trace_of(""), None);
+    }
+
+    #[test]
+    fn current_trace_reads_the_live_stack_without_joining() {
+        assert_eq!(current_trace(), None);
+        let _t = enter("trace=00c0ffee");
+        let _s = enter("solve");
+        assert_eq!(current_trace(), Some(0x00c0_ffee));
+        assert_eq!(trace_of(&current_path()), current_trace());
     }
 
     #[test]

@@ -1,0 +1,808 @@
+//! The live telemetry bus: a bounded lock-free ring buffer fed by the
+//! machine- and service-level event taps, with per-job head sampling.
+//!
+//! Post-hoc traces answer "what did that solve cost?"; the bus answers
+//! the operational question "what is the service doing *right now*?".
+//! Producers (worker threads recording machine events, the submitter
+//! shedding at the door, the supervisor killing a hung worker) publish
+//! into a fixed-capacity multi-producer/multi-consumer ring — the
+//! classic bounded MPMC queue of Vyukov, one sequence-stamped slot per
+//! cell, every operation a couple of atomics, no locks anywhere on the
+//! publish path. A consumer (`trace-report --follow`, the E29 harness)
+//! drains at its own pace; when producers outrun it the ring *drops new
+//! events and counts them* rather than blocking a solver thread.
+//!
+//! **Head sampling** keeps the always-on cost negligible: the keep/drop
+//! decision is made once per *job* (keyed on the request's trace id, so
+//! a kept job streams all of its events and a dropped job none — paths
+//! stay joinable end to end), except that operationally critical events
+//! — machine faults and service sheds, kills, rollbacks, retries,
+//! deadline expiries — bypass sampling entirely. You can lower the
+//! sample rate to shed volume, never visibility of failures.
+
+use crate::json::{escape, json_f64};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Where a bus event was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusOrigin {
+    /// The simulated machine's recording chokepoint
+    /// ([`hpf_machine::EventSink`]): spans, collectives, faults.
+    Machine,
+    /// The service lifecycle ([`hpf_service::ServiceEvent`]): admission,
+    /// sheds, kills, completions.
+    Service,
+}
+
+impl BusOrigin {
+    pub fn name(&self) -> &'static str {
+        match self {
+            BusOrigin::Machine => "machine",
+            BusOrigin::Service => "service",
+        }
+    }
+
+    fn parse(s: &str) -> Option<BusOrigin> {
+        match s {
+            "machine" => Some(BusOrigin::Machine),
+            "service" => Some(BusOrigin::Service),
+            _ => None,
+        }
+    }
+}
+
+/// One sampled telemetry event, flattened to a common schema so machine
+/// and service events interleave on a single stream.
+///
+/// This is deliberately *not* the [`hpf_machine::Event`] JSONL schema —
+/// that parser rejects unknown keys by contract, and the bus needs
+/// stream metadata (`seq`, `wall_s`, `origin`, `trace`) the post-hoc
+/// trace never carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusEvent {
+    /// Publication sequence number (gaps = ring overflow drops).
+    pub seq: u64,
+    /// Wall-clock seconds since the bus was created.
+    pub wall_s: f64,
+    pub origin: BusOrigin,
+    /// Stable kind label: the machine [`hpf_machine::EventKind`] name
+    /// or the service event kind (`"shed"`, `"worker-killed"`, ...).
+    pub kind: String,
+    /// Request trace id (0 = not tied to one request).
+    pub trace_id: u64,
+    /// QoS class name for service events; empty for machine events.
+    pub class: String,
+    /// Span path for machine events; empty for service events.
+    pub span: String,
+    pub label: String,
+    /// Simulated seconds (machine events; 0 for service events).
+    pub time_s: f64,
+    /// Completion latency in µs (service `completed` events; else 0).
+    pub latency_us: u64,
+    /// Completion outcome (service `completed` events; else `true`).
+    pub ok: bool,
+}
+
+impl BusEvent {
+    /// One-line JSON rendering (the `--follow` wire format).
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"wall_s\":{},\"origin\":\"{}\",\"kind\":\"{}\",\"trace\":\"{:016x}\",\
+             \"class\":\"{}\",\"span\":\"{}\",\"label\":\"{}\",\"time_s\":{},\"latency_us\":{},\"ok\":{}}}",
+            self.seq,
+            json_f64(self.wall_s),
+            self.origin.name(),
+            escape(&self.kind),
+            self.trace_id,
+            escape(&self.class),
+            escape(&self.span),
+            escape(&self.label),
+            json_f64(self.time_s),
+            self.latency_us,
+            self.ok,
+        )
+    }
+
+    /// Parse one [`BusEvent::to_jsonl`] line. Unlike the post-hoc trace
+    /// parser this is *lenient about unknown keys* (a follower must keep
+    /// working when a newer producer adds fields) but strict about the
+    /// ones it understands.
+    pub fn from_jsonl(line: &str) -> Result<BusEvent, String> {
+        let inner = line
+            .trim()
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| "bus event line is not a JSON object".to_string())?;
+        let mut ev = BusEvent {
+            seq: 0,
+            wall_s: 0.0,
+            origin: BusOrigin::Machine,
+            kind: String::new(),
+            trace_id: 0,
+            class: String::new(),
+            span: String::new(),
+            label: String::new(),
+            time_s: 0.0,
+            latency_us: 0,
+            ok: true,
+        };
+        let mut saw_origin = false;
+        for (key, value) in split_top_level_pairs(inner)? {
+            match key {
+                "seq" => ev.seq = value.parse().map_err(|_| format!("bad seq {value:?}"))?,
+                "wall_s" => {
+                    ev.wall_s = value.parse().map_err(|_| format!("bad wall_s {value:?}"))?
+                }
+                "origin" => {
+                    let raw = unquote(value)?;
+                    ev.origin =
+                        BusOrigin::parse(&raw).ok_or_else(|| format!("unknown origin {raw:?}"))?;
+                    saw_origin = true;
+                }
+                "kind" => ev.kind = unquote(value)?,
+                "trace" => {
+                    let raw = unquote(value)?;
+                    ev.trace_id = u64::from_str_radix(&raw, 16)
+                        .map_err(|_| format!("bad trace id {raw:?}"))?;
+                }
+                "class" => ev.class = unquote(value)?,
+                "span" => ev.span = unquote(value)?,
+                "label" => ev.label = unquote(value)?,
+                "time_s" => {
+                    ev.time_s = value.parse().map_err(|_| format!("bad time_s {value:?}"))?
+                }
+                "latency_us" => {
+                    ev.latency_us = value
+                        .parse()
+                        .map_err(|_| format!("bad latency_us {value:?}"))?
+                }
+                "ok" => ev.ok = value.parse().map_err(|_| format!("bad ok {value:?}"))?,
+                _ => {} // forward compatibility: ignore unknown keys
+            }
+        }
+        if !saw_origin {
+            return Err("bus event line is missing 'origin'".to_string());
+        }
+        Ok(ev)
+    }
+}
+
+/// Split `"k":v,...` at the top level (no nested objects/arrays in the
+/// bus schema; strings may contain escaped quotes and commas).
+fn split_top_level_pairs(inner: &str) -> Result<Vec<(&str, &str)>, String> {
+    let mut pairs = Vec::new();
+    let bytes = inner.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Key: "name"
+        if bytes[i] != b'"' {
+            return Err(format!("expected key quote at byte {i}"));
+        }
+        let key_end = inner[i + 1..]
+            .find('"')
+            .ok_or_else(|| "unterminated key".to_string())?
+            + i
+            + 1;
+        let key = &inner[i + 1..key_end];
+        if bytes.get(key_end + 1) != Some(&b':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        // Value: scan to the next top-level comma.
+        let mut j = key_end + 2;
+        let mut in_string = false;
+        let mut escaped = false;
+        while j < bytes.len() {
+            let b = bytes[j];
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else if b == b'\\' {
+                    escaped = true;
+                } else if b == b'"' {
+                    in_string = false;
+                }
+            } else if b == b'"' {
+                in_string = true;
+            } else if b == b',' {
+                break;
+            }
+            j += 1;
+        }
+        pairs.push((key, &inner[key_end + 2..j]));
+        i = j + 1;
+    }
+    Ok(pairs)
+}
+
+/// Undo [`escape`] on a quoted JSON string value.
+fn unquote(value: &str) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("expected string, got {value:?}"))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code =
+                    u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+            }
+            other => return Err(format!("bad escape {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// The lock-free ring
+// ---------------------------------------------------------------------
+
+struct Slot {
+    /// Vyukov sequence stamp: `pos` when free for the producer claiming
+    /// `pos`, `pos + 1` when holding that producer's value.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<BusEvent>>,
+}
+
+/// Bounded multi-producer/multi-consumer queue (Vyukov). `push` never
+/// blocks: on a full ring it drops the event and returns `false`.
+pub struct RingBuffer {
+    slots: Box<[Slot]>,
+    mask: usize,
+    enqueue: AtomicUsize,
+    dequeue: AtomicUsize,
+}
+
+// Safety: slots are handed off between threads through the per-slot
+// `seq` stamp (acquire/release pairs below); a slot's value is only
+// touched by the single thread that claimed its position.
+unsafe impl Send for RingBuffer {}
+unsafe impl Sync for RingBuffer {}
+
+impl RingBuffer {
+    /// Capacity is rounded up to a power of two (minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        RingBuffer {
+            slots,
+            mask: cap - 1,
+            enqueue: AtomicUsize::new(0),
+            dequeue: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Non-blocking push; `false` = ring full, event dropped.
+    pub fn push(&self, event: BusEvent) -> bool {
+        let mut pos = self.enqueue.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq as isize - pos as isize {
+                0 => {
+                    // Slot free for this position: claim it.
+                    match self.enqueue.compare_exchange_weak(
+                        pos,
+                        pos.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            unsafe { (*slot.value.get()).write(event) };
+                            slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                            return true;
+                        }
+                        Err(actual) => pos = actual,
+                    }
+                }
+                d if d < 0 => return false, // full: a lap behind the consumers
+                _ => pos = self.enqueue.load(Ordering::Relaxed), // raced: reload
+            }
+        }
+    }
+
+    /// Non-blocking pop; `None` = ring empty.
+    pub fn pop(&self) -> Option<BusEvent> {
+        let mut pos = self.dequeue.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq as isize - (pos.wrapping_add(1)) as isize {
+                0 => {
+                    match self.dequeue.compare_exchange_weak(
+                        pos,
+                        pos.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            let value = unsafe { (*slot.value.get()).assume_init_read() };
+                            slot.seq
+                                .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                            return Some(value);
+                        }
+                        Err(actual) => pos = actual,
+                    }
+                }
+                d if d < 0 => return None, // empty
+                _ => pos = self.dequeue.load(Ordering::Relaxed),
+            }
+        }
+    }
+}
+
+impl Drop for RingBuffer {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sampling
+// ---------------------------------------------------------------------
+
+/// Head-sampling policy: one keep/drop decision per job, critical
+/// events always kept.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplingPolicy {
+    /// Fraction of jobs whose non-critical events are kept, `0.0..=1.0`.
+    pub sample_rate: f64,
+}
+
+impl SamplingPolicy {
+    /// Keep everything (the E29 overhead phase measures this worst case).
+    pub fn keep_all() -> Self {
+        SamplingPolicy { sample_rate: 1.0 }
+    }
+
+    pub fn with_rate(sample_rate: f64) -> Self {
+        SamplingPolicy {
+            sample_rate: sample_rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The head decision for a job: deterministic in its trace id, so
+    /// every producer (and a replay) agrees without coordination.
+    /// Events with no trace id (`0`) share one fixed decision.
+    pub fn keep_job(&self, trace_id: u64) -> bool {
+        if self.sample_rate >= 1.0 {
+            return true;
+        }
+        if self.sample_rate <= 0.0 {
+            return false;
+        }
+        // splitmix64 finalizer: uniform bits even for sequential ids.
+        let mut x = trace_id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x as f64 / u64::MAX as f64) < self.sample_rate
+    }
+
+    /// Full decision: critical events bypass the head sample.
+    pub fn keep(&self, trace_id: u64, critical: bool) -> bool {
+        critical || self.keep_job(trace_id)
+    }
+}
+
+impl Default for SamplingPolicy {
+    /// Keep 10% of jobs (plus every critical event).
+    fn default() -> Self {
+        SamplingPolicy { sample_rate: 0.1 }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The bus
+// ---------------------------------------------------------------------
+
+/// Publication counters (all monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Events accepted into the ring.
+    pub published: u64,
+    /// Events refused because the ring was full (consumer too slow).
+    pub dropped: u64,
+    /// Events skipped by the head-sampling policy (working as designed).
+    pub sampled_out: u64,
+}
+
+/// One cache line per counter stripe, so threads hammering the
+/// sampled-out path (every machine op of a dropped job) never ping-pong
+/// a shared line between cores.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedCounter(AtomicU64);
+
+const COUNTER_STRIPES: usize = 8;
+
+/// This thread's stripe index: assigned round-robin on first use.
+fn counter_stripe() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: usize = NEXT.fetch_add(1, Ordering::Relaxed) % COUNTER_STRIPES;
+    }
+    STRIPE.with(|s| *s)
+}
+
+/// The streaming event bus: sampling policy + ring + wall clock.
+pub struct EventBus {
+    ring: RingBuffer,
+    policy: SamplingPolicy,
+    started: Instant,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    sampled_out: [PaddedCounter; COUNTER_STRIPES],
+}
+
+impl EventBus {
+    pub fn new(capacity: usize, policy: SamplingPolicy) -> Arc<Self> {
+        Arc::new(EventBus {
+            ring: RingBuffer::new(capacity),
+            policy,
+            started: Instant::now(),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            sampled_out: Default::default(),
+        })
+    }
+
+    /// Count one head-sampled-out event on this thread's stripe.
+    fn note_sampled_out(&self) {
+        self.sampled_out[counter_stripe()]
+            .0
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn policy(&self) -> SamplingPolicy {
+        self.policy
+    }
+
+    pub fn stats(&self) -> BusStats {
+        BusStats {
+            published: self.seq.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            sampled_out: self
+                .sampled_out
+                .iter()
+                .map(|c| c.0.load(Ordering::Relaxed))
+                .sum(),
+        }
+    }
+
+    /// Apply sampling and publish. The caller supplies everything but
+    /// `seq`/`wall_s`, which the bus stamps.
+    pub fn publish(&self, mut event: BusEvent, critical: bool) {
+        if !self.policy.keep(event.trace_id, critical) {
+            self.note_sampled_out();
+            return;
+        }
+        event.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        event.wall_s = self.started.elapsed().as_secs_f64();
+        if !self.ring.push(event) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Pop every currently-buffered event (FIFO).
+    pub fn drain(&self) -> Vec<BusEvent> {
+        let mut out = Vec::new();
+        while let Some(e) = self.ring.pop() {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Pop one event.
+    pub fn pop(&self) -> Option<BusEvent> {
+        self.ring.pop()
+    }
+
+    /// A machine-level tap for [`hpf_machine::Machine::set_event_sink`]:
+    /// every recorded machine event is flattened and offered to the bus.
+    /// The trace id is read from the span path's `trace=<hex>` segment
+    /// (stamped by the service worker); machine faults are critical.
+    ///
+    /// The sink carries a pre-filter so that, with tracing off, a
+    /// head-sampled-out job's machine operations never even build an
+    /// event — the E29 <5% telemetry-overhead band depends on this.
+    pub fn machine_sink(self: &Arc<Self>) -> hpf_machine::EventSink {
+        let filter_bus = Arc::clone(self);
+        let bus = Arc::clone(self);
+        hpf_machine::EventSink::new(move |e: &hpf_machine::Event| {
+            let trace_id = hpf_machine::span::trace_of(&e.span).unwrap_or(0);
+            let critical = e.kind == hpf_machine::EventKind::Fault;
+            // Decide before building: with tracing on the machine hands
+            // us every event, and a sampled-out job must not pay three
+            // allocations per operation just to be dropped in publish.
+            if !bus.policy.keep(trace_id, critical) {
+                bus.note_sampled_out();
+                return;
+            }
+            bus.publish(
+                BusEvent {
+                    seq: 0,
+                    wall_s: 0.0,
+                    origin: BusOrigin::Machine,
+                    kind: format!("{:?}", e.kind),
+                    trace_id,
+                    class: String::new(),
+                    span: e.span.clone(),
+                    label: e.label.clone(),
+                    time_s: e.time,
+                    latency_us: 0,
+                    ok: true,
+                },
+                critical,
+            );
+        })
+        .with_filter(move |trace_id, kind| {
+            let critical = kind == hpf_machine::EventKind::Fault;
+            if filter_bus.policy.keep(trace_id, critical) {
+                true
+            } else {
+                filter_bus.note_sampled_out();
+                false
+            }
+        })
+    }
+
+    /// A service-level tap for
+    /// [`hpf_service::ServiceConfig::event_sink`]: lifecycle events
+    /// (sheds, kills, completions...) flattened onto the same stream.
+    pub fn service_sink(self: &Arc<Self>) -> hpf_service::ServiceEventSink {
+        let bus = Arc::clone(self);
+        hpf_service::ServiceEventSink::new(move |e: &hpf_service::ServiceEvent| {
+            let (class, latency_us, ok) = match *e {
+                hpf_service::ServiceEvent::Completed {
+                    class,
+                    latency_us,
+                    ok,
+                    ..
+                } => (class.name(), latency_us, ok),
+                hpf_service::ServiceEvent::Admitted { class, .. }
+                | hpf_service::ServiceEvent::Shed { class, .. }
+                | hpf_service::ServiceEvent::DeadlineExpired { class, .. }
+                | hpf_service::ServiceEvent::WorkerKilled { class, .. }
+                | hpf_service::ServiceEvent::Rollback { class, .. }
+                | hpf_service::ServiceEvent::Retry { class, .. } => (class.name(), 0, true),
+                hpf_service::ServiceEvent::WorkerRestarted { .. } => ("", 0, true),
+            };
+            bus.publish(
+                BusEvent {
+                    seq: 0,
+                    wall_s: 0.0,
+                    origin: BusOrigin::Service,
+                    kind: e.kind().to_string(),
+                    trace_id: e.trace_id(),
+                    class: class.to_string(),
+                    span: String::new(),
+                    label: String::new(),
+                    time_s: 0.0,
+                    latency_us,
+                    ok,
+                },
+                e.is_critical(),
+            );
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, trace_id: u64) -> BusEvent {
+        BusEvent {
+            seq,
+            wall_s: 0.25,
+            origin: BusOrigin::Machine,
+            kind: "AllReduce".to_string(),
+            trace_id,
+            class: String::new(),
+            span: format!("trace={trace_id:016x}/solve/iter=1/matvec"),
+            label: "dot-merge".to_string(),
+            time_s: 1.5e-4,
+            latency_us: 0,
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn ring_is_fifo_and_drops_when_full() {
+        let ring = RingBuffer::new(4);
+        assert_eq!(ring.capacity(), 4);
+        for i in 0..4 {
+            assert!(ring.push(ev(i, 1)));
+        }
+        assert!(!ring.push(ev(9, 1)), "full ring refuses, never blocks");
+        for i in 0..4 {
+            assert_eq!(ring.pop().unwrap().seq, i);
+        }
+        assert!(ring.pop().is_none());
+        // Wrap-around: the freed slots are reusable.
+        assert!(ring.push(ev(10, 1)));
+        assert_eq!(ring.pop().unwrap().seq, 10);
+    }
+
+    #[test]
+    fn ring_survives_concurrent_producers_and_consumer() {
+        let ring = Arc::new(RingBuffer::new(64));
+        let total = Arc::new(AtomicU64::new(0));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    let mut pushed = 0u64;
+                    for i in 0..500 {
+                        if ring.push(ev(p * 1000 + i, p)) {
+                            pushed += 1;
+                        }
+                    }
+                    pushed
+                })
+            })
+            .collect();
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            let total = Arc::clone(&total);
+            std::thread::spawn(move || {
+                let mut idle = 0;
+                while idle < 200 {
+                    match ring.pop() {
+                        Some(_) => {
+                            idle = 0;
+                            total.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            idle += 1;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            })
+        };
+        let pushed: u64 = producers.into_iter().map(|p| p.join().unwrap()).sum();
+        consumer.join().unwrap();
+        let drained = total.load(Ordering::Relaxed) + {
+            let mut rest = 0;
+            while ring.pop().is_some() {
+                rest += 1;
+            }
+            rest
+        };
+        assert_eq!(drained, pushed, "every accepted push pops exactly once");
+    }
+
+    #[test]
+    fn bus_event_jsonl_round_trips() {
+        let mut e = ev(42, 0xdead_beef);
+        e.origin = BusOrigin::Service;
+        e.kind = "shed".to_string();
+        e.class = "interactive".to_string();
+        e.label = "weird \"label\"\nnewline\\".to_string();
+        e.latency_us = 1234;
+        e.ok = false;
+        let line = e.to_jsonl();
+        crate::json::validate(&line).expect("bus jsonl is valid JSON");
+        let back = BusEvent::from_jsonl(&line).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn from_jsonl_tolerates_unknown_keys_and_rejects_garbage() {
+        let line = "{\"origin\":\"machine\",\"kind\":\"Fault\",\"trace\":\"ff\",\"future_key\":7}";
+        let e = BusEvent::from_jsonl(line).unwrap();
+        assert_eq!(e.trace_id, 0xff);
+        assert_eq!(e.kind, "Fault");
+        assert!(BusEvent::from_jsonl("not json").is_err());
+        assert!(
+            BusEvent::from_jsonl("{\"kind\":\"x\"}").is_err(),
+            "origin required"
+        );
+        assert!(BusEvent::from_jsonl("{\"origin\":\"bogus\"}").is_err());
+    }
+
+    #[test]
+    fn head_sampling_is_deterministic_consistent_and_rate_shaped() {
+        let policy = SamplingPolicy::with_rate(0.2);
+        // Sequential ids: the internal mix must make the decision
+        // uniform anyway (service trace ids derive from job counters).
+        let kept = (0..10_000u64).filter(|&id| policy.keep_job(id)).count();
+        // Well-mixed ids should land near the configured rate.
+        assert!((1_500..2_500).contains(&kept), "kept {kept} of 10000");
+        // Same id, same answer (all producers agree).
+        assert_eq!(policy.keep_job(77), policy.keep_job(77));
+        // Critical events bypass the head decision entirely.
+        assert!(SamplingPolicy::with_rate(0.0).keep(77, true));
+        assert!(!SamplingPolicy::with_rate(0.0).keep(77, false));
+        assert!(SamplingPolicy::keep_all().keep(77, false));
+    }
+
+    #[test]
+    fn bus_counts_sampled_out_and_dropped() {
+        let bus = EventBus::new(2, SamplingPolicy::with_rate(0.0));
+        bus.publish(ev(0, 5), false);
+        assert_eq!(bus.stats().sampled_out, 1);
+        bus.publish(ev(0, 5), true); // critical bypasses sampling
+        bus.publish(ev(0, 5), true);
+        bus.publish(ev(0, 5), true); // ring (cap 2) now overflows
+        let stats = bus.stats();
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.published, 3, "seq counts accepted publishes");
+        assert_eq!(bus.drain().len(), 2);
+    }
+
+    #[test]
+    fn machine_sink_streams_spans_with_trace_ids_mid_solve() {
+        use hpf_machine::Machine;
+        let bus = EventBus::new(256, SamplingPolicy::keep_all());
+        let mut m = Machine::hypercube(4);
+        m.set_tracing(false); // the bus needs no post-hoc trace
+        m.set_event_sink(bus.machine_sink());
+        {
+            let _t = hpf_machine::span::enter("trace=00000000000000ff");
+            let _s = hpf_machine::span::enter("solve");
+            m.compute_uniform(100, "local");
+            m.allreduce(1, "merge");
+        }
+        let events = bus.drain();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.trace_id == 0xff));
+        assert!(events.iter().all(|e| e.origin == BusOrigin::Machine));
+        assert_eq!(events[1].kind, "AllReduce");
+        assert!(events[1].span.ends_with("/solve"));
+    }
+
+    #[test]
+    fn service_sink_flattens_lifecycle_events() {
+        use hpf_service::{QosClass, ServiceEvent};
+        let bus = EventBus::new(16, SamplingPolicy::with_rate(0.0));
+        let sink = bus.service_sink();
+        // Sampled out: a completion under rate 0.
+        sink.emit(&ServiceEvent::Completed {
+            trace_id: 3,
+            class: QosClass::Batch,
+            latency_us: 900,
+            ok: true,
+        });
+        // Critical: a shed always lands.
+        sink.emit(&ServiceEvent::Shed {
+            trace_id: 4,
+            class: QosClass::Interactive,
+            predicted_us: 100,
+            budget_us: 10,
+        });
+        let events = bus.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "shed");
+        assert_eq!(events[0].class, "interactive");
+        assert_eq!(events[0].trace_id, 4);
+    }
+}

@@ -23,12 +23,18 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Maximum container nesting the validator will follow before rejecting
+/// the document. Deeply nested arrays/objects are almost always hostile
+/// or corrupt input, and an unbounded recursive-descent parser would
+/// turn them into a stack overflow.
+pub const MAX_DEPTH: usize = 128;
+
 /// Check that `s` is exactly one well-formed JSON value.
 pub fn validate(s: &str) -> Result<(), String> {
     let bytes = s.as_bytes();
     let mut pos = 0usize;
     skip_ws(bytes, &mut pos);
-    value(bytes, &mut pos)?;
+    value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
@@ -42,10 +48,13 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn value(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    if depth >= MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", *pos));
+    }
     match b.get(*pos) {
-        Some(b'{') => object(b, pos),
-        Some(b'[') => array(b, pos),
+        Some(b'{') => object(b, pos, depth),
+        Some(b'[') => array(b, pos, depth),
         Some(b'"') => string(b, pos),
         Some(b't') => literal(b, pos, b"true"),
         Some(b'f') => literal(b, pos, b"false"),
@@ -65,7 +74,7 @@ fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
     }
 }
 
-fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn object(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
     *pos += 1; // '{'
     skip_ws(b, pos);
     if b.get(*pos) == Some(&b'}') {
@@ -84,7 +93,7 @@ fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
         }
         *pos += 1;
         skip_ws(b, pos);
-        value(b, pos)?;
+        value(b, pos, depth + 1)?;
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -97,7 +106,7 @@ fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
     }
 }
 
-fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn array(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
     *pos += 1; // '['
     skip_ws(b, pos);
     if b.get(*pos) == Some(&b']') {
@@ -106,7 +115,7 @@ fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
     }
     loop {
         skip_ws(b, pos);
-        value(b, pos)?;
+        value(b, pos, depth + 1)?;
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -132,12 +141,32 @@ fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
                 match b.get(*pos) {
                     Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
                     Some(b'u') => {
-                        if b.len() < *pos + 5
-                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
-                        {
-                            return Err(format!("bad \\u escape at byte {pos}"));
-                        }
+                        let unit = hex_unit(b, *pos + 1)
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
                         *pos += 5;
+                        match unit {
+                            // A high surrogate must be immediately
+                            // followed by an escaped low surrogate.
+                            0xD800..=0xDBFF => {
+                                let low = (b.get(*pos) == Some(&b'\\')
+                                    && b.get(*pos + 1) == Some(&b'u'))
+                                .then(|| hex_unit(b, *pos + 2))
+                                .flatten();
+                                match low {
+                                    Some(0xDC00..=0xDFFF) => *pos += 6,
+                                    _ => {
+                                        return Err(format!(
+                                            "lone high surrogate at byte {}",
+                                            *pos - 5
+                                        ))
+                                    }
+                                }
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(format!("lone low surrogate at byte {}", *pos - 5))
+                            }
+                            _ => {}
+                        }
                     }
                     _ => return Err(format!("bad escape at byte {pos}")),
                 }
@@ -147,6 +176,14 @@ fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
         }
     }
     Err("unterminated string".to_string())
+}
+
+fn hex_unit(b: &[u8], at: usize) -> Option<u32> {
+    let digits = b.get(at..at + 4)?;
+    if !digits.iter().all(u8::is_ascii_hexdigit) {
+        return None;
+    }
+    u32::from_str_radix(std::str::from_utf8(digits).ok()?, 16).ok()
 }
 
 fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
@@ -259,5 +296,66 @@ mod tests {
         assert_eq!(json_f64(1.5), "1.5");
         assert_eq!(json_f64(f64::NAN), "null");
         assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn rejects_nonfinite_number_literals() {
+        for bad in [
+            "NaN",
+            "-NaN",
+            "Infinity",
+            "-Infinity",
+            "inf",
+            "-inf",
+            "1e",
+            "nan",
+        ] {
+            let err = validate(bad).unwrap_err();
+            assert!(!err.is_empty(), "should reject {bad:?}");
+            // Same rejection when embedded in a container.
+            assert!(validate(&format!("[{bad}]")).is_err(), "in array: {bad}");
+            assert!(
+                validate(&format!("{{\"x\":{bad}}}")).is_err(),
+                "in object: {bad}"
+            );
+        }
+        // json_f64 renders non-finite as null, which must validate.
+        assert!(validate(&format!("[{}]", json_f64(f64::NAN))).is_ok());
+    }
+
+    #[test]
+    fn rejects_deeply_nested_arrays_with_typed_error() {
+        let fits = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(validate(&fits).is_ok(), "depth {MAX_DEPTH} must pass");
+        let deep = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        let err = validate(&deep).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "got: {err}");
+        // Hostile depth far past the limit must not overflow the stack.
+        let hostile = "[".repeat(100_000);
+        assert!(validate(&hostile).is_err());
+        // Mixed object/array nesting counts too.
+        let mixed = "{\"a\":".repeat(MAX_DEPTH + 1) + "1" + &"}".repeat(MAX_DEPTH + 1);
+        assert!(validate(&mixed)
+            .unwrap_err()
+            .contains("nesting deeper than"));
+    }
+
+    #[test]
+    fn rejects_lone_surrogates_in_strings() {
+        // Valid pair: U+1F600 as \uD83D\uDE00.
+        assert!(validate("\"\\uD83D\\uDE00\"").is_ok());
+        // Lone high, high+non-escape, high+wrong-escape, lone low.
+        for (bad, want) in [
+            ("\"\\uD83D\"", "lone high surrogate"),
+            ("\"\\uD83Dx\"", "lone high surrogate"),
+            ("\"\\uD83D\\n\"", "lone high surrogate"),
+            ("\"\\uD800\\uD800\"", "lone high surrogate"),
+            ("\"\\uDE00\"", "lone low surrogate"),
+        ] {
+            let err = validate(bad).unwrap_err();
+            assert!(err.contains(want), "{bad}: got {err}");
+        }
+        // Non-surrogate escapes are unaffected.
+        assert!(validate("\"\\u00e9\\u0041\"").is_ok());
     }
 }

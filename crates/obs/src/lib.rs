@@ -36,16 +36,20 @@
 
 pub mod admission;
 pub mod analysis;
+pub mod bus;
 pub mod gate;
 pub mod json;
 pub mod oracle;
 pub mod perfetto;
+pub mod profile;
 pub mod prom;
+pub mod slo;
 pub mod telemetry;
 pub mod timeline;
 
 pub use admission::{percentile_us, AdmissionAudit, ShedSample};
 pub use analysis::{critical_path, load_imbalance, span_costs, CriticalPathReport, SpanCost};
+pub use bus::{BusEvent, BusOrigin, BusStats, EventBus, RingBuffer, SamplingPolicy};
 pub use gate::{
     render_diff, BenchRecord, GateError, GateOutcome, RegressionGate, Violation,
     BENCH_SCHEMA_VERSION,
@@ -55,6 +59,8 @@ pub use hpf_machine::{ScopeGuard, Span};
 pub use hpf_solvers::{IterObserver, IterSample, NullObserver, RecordingObserver};
 pub use oracle::{classify, CategoryDrift, DriftCategory, DriftReport, IterDrift, WorstOffender};
 pub use perfetto::{trace_events_json, PerfettoError};
+pub use profile::{normalize_path, HotSpan, SpanProfile};
 pub use prom::{render_prometheus, snapshot_from_json};
+pub use slo::{AlertState, AlertTransition, SloSpec, SloStatus, SloTracker};
 pub use telemetry::ConvergenceLog;
 pub use timeline::{Slice, Timeline};

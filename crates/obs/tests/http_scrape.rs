@@ -97,6 +97,39 @@ fn live_serve_loop_is_scrapable_end_to_end() {
     assert_eq!(body, report.to_json());
     assert!(body.contains("\"categories\""));
 
+    // /slo and /alerts 404 until a tracker publishes, then serve the
+    // tracker's JSON documents verbatim.
+    for path in ["/slo", "/alerts"] {
+        let (head, _) = http_get(server.addr(), path);
+        assert!(head.starts_with("HTTP/1.1 404"), "{path}: {head}");
+    }
+    let mut slo = hpf_obs::SloTracker::soak_defaults();
+    // A clean sample then a sustained breach, so the published state
+    // carries a live alert and a non-empty transition log.
+    slo.observe(0.5, hpf_service::QosClass::Interactive, 1_000, true);
+    let mut now = 1.0;
+    while now < 6.0 {
+        slo.observe_refusal(now, hpf_service::QosClass::Interactive);
+        slo.evaluate(now);
+        now += 0.1;
+    }
+    server.publish_slo(slo.status_json());
+    server.publish_alerts(slo.alerts_json());
+
+    let (head, body) = http_get(server.addr(), "/slo");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    hpf_obs::json::validate(&body).expect("slo body is strict JSON");
+    assert_eq!(body, slo.status_json());
+    assert!(body.contains("\"class\":\"interactive\""), "{body}");
+    assert!(body.contains("\"state\":\"firing\""), "{body}");
+
+    let (head, body) = http_get(server.addr(), "/alerts");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    hpf_obs::json::validate(&body).expect("alerts body is strict JSON");
+    assert_eq!(body, slo.alerts_json());
+    assert!(body.contains("\"to\":\"pending\""), "{body}");
+    assert!(body.contains("\"to\":\"firing\""), "{body}");
+
     // Shutdown flips /healthz to draining / 503.
     service.shutdown();
     let (head, body) = http_get(server.addr(), "/healthz");

@@ -7,7 +7,13 @@
 //!   circuit breakers, uptime; answers `503` once shutdown has begun,
 //! - `GET /drift`    — the most recently published cost-oracle
 //!   `DriftReport` JSON (published by the embedding process via
-//!   [`MetricsServer::publish_drift`]), `404` until one exists.
+//!   [`MetricsServer::publish_drift`]), `404` until one exists,
+//! - `GET /slo`      — the most recently published per-class SLO status
+//!   JSON ([`MetricsServer::publish_slo`]), `404` until one exists,
+//! - `GET /alerts`   — the most recently published burn-rate alert
+//!   state JSON ([`MetricsServer::publish_alerts`]), `404` until one
+//!   exists. The SLO evaluation itself lives in `hpf-obs::slo`; the
+//!   embedding process evaluates and publishes here.
 //!
 //! This is intentionally *not* a web framework: one accept loop on a
 //! background thread, one short-lived connection per scrape, request
@@ -25,12 +31,21 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Documents published by the embedding process and served verbatim
+/// (`404` until first published).
+#[derive(Default)]
+pub(crate) struct Published {
+    pub drift: Mutex<Option<String>>,
+    pub slo: Mutex<Option<String>>,
+    pub alerts: Mutex<Option<String>>,
+}
+
 /// Handle to a running metrics listener. Dropping it stops the accept
 /// loop and joins the thread.
 pub struct MetricsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    drift: Arc<Mutex<Option<String>>>,
+    published: Arc<Published>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -44,7 +59,19 @@ impl MetricsServer {
     /// Install `report_json` as the document served at `GET /drift`.
     /// Replaces any previously published report.
     pub fn publish_drift(&self, report_json: String) {
-        *self.drift.lock() = Some(report_json);
+        *self.published.drift.lock() = Some(report_json);
+    }
+
+    /// Install `slo_json` as the document served at `GET /slo`.
+    /// Replaces any previously published status.
+    pub fn publish_slo(&self, slo_json: String) {
+        *self.published.slo.lock() = Some(slo_json);
+    }
+
+    /// Install `alerts_json` as the document served at `GET /alerts`.
+    /// Replaces any previously published state.
+    pub fn publish_alerts(&self, alerts_json: String) {
+        *self.published.alerts.lock() = Some(alerts_json);
     }
 
     /// Stop the accept loop and join the listener thread. Idempotent.
@@ -77,15 +104,15 @@ pub(crate) fn spawn(addr: &str, state: HttpState) -> std::io::Result<MetricsServ
     let local = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let stop = Arc::new(AtomicBool::new(false));
-    let drift = Arc::new(Mutex::new(None));
+    let published = Arc::new(Published::default());
     let loop_stop = stop.clone();
-    let loop_drift = drift.clone();
+    let loop_published = published.clone();
     let handle = std::thread::Builder::new()
         .name("hpf-metrics-http".to_string())
         .spawn(move || {
             while !loop_stop.load(Ordering::SeqCst) {
                 match listener.accept() {
-                    Ok((stream, _)) => handle_connection(stream, &state, &loop_drift),
+                    Ok((stream, _)) => handle_connection(stream, &state, &loop_published),
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(5));
                     }
@@ -96,12 +123,12 @@ pub(crate) fn spawn(addr: &str, state: HttpState) -> std::io::Result<MetricsServ
     Ok(MetricsServer {
         addr: local,
         stop,
-        drift,
+        published,
         handle: Some(handle),
     })
 }
 
-fn handle_connection(mut stream: TcpStream, state: &HttpState, drift: &Mutex<Option<String>>) {
+fn handle_connection(mut stream: TcpStream, state: &HttpState, published: &Published) {
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
@@ -116,7 +143,7 @@ fn handle_connection(mut stream: TcpStream, state: &HttpState, drift: &Mutex<Opt
     let mut parts = request.lines().next().unwrap_or("").split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
-    let (status, content_type, body) = route(method, path, state, drift);
+    let (status, content_type, body) = route(method, path, state, published);
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
@@ -128,7 +155,7 @@ fn route(
     method: &str,
     path: &str,
     state: &HttpState,
-    drift: &Mutex<Option<String>>,
+    published: &Published,
 ) -> (&'static str, &'static str, String) {
     if method != "GET" {
         return (
@@ -178,7 +205,7 @@ fn route(
             );
             (code, "application/json", body)
         }
-        "/drift" => match drift.lock().clone() {
+        "/drift" => match published.drift.lock().clone() {
             Some(report) => ("200 OK", "application/json", report),
             None => (
                 "404 Not Found",
@@ -186,10 +213,26 @@ fn route(
                 "no drift report published yet\n".to_string(),
             ),
         },
+        "/slo" => match published.slo.lock().clone() {
+            Some(status) => ("200 OK", "application/json", status),
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no slo status published yet\n".to_string(),
+            ),
+        },
+        "/alerts" => match published.alerts.lock().clone() {
+            Some(alerts) => ("200 OK", "application/json", alerts),
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no alert state published yet\n".to_string(),
+            ),
+        },
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; try /metrics, /healthz or /drift\n".to_string(),
+            "not found; try /metrics, /healthz, /drift, /slo or /alerts\n".to_string(),
         ),
     }
 }
@@ -241,6 +284,25 @@ mod tests {
         let drift = get(server.addr(), "/drift");
         assert!(drift.starts_with("HTTP/1.1 200 OK"), "{drift}");
         assert!(drift.contains("\"total_measured\":1"));
+        server.stop();
+    }
+
+    #[test]
+    fn slo_and_alerts_are_404_until_published() {
+        let mut server = spawn("127.0.0.1:0", test_state()).unwrap();
+        assert!(get(server.addr(), "/slo").starts_with("HTTP/1.1 404"));
+        assert!(get(server.addr(), "/alerts").starts_with("HTTP/1.1 404"));
+        server.publish_slo("{\"class\":\"interactive\"}".to_string());
+        server.publish_alerts("[{\"state\":\"firing\"}]".to_string());
+        let slo = get(server.addr(), "/slo");
+        assert!(slo.starts_with("HTTP/1.1 200 OK"), "{slo}");
+        assert!(slo.contains("\"class\":\"interactive\""));
+        let alerts = get(server.addr(), "/alerts");
+        assert!(alerts.starts_with("HTTP/1.1 200 OK"), "{alerts}");
+        assert!(alerts.contains("\"state\":\"firing\""));
+        // The 404 fallback advertises the new endpoints.
+        let missing = get(server.addr(), "/nope");
+        assert!(missing.contains("/alerts"), "{missing}");
         server.stop();
     }
 

@@ -34,6 +34,7 @@
 
 pub mod admission;
 pub mod batch;
+pub mod events;
 pub mod fingerprint;
 pub mod http;
 pub mod metrics;
@@ -46,6 +47,7 @@ pub mod supervisor;
 pub mod worker;
 
 pub use admission::{AdmissionController, AdmissionDecision};
+pub use events::{ServiceEvent, ServiceEventSink};
 pub use fingerprint::Fingerprint;
 pub use http::MetricsServer;
 pub use metrics::{Metrics, MetricsSnapshot, SolveOutcome, LATENCY_BUCKET_BOUNDS_US};

@@ -228,6 +228,24 @@ fn sanitize_label(s: &str) -> String {
     }
 }
 
+/// Escape a label value for the Prometheus text exposition format:
+/// backslash, double quote, and newline must be escaped inside quoted
+/// label values. Applied at exposition time so the output stays
+/// well-formed even for snapshots built outside `record_outcome` (e.g.
+/// deserialized from JSON), where `sanitize_label` never ran.
+fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// One `(solver, scenario)` row of the labeled outcome counters.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SolveOutcome {
@@ -466,7 +484,9 @@ impl MetricsSnapshot {
             for o in &self.solve_outcomes {
                 out.push_str(&format!(
                     "{PREFIX}_solve_completed_total{{solver=\"{}\",scenario=\"{}\"}} {}\n",
-                    o.solver, o.scenario, o.completed
+                    escape_label_value(&o.solver),
+                    escape_label_value(&o.scenario),
+                    o.completed
                 ));
             }
             out.push_str(&format!(
@@ -476,7 +496,9 @@ impl MetricsSnapshot {
             for o in &self.solve_outcomes {
                 out.push_str(&format!(
                     "{PREFIX}_solve_failed_total{{solver=\"{}\",scenario=\"{}\"}} {}\n",
-                    o.solver, o.scenario, o.failed
+                    escape_label_value(&o.solver),
+                    escape_label_value(&o.scenario),
+                    o.failed
                 ));
             }
         }
@@ -708,5 +730,38 @@ mod tests {
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             assert_eq!(line.split(' ').count(), 2, "bad line {line:?}");
         }
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped_at_exposition_time() {
+        // A snapshot built directly (deserialized, hand-assembled) never
+        // went through record-time sanitization, so the exposition must
+        // escape backslash, quote, and newline itself.
+        let mut s = Metrics::new().snapshot();
+        s.solve_outcomes.push(SolveOutcome {
+            solver: "cg\"evil".into(),
+            scenario: "a\\b\nc".into(),
+            completed: 1,
+            failed: 2,
+        });
+        let text = s.to_prometheus();
+        assert!(
+            text.contains(
+                "hpf_service_solve_completed_total{solver=\"cg\\\"evil\",scenario=\"a\\\\b\\nc\"} 1"
+            ),
+            "{text}"
+        );
+        // The raw newline must not survive into the exposition: every
+        // non-comment line still parses as exactly `name_or_labels value`.
+        for line in text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+        {
+            assert_eq!(line.split(' ').count(), 2, "bad line {line:?}");
+        }
+        assert_eq!(escape_label_value("plain-label_1"), "plain-label_1");
+        assert_eq!(escape_label_value("q\"x"), "q\\\"x");
+        assert_eq!(escape_label_value("b\\x"), "b\\\\x");
+        assert_eq!(escape_label_value("n\nx"), "n\\nx");
     }
 }

@@ -129,6 +129,12 @@ pub struct SolveRequest {
     pub qos: QosClass,
     /// Free-form tenant label (reporting only; scheduling is by `qos`).
     pub tenant: String,
+    /// Request trace id, propagated through every telemetry event this
+    /// job produces (admission verdict, bus events, the worker's
+    /// `trace=<hex>` machine span). `0` means "assign one for me": the
+    /// service derives a deterministic non-zero id from the job id at
+    /// submission.
+    pub trace_id: u64,
 }
 
 impl SolveRequest {
@@ -149,6 +155,7 @@ impl SolveRequest {
             grid: None,
             qos: QosClass::Batch,
             tenant: "anonymous".to_string(),
+            trace_id: 0,
         }
     }
 
@@ -226,6 +233,13 @@ impl SolveRequest {
         self.tenant = tenant.into();
         self
     }
+
+    /// Carry a caller-chosen trace id (`0` = let the service assign a
+    /// deterministic one at submission).
+    pub fn trace(mut self, trace_id: u64) -> Self {
+        self.trace_id = trace_id;
+        self
+    }
 }
 
 /// Static service configuration, fixed at start-up.
@@ -290,6 +304,16 @@ pub struct ServiceConfig {
     pub restart_backoff_base: Duration,
     /// Worker-restart backoff ceiling.
     pub restart_backoff_cap: Duration,
+    /// Live telemetry tap for service lifecycle events (admission,
+    /// sheds, kills, completions — see [`crate::ServiceEvent`]). `None`
+    /// keeps the service silent; `hpf-obs::bus` provides an adapter.
+    #[serde(skip)]
+    pub event_sink: Option<crate::events::ServiceEventSink>,
+    /// Live telemetry tap installed on every worker's simulated machine
+    /// ([`hpf_machine::EventSink`]), streaming machine-level events
+    /// (spans, faults, collectives) out mid-solve.
+    #[serde(skip)]
+    pub machine_sink: Option<hpf_machine::EventSink>,
 }
 
 impl Default for ServiceConfig {
@@ -318,6 +342,8 @@ impl Default for ServiceConfig {
             supervisor_poll: Duration::from_millis(20),
             restart_backoff_base: Duration::from_millis(10),
             restart_backoff_cap: Duration::from_secs(1),
+            event_sink: None,
+            machine_sink: None,
         }
     }
 }

@@ -219,17 +219,34 @@ impl SolverService {
                 .fetch_add(1, Ordering::Relaxed);
             return Err(ServiceError::InvalidRequest(why));
         }
+        let mut request = request;
+        // Stamp a deterministic non-zero trace id before any telemetry
+        // fires, so the shed event and the worker's machine span carry
+        // the same id. Callers may pre-assign their own via `.trace()`.
+        let job_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if request.trace_id == 0 {
+            request.trace_id = crate::events::derive_trace_id(job_id);
+        }
         let predicted_us = match self.admission.decide(&request) {
             AdmissionDecision::Admit { predicted_us } => predicted_us,
             AdmissionDecision::Shed { predicted, budget } => {
                 self.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+                crate::events::emit(
+                    &self.config.event_sink,
+                    crate::ServiceEvent::Shed {
+                        trace_id: request.trace_id,
+                        class: request.qos,
+                        predicted_us: predicted.as_micros() as u64,
+                        budget_us: budget.as_micros() as u64,
+                    },
+                );
                 return Err(ServiceError::Shed { predicted, budget });
             }
         };
-        let job_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = bounded(1);
         let qos = request.qos;
         let class = qos.index();
+        let trace_id = request.trace_id;
         let job = Job {
             id: job_id,
             fingerprint: Fingerprint::of(&request.matrix),
@@ -246,6 +263,14 @@ impl SolverService {
                 self.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
                 self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
                 self.metrics.class_queue_depth[class].fetch_add(1, Ordering::Relaxed);
+                crate::events::emit(
+                    &self.config.event_sink,
+                    crate::ServiceEvent::Admitted {
+                        trace_id,
+                        class: qos,
+                        predicted_us,
+                    },
+                );
                 // Wake the dispatcher *after* the job is in its queue.
                 if let Some(signal) = self.signal_tx.as_ref() {
                     let _ = signal.send(());

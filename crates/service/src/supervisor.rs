@@ -203,6 +203,10 @@ pub fn supervisor_loop(
                     .metrics
                     .worker_restarts
                     .fetch_add(1, Ordering::Relaxed);
+                crate::events::emit(
+                    &factory.config.event_sink,
+                    crate::ServiceEvent::WorkerRestarted { worker: i },
+                );
             }
         }
     }

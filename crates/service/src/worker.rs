@@ -16,6 +16,7 @@
 
 use crate::admission::AdmissionController;
 use crate::batch::Batch;
+use crate::events::{self, ServiceEvent, ServiceEventSink};
 use crate::metrics::Metrics;
 use crate::plan::{CacheOutcome, PlanCache, SolvePlan};
 use crate::request::{ServiceConfig, SolverKind};
@@ -39,6 +40,18 @@ use std::time::Instant;
 /// remainder. Expired jobs get a typed error instead of occupying a
 /// worker — the queue can shed load it can no longer serve in time.
 pub fn shed_expired(batch: Batch, metrics: &Metrics, admission: &AdmissionController) -> Batch {
+    shed_expired_with_sink(batch, metrics, admission, &None)
+}
+
+/// [`shed_expired`] with a live-telemetry tap: each expiry emits a
+/// [`ServiceEvent::DeadlineExpired`] plus the terminal
+/// [`ServiceEvent::Completed`] (`ok: false`).
+pub fn shed_expired_with_sink(
+    batch: Batch,
+    metrics: &Metrics,
+    admission: &AdmissionController,
+    sink: &Option<ServiceEventSink>,
+) -> Batch {
     let now = Instant::now();
     let (expired, live): (Vec<_>, Vec<_>) = batch
         .jobs
@@ -50,6 +63,22 @@ pub fn shed_expired(batch: Batch, metrics: &Metrics, admission: &AdmissionContro
         metrics.failed.fetch_add(1, Ordering::Relaxed);
         metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
         let waited = now.duration_since(job.submitted);
+        events::emit(
+            sink,
+            ServiceEvent::DeadlineExpired {
+                trace_id: job.request.trace_id,
+                class: job.request.qos,
+            },
+        );
+        events::emit(
+            sink,
+            ServiceEvent::Completed {
+                trace_id: job.request.trace_id,
+                class: job.request.qos,
+                latency_us: waited.as_micros() as u64,
+                ok: false,
+            },
+        );
         let _ = job
             .responder
             .send(Err(ServiceError::DeadlineExceeded { waited }));
@@ -72,7 +101,7 @@ pub fn execute_batch(
     admission: &AdmissionController,
     worker_state: Option<&Arc<WorkerState>>,
 ) {
-    let batch = shed_expired(batch, metrics, admission);
+    let batch = shed_expired_with_sink(batch, metrics, admission, &config.event_sink);
     if batch.jobs.is_empty() {
         return;
     }
@@ -83,6 +112,15 @@ pub fn execute_batch(
             metrics.breaker_open.fetch_add(1, Ordering::Relaxed);
             metrics.failed.fetch_add(1, Ordering::Relaxed);
             metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+            events::emit(
+                &config.event_sink,
+                ServiceEvent::Completed {
+                    trace_id: job.request.trace_id,
+                    class: job.request.qos,
+                    latency_us: job.submitted.elapsed().as_micros() as u64,
+                    ok: false,
+                },
+            );
             let _ = job
                 .responder
                 .send(Err(ServiceError::CircuitOpen { fingerprint }));
@@ -144,6 +182,11 @@ pub fn execute_batch(
             RowwiseCsr::with_row_cuts(matrix.as_ref().clone(), config.np, plan.row_cuts.clone());
         let mut machine = Machine::new(config.np, config.topology, CostModel::mpp_1995());
         machine.set_tracing(true);
+        if let Some(sink) = &config.machine_sink {
+            // Live telemetry: every event this machine records streams
+            // through the bus adapter mid-solve.
+            machine.set_event_sink(sink.clone());
+        }
         (plan, source, op, machine)
     }));
     let (plan, source, op, mut machine) = match setup {
@@ -183,8 +226,11 @@ pub fn execute_batch(
     }
 
     for job in batch.jobs {
-        // Tag every machine event this job induces with its id, so
-        // multi-job traces stay attributable: "job=7/solve/iter=3/...".
+        // Tag every machine event this job induces with its request's
+        // trace id and job id, so multi-job traces stay attributable and
+        // a live consumer can join machine spans with service events:
+        // "trace=00c0ffee/job=7/solve/iter=3/...".
+        let _trace_span = hpf_machine::span::enter(format!("trace={:016x}", job.request.trace_id));
         let _job_span = hpf_machine::span::enter(format!("job={}", job.id));
         let job_started = Instant::now();
         if let Some(state) = worker_state {
@@ -247,12 +293,29 @@ pub fn execute_batch(
                         metrics
                             .rollbacks
                             .fetch_add(rec.rollbacks as u64, Ordering::Relaxed);
+                        for _ in 0..rec.rollbacks {
+                            events::emit(
+                                &config.event_sink,
+                                ServiceEvent::Rollback {
+                                    trace_id: job.request.trace_id,
+                                    class: job.request.qos,
+                                },
+                            );
+                        }
                     }
                     break Ok((solutions, stats, recovery));
                 }
                 Ok(Err(e)) => {
                     if attempts < max_attempts && is_retryable(&e) {
                         metrics.retries.fetch_add(1, Ordering::Relaxed);
+                        events::emit(
+                            &config.event_sink,
+                            ServiceEvent::Retry {
+                                trace_id: job.request.trace_id,
+                                class: job.request.qos,
+                                attempt: attempts + 1,
+                            },
+                        );
                         if config.escalation_enabled {
                             if let Some(next) = escalate(kind) {
                                 kind = next;
@@ -271,9 +334,16 @@ pub fn execute_batch(
                 }
                 Err(payload) => {
                     if payload.as_ref().downcast_ref::<SupervisorAbort>().is_some() {
-                        break Err(ServiceError::WorkerKilled {
-                            after: job_started.elapsed(),
-                        });
+                        let after = job_started.elapsed();
+                        events::emit(
+                            &config.event_sink,
+                            ServiceEvent::WorkerKilled {
+                                trace_id: job.request.trace_id,
+                                class: job.request.qos,
+                                after_us: after.as_micros() as u64,
+                            },
+                        );
+                        break Err(ServiceError::WorkerKilled { after });
                     }
                     break Err(ServiceError::WorkerPanic(panic_message(payload.as_ref())));
                 }
@@ -330,6 +400,18 @@ pub fn execute_batch(
                 Err(e)
             }
         };
+        // Terminal telemetry event: exactly one `Completed` per answered
+        // handle, success or typed failure (the SLO tracker's unit of
+        // account for latency and error-budget burn).
+        events::emit(
+            &config.event_sink,
+            ServiceEvent::Completed {
+                trace_id: job.request.trace_id,
+                class: job.request.qos,
+                latency_us: job.submitted.elapsed().as_micros() as u64,
+                ok: result.is_ok(),
+            },
+        );
         let _ = job.responder.send(result);
         if let Some(state) = worker_state {
             *state.current.lock() = None;
