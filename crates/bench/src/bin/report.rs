@@ -13,7 +13,10 @@ fn main() {
             match experiments::run_one(&a.to_lowercase()) {
                 Some(t) => out.push(t),
                 None => {
-                    eprintln!("unknown experiment id '{a}' (expected e1..e27, or 'soak')");
+                    eprintln!(
+                        "unknown experiment id '{a}' \
+                         (expected e1..e30, or 'soak'/'telemetry'/'rca')"
+                    );
                     std::process::exit(2);
                 }
             }

@@ -34,6 +34,17 @@
 //!   span parameters are normalized (`iter=12` → `iter=*`) so the
 //!   profile aggregates across iterations and requests (needs `--trace`)
 //!
+//! Post-mortem mode: `--postmortem FILE` reads a flight-recorder dump
+//! (`Postmortem::to_json`, what `/postmortems/<trace>` serves) and
+//! renders it with:
+//! - `postmortem`  the full autopsy: trigger, ranked causes with
+//!   confidence, retained-evidence counts, narrative
+//! - `explain`     just the one-paragraph narrative
+//!
+//! Both refuse (exit 1) any input without the `hpf-postmortem/1` schema
+//! marker — pointing them at a clean trace or a metrics file is an
+//! error, not an empty report.
+//!
 //! Live mode: `--follow FILE` tails a bus JSONL file (what
 //! `EventBus::drain` + `BusEvent::to_jsonl` append during a run),
 //! feeding the span profiler and the SLO tracker as lines land. It
@@ -41,7 +52,9 @@
 //! every alert transition, and exits once the file has been idle for
 //! `--idle-ms` (default 2000; `--interval-ms` sets the poll period).
 //! Partial trailing lines (a writer mid-append) are left for the next
-//! poll. Exits non-zero when no bus event was ever seen.
+//! poll. A file that *shrinks* between polls (log rotation or
+//! truncation) is re-read from the start instead of being silently
+//! ignored. Exits non-zero when no bus event was ever seen.
 //!
 //! The oracle formats price the trace under `--topology` (default
 //! `hypercube`) and `--cost` (default `mpp-1995`; also `lan-cluster`,
@@ -69,6 +82,7 @@ use std::path::PathBuf;
 struct Args {
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    postmortem: Option<PathBuf>,
     formats: Vec<String>,
     out: Option<PathBuf>,
     topology: Topology,
@@ -81,8 +95,9 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: trace-report [--trace FILE] [--metrics FILE] \
-         [--format perfetto|prom|csv|summary|drift|drift-json|partition|mg|flame]... \
+        "usage: trace-report [--trace FILE] [--metrics FILE] [--postmortem FILE] \
+         [--format perfetto|prom|csv|summary|drift|drift-json|partition|mg|flame|\
+         postmortem|explain]... \
          [--topology NAME] [--cost PRESET] [--out DIR] [--quiet]\n\
          \x20      trace-report --follow BUS.jsonl [--interval-ms N] [--idle-ms N] [--quiet]\n\
          \x20      trace-report bench-diff PREV.json CUR.json \
@@ -121,6 +136,7 @@ fn parse_args(raw: Vec<String>) -> Args {
     let mut args = Args {
         trace: None,
         metrics: None,
+        postmortem: None,
         formats: Vec::new(),
         out: None,
         topology: Topology::Hypercube,
@@ -145,6 +161,7 @@ fn parse_args(raw: Vec<String>) -> Args {
         match flag.as_str() {
             "--trace" => args.trace = Some(PathBuf::from(value("--trace"))),
             "--metrics" => args.metrics = Some(PathBuf::from(value("--metrics"))),
+            "--postmortem" => args.postmortem = Some(PathBuf::from(value("--postmortem"))),
             "--format" => args.formats.push(value("--format")),
             "--out" => args.out = Some(PathBuf::from(value("--out"))),
             "--topology" => args.topology = parse_topology(&value("--topology")),
@@ -246,6 +263,10 @@ enum ReportError {
     /// `--format mg` on a trace where no event's span carries a
     /// `level=L` segment: nothing was executed inside a V-cycle.
     NoLevelSpans { events: usize },
+    /// `--format postmortem|explain` on input that is not a
+    /// flight-recorder dump (a clean trace, a metrics file, garbage):
+    /// refuse rather than render an empty autopsy.
+    NotAPostmortem { why: String },
 }
 
 impl std::fmt::Display for ReportError {
@@ -259,8 +280,52 @@ impl std::fmt::Display for ReportError {
                 f,
                 "mg report needs level= span segments; none among the {events} traced"
             ),
+            ReportError::NotAPostmortem { why } => {
+                write!(f, "input is not a flight-recorder post-mortem: {why}")
+            }
         }
     }
+}
+
+/// Parse a flight-recorder dump, refusing anything without the schema
+/// marker (the typed path behind `--format postmortem|explain`).
+fn parse_postmortem(text: &str) -> Result<hpf_obs::PostmortemSummary, ReportError> {
+    hpf_obs::postmortem_summary_from_json(text).map_err(|why| ReportError::NotAPostmortem { why })
+}
+
+fn load_postmortem(args: &Args) -> hpf_obs::PostmortemSummary {
+    let path = args
+        .postmortem
+        .as_ref()
+        .unwrap_or_else(|| fail("this format needs --postmortem FILE"));
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+    parse_postmortem(&text).unwrap_or_else(|e| fail(&e.to_string()))
+}
+
+fn render_postmortem(pm: &hpf_obs::PostmortemSummary) -> String {
+    let mut out = format!("post-mortem {} (class {})\n", pm.trace, pm.class);
+    out.push_str(&format!(
+        "trigger: {}   outcome: {}\n",
+        pm.trigger, pm.outcome
+    ));
+    out.push_str(&format!(
+        "evidence retained: {} machine event(s) ({} overwritten), {} service event(s), {} \
+         residual sample(s)\n",
+        pm.machine_events, pm.machine_overwritten, pm.service_events, pm.residual_samples
+    ));
+    out.push_str("ranked causes:\n");
+    for (i, (verdict, confidence)) in pm.causes.iter().enumerate() {
+        out.push_str(&format!(
+            "  {}. {:<22} confidence {:.2}\n",
+            i + 1,
+            verdict,
+            confidence
+        ));
+    }
+    out.push_str("narrative:\n");
+    out.push_str(&format!("  {}\n", pm.narrative));
+    out
 }
 
 /// Label prefix every partitioner-driven redistribution carries (see
@@ -496,7 +561,12 @@ fn follow_consume(
     latest_wall: &mut f64,
     malformed: &mut u64,
 ) -> u64 {
-    let unseen = &text[(*processed).min(text.len())..];
+    if text.len() < *processed {
+        // The file shrank between polls: it was rotated or truncated by
+        // the writer. Everything in it is new — re-read from the start.
+        *processed = 0;
+    }
+    let unseen = &text[*processed..];
     let Some(last_nl) = unseen.rfind('\n') else {
         return 0;
     };
@@ -635,6 +705,11 @@ fn main() {
                 hpf_obs::json::validate(&json)
                     .unwrap_or_else(|e| fail(&format!("drift export invalid: {e}")));
                 (json, "drift.json")
+            }
+            "postmortem" => (render_postmortem(&load_postmortem(&args)), "postmortem.txt"),
+            "explain" => {
+                let pm = load_postmortem(&args);
+                (format!("{}\n", pm.narrative), "explain.txt")
             }
             "flame" => {
                 let trace = load_trace(&args);
@@ -825,6 +900,102 @@ mod tests {
         assert_eq!(processed, text.len());
         assert_eq!(malformed, 0);
         assert!(profile.top_k(1)[0].stack.contains("matvec"), "span kept");
+    }
+
+    #[test]
+    fn follow_consume_survives_log_rotation() {
+        use hpf_machine::span;
+        let drain_text = |bus: &hpf_obs::EventBus| {
+            let mut text = String::new();
+            for e in bus.drain() {
+                text.push_str(&e.to_jsonl());
+                text.push('\n');
+            }
+            text
+        };
+        let bus = hpf_obs::EventBus::new(64, hpf_obs::SamplingPolicy::keep_all());
+        let mut m = traced_machine();
+        m.set_event_sink(bus.machine_sink());
+        {
+            let _t = span::enter("trace=00000000000000ab");
+            let _s = span::enter("solve");
+            m.allreduce(4, "dot-merge");
+            m.allreduce(4, "dot-merge");
+            m.allreduce(4, "dot-merge");
+        }
+        let first = drain_text(&bus);
+        {
+            let _t = span::enter("trace=00000000000000cd");
+            let _s = span::enter("solve");
+            m.allreduce(4, "dot-merge");
+        }
+        // The rotated file is SHORTER than what was already consumed.
+        let rotated = drain_text(&bus);
+        assert!(rotated.len() < first.len());
+
+        let mut profile = hpf_obs::SpanProfile::new();
+        let mut slo = hpf_obs::SloTracker::soak_defaults();
+        let (mut processed, mut wall, mut malformed) = (0usize, 0.0f64, 0u64);
+        let landed = follow_consume(
+            &first,
+            &mut processed,
+            &mut profile,
+            &mut slo,
+            &mut wall,
+            &mut malformed,
+        );
+        assert_eq!(landed, 3);
+        assert_eq!(processed, first.len());
+        // Next poll sees the rotated (smaller) file: consumption must
+        // restart at offset 0 instead of waiting for the file to grow
+        // past the stale offset.
+        let landed = follow_consume(
+            &rotated,
+            &mut processed,
+            &mut profile,
+            &mut slo,
+            &mut wall,
+            &mut malformed,
+        );
+        assert_eq!(landed, 1, "post-rotation events land");
+        assert_eq!(processed, rotated.len());
+        assert_eq!(malformed, 0);
+    }
+
+    #[test]
+    fn postmortem_formats_render_dumps_and_refuse_everything_else() {
+        use hpf_obs::{FlightRecorder, FlightRecorderConfig};
+        use hpf_service::{QosClass, ServiceEvent};
+        let fr = FlightRecorder::new(FlightRecorderConfig::default());
+        fr.service_sink(None).emit(&ServiceEvent::Completed {
+            trace_id: 0xbeef,
+            class: QosClass::Batch,
+            latency_us: 777,
+            ok: false,
+            outcome: "recovery-exhausted",
+        });
+        let doc = fr.postmortems()[0].to_json();
+        let pm = parse_postmortem(&doc).expect("real dump parses");
+        let rendered = render_postmortem(&pm);
+        assert!(
+            rendered.contains("post-mortem 000000000000beef"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("trigger: recovery-exhausted"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("ranked causes:"), "{rendered}");
+        assert!(rendered.contains(&pm.narrative), "{rendered}");
+
+        // A clean machine trace is NOT a post-mortem: typed refusal.
+        let mut m = traced_machine();
+        m.allreduce(8, "dot-merge");
+        let clean = m.trace().to_jsonl();
+        let err = parse_postmortem(clean.lines().next().unwrap()).expect_err("clean trace");
+        assert!(matches!(err, ReportError::NotAPostmortem { .. }));
+        assert!(err.to_string().contains("hpf-postmortem/1"), "{err}");
+        assert!(parse_postmortem("not json").is_err());
     }
 
     #[test]

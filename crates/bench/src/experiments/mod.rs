@@ -12,6 +12,7 @@ pub mod matvec_exp;
 pub mod mg_exp;
 pub mod obs_exp;
 pub mod partition_exp;
+pub mod rca_exp;
 pub mod service_exp;
 pub mod soak_exp;
 pub mod solvers_exp;
@@ -53,12 +54,13 @@ pub fn run_all() -> Vec<Table> {
         soak_exp::e27_chaos_soak(soak_exp::default_requests()),
         mg_exp::e28_hpcg(),
         telemetry_exp::e29_telemetry(telemetry_exp::default_requests()),
+        rca_exp::e30_rca(rca_exp::default_requests()),
     ]
 }
 
-/// Run one experiment by its lowercase id (`"e1"`, `"e01"`, ... `"e29"`);
-/// `"soak"` is an alias for the E27 chaos soak and `"telemetry"` for
-/// the E29 pipeline.
+/// Run one experiment by its lowercase id (`"e1"`, `"e01"`, ... `"e30"`);
+/// `"soak"` is an alias for the E27 chaos soak, `"telemetry"` for the
+/// E29 pipeline, and `"rca"` for the E30 flight-recorder sweep.
 pub fn run_one(id: &str) -> Option<Table> {
     let norm = id.trim_start_matches('e').trim_start_matches('0');
     Some(match norm {
@@ -91,6 +93,7 @@ pub fn run_one(id: &str) -> Option<Table> {
         "27" | "soak" => soak_exp::e27_chaos_soak(soak_exp::default_requests()),
         "28" | "hpcg" => mg_exp::e28_hpcg(),
         "29" | "telemetry" => telemetry_exp::e29_telemetry(telemetry_exp::default_requests()),
+        "30" | "rca" => rca_exp::e30_rca(rca_exp::default_requests()),
         _ => return None,
     })
 }
@@ -133,7 +136,13 @@ mod tests {
         assert!(run_one("e29").is_some());
         assert!(run_one("telemetry").is_some());
         std::env::remove_var("HPF_E29_REQUESTS");
-        assert!(run_one("e30").is_none());
+        // E30 is the flight-recorder sweep; keep the in-test run
+        // smoke-sized.
+        std::env::set_var("HPF_E30_REQUESTS", "120");
+        assert!(run_one("e30").is_some());
+        assert!(run_one("rca").is_some());
+        std::env::remove_var("HPF_E30_REQUESTS");
+        assert!(run_one("e31").is_none());
         assert!(run_one("nope").is_none());
         let _ = std::fs::remove_dir_all(&scratch);
     }

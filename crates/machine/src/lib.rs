@@ -20,6 +20,7 @@
 //! * [`exec`] — scoped-thread fork-join helpers for running local phases
 //!   of the simulation on real cores.
 
+pub mod blackbox;
 pub mod cost;
 pub mod exec;
 pub mod fault;
@@ -30,6 +31,7 @@ pub mod spmd;
 pub mod topology;
 pub mod trace;
 
+pub use blackbox::{BlackBox, BlackBoxRecord, BlackBoxTail};
 pub use cost::CostModel;
 pub use fault::{Fault, FaultKind, FaultPlan, FaultRates};
 pub use machine::{EventSink, Machine, ProcStats, ProgressHook};

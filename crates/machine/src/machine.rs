@@ -141,6 +141,29 @@ impl EventSink {
         (self.emit)(event);
     }
 
+    /// Combine several sinks into one. [`Machine::set_event_sink`] holds a
+    /// single sink, so coexisting taps (a sampling bus *and* a black-box
+    /// flight recorder) must be fanned out explicitly. Emission offers the
+    /// event to every child; the combined pre-filter keeps an event if
+    /// *any* child wants it, so each child's own emit body must stay
+    /// prepared to drop events it did not ask for (the bus re-checks its
+    /// sampling decision on publish, the black box keeps everything).
+    pub fn fanout(sinks: Vec<EventSink>) -> Self {
+        let emit_children = sinks.clone();
+        let filter_children: Vec<EventSink> = sinks;
+        EventSink {
+            emit: std::sync::Arc::new(move |event: &Event| {
+                for child in &emit_children {
+                    child.emit(event);
+                }
+            }),
+            filter: Some(std::sync::Arc::new(move |trace_id, kind| {
+                let _ = trace_id;
+                filter_children.iter().any(|c| c.wants(kind))
+            })),
+        }
+    }
+
     /// Would the sink keep an event of `kind` for the calling thread's
     /// current trace id? No filter means yes.
     pub fn wants(&self, kind: EventKind) -> bool {

@@ -85,14 +85,24 @@ pub struct BusEvent {
     pub latency_us: u64,
     /// Completion outcome (service `completed` events; else `true`).
     pub ok: bool,
+    /// Stable outcome tag for service `completed` events (`"ok"`,
+    /// `"worker-killed"`, `"recovery-exhausted"`, ...); empty for every
+    /// other event. Serialized only when non-empty, and old followers
+    /// ignore it — the lenient parser contract at work.
+    pub outcome: String,
 }
 
 impl BusEvent {
     /// One-line JSON rendering (the `--follow` wire format).
     pub fn to_jsonl(&self) -> String {
+        let outcome = if self.outcome.is_empty() {
+            String::new()
+        } else {
+            format!(",\"outcome\":\"{}\"", escape(&self.outcome))
+        };
         format!(
             "{{\"seq\":{},\"wall_s\":{},\"origin\":\"{}\",\"kind\":\"{}\",\"trace\":\"{:016x}\",\
-             \"class\":\"{}\",\"span\":\"{}\",\"label\":\"{}\",\"time_s\":{},\"latency_us\":{},\"ok\":{}}}",
+             \"class\":\"{}\",\"span\":\"{}\",\"label\":\"{}\",\"time_s\":{},\"latency_us\":{},\"ok\":{}{}}}",
             self.seq,
             json_f64(self.wall_s),
             self.origin.name(),
@@ -104,6 +114,7 @@ impl BusEvent {
             json_f64(self.time_s),
             self.latency_us,
             self.ok,
+            outcome,
         )
     }
 
@@ -129,6 +140,7 @@ impl BusEvent {
             time_s: 0.0,
             latency_us: 0,
             ok: true,
+            outcome: String::new(),
         };
         let mut saw_origin = false;
         for (key, value) in split_top_level_pairs(inner)? {
@@ -161,6 +173,7 @@ impl BusEvent {
                         .map_err(|_| format!("bad latency_us {value:?}"))?
                 }
                 "ok" => ev.ok = value.parse().map_err(|_| format!("bad ok {value:?}"))?,
+                "outcome" => ev.outcome = unquote(value)?,
                 _ => {} // forward compatibility: ignore unknown keys
             }
         }
@@ -558,6 +571,7 @@ impl EventBus {
                     time_s: e.time,
                     latency_us: 0,
                     ok: true,
+                    outcome: String::new(),
                 },
                 critical,
             );
@@ -579,20 +593,21 @@ impl EventBus {
     pub fn service_sink(self: &Arc<Self>) -> hpf_service::ServiceEventSink {
         let bus = Arc::clone(self);
         hpf_service::ServiceEventSink::new(move |e: &hpf_service::ServiceEvent| {
-            let (class, latency_us, ok) = match *e {
+            let (class, latency_us, ok, outcome) = match *e {
                 hpf_service::ServiceEvent::Completed {
                     class,
                     latency_us,
                     ok,
+                    outcome,
                     ..
-                } => (class.name(), latency_us, ok),
+                } => (class.name(), latency_us, ok, outcome),
                 hpf_service::ServiceEvent::Admitted { class, .. }
                 | hpf_service::ServiceEvent::Shed { class, .. }
                 | hpf_service::ServiceEvent::DeadlineExpired { class, .. }
                 | hpf_service::ServiceEvent::WorkerKilled { class, .. }
                 | hpf_service::ServiceEvent::Rollback { class, .. }
-                | hpf_service::ServiceEvent::Retry { class, .. } => (class.name(), 0, true),
-                hpf_service::ServiceEvent::WorkerRestarted { .. } => ("", 0, true),
+                | hpf_service::ServiceEvent::Retry { class, .. } => (class.name(), 0, true, ""),
+                hpf_service::ServiceEvent::WorkerRestarted { .. } => ("", 0, true, ""),
             };
             bus.publish(
                 BusEvent {
@@ -607,6 +622,7 @@ impl EventBus {
                     time_s: 0.0,
                     latency_us,
                     ok,
+                    outcome: outcome.to_string(),
                 },
                 e.is_critical(),
             );
@@ -631,6 +647,7 @@ mod tests {
             time_s: 1.5e-4,
             latency_us: 0,
             ok: true,
+            outcome: String::new(),
         }
     }
 
@@ -791,6 +808,7 @@ mod tests {
             class: QosClass::Batch,
             latency_us: 900,
             ok: true,
+            outcome: "ok",
         });
         // Critical: a shed always lands.
         sink.emit(&ServiceEvent::Shed {

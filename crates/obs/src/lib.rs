@@ -26,6 +26,10 @@
 //! - **Admission audit** — [`admission::AdmissionAudit`] judges the
 //!   service's shed decisions in hindsight against completed-job
 //!   latencies, pricing over-shedding as a "shed-when-feasible" rate.
+//! - **Flight recorder** — [`rca::FlightRecorder`] retains bounded
+//!   machine/service/residual tails for every job and, on a bad terminal
+//!   outcome or a firing SLO alert, correlates them into a ranked
+//!   root-cause [`rca::Postmortem`] document.
 //! - **Regression gate** — [`gate`] persists bench runs as
 //!   schema-versioned `BENCH_<n>.json` records plus a rolling
 //!   `bench-history.jsonl`, and fails (typed [`GateError`]) when a
@@ -43,6 +47,7 @@ pub mod oracle;
 pub mod perfetto;
 pub mod profile;
 pub mod prom;
+pub mod rca;
 pub mod slo;
 pub mod telemetry;
 pub mod timeline;
@@ -61,6 +66,10 @@ pub use oracle::{classify, CategoryDrift, DriftCategory, DriftReport, IterDrift,
 pub use perfetto::{trace_events_json, PerfettoError};
 pub use profile::{normalize_path, HotSpan, SpanProfile};
 pub use prom::{render_prometheus, snapshot_from_json};
+pub use rca::{
+    summary_from_json as postmortem_summary_from_json, FlightRecorder, FlightRecorderConfig,
+    Postmortem, PostmortemSummary, RootCause, Trigger, Verdict, POSTMORTEM_SCHEMA,
+};
 pub use slo::{AlertState, AlertTransition, SloSpec, SloStatus, SloTracker};
 pub use telemetry::ConvergenceLog;
 pub use timeline::{Slice, Timeline};

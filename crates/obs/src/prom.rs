@@ -13,7 +13,7 @@
 //! `_bucket` series with `le` labels in **seconds**, a `+Inf` bucket,
 //! `_sum` (seconds), and `_count`.
 
-use hpf_service::{MetricsSnapshot, SolveOutcome};
+use hpf_service::{MetricsSnapshot, PostmortemCount, SolveOutcome};
 
 /// Render `snap` as Prometheus text exposition.
 pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
@@ -76,6 +76,19 @@ pub fn snapshot_from_json(text: &str) -> Result<MetricsSnapshot, String> {
                 .map_err(|_| "bad outcome failed count".to_string())?,
         });
     }
+    // Older snapshot files predate the flight recorder; treat a missing
+    // postmortems section as empty rather than a parse failure.
+    let mut postmortems = Vec::new();
+    if let Ok(pm_section) = section(text, "\"postmortems\":[", ']') {
+        for obj in pm_section.split('{').skip(1) {
+            postmortems.push(PostmortemCount {
+                verdict: quoted(&scalar(obj, "verdict")?)?,
+                count: scalar(obj, "count")?
+                    .parse()
+                    .map_err(|_| "bad postmortem count".to_string())?,
+            });
+        }
+    }
     Ok(MetricsSnapshot {
         accepted: u("accepted")?,
         rejected_busy: u("rejected_busy")?,
@@ -107,6 +120,7 @@ pub fn snapshot_from_json(text: &str) -> Result<MetricsSnapshot, String> {
         latency_buckets: counts,
         latency_sum_us: u("latency_sum_us")?,
         solve_outcomes: outcomes,
+        postmortems,
     })
 }
 

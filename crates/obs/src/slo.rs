@@ -499,6 +499,53 @@ mod tests {
     }
 
     #[test]
+    fn oscillating_breach_fires_at_most_once_per_hysteresis_window() {
+        let mut t = SloTracker::new(vec![spec()]);
+        // 30 s square wave at 10 Hz: 2.5 s all-bad, 2.5 s all-good. The
+        // raw breach condition toggles every period (the fast window
+        // drains below threshold near the end of each good phase, for
+        // less than clear_for), so without pending_for/clear_for
+        // hysteresis the alert would flap once per cycle.
+        let mut now = 0.0;
+        while now < 30.0 {
+            let bad = ((now / 2.5) as u64).is_multiple_of(2);
+            t.observe(
+                now,
+                QosClass::Interactive,
+                if bad { 5000 } else { 100 },
+                !bad,
+            );
+            t.evaluate(now);
+            now += 0.1;
+        }
+        let firings = t
+            .log()
+            .iter()
+            .filter(|tr| tr.from == AlertState::Pending && tr.to == AlertState::Firing)
+            .count();
+        let windows = (30.0 / (spec().pending_for_s + spec().clear_for_s)).ceil() as usize;
+        assert!(
+            firings <= windows,
+            "{firings} Pending->Firing transitions over {windows} hysteresis windows"
+        );
+        assert_eq!(
+            firings, 1,
+            "the page must be sticky across the whole oscillation"
+        );
+        // Pin the transition log: one walk to Firing, no mid-oscillation
+        // resolve/re-fire churn.
+        let seq: Vec<(AlertState, AlertState)> =
+            t.log().iter().map(|tr| (tr.from, tr.to)).collect();
+        assert_eq!(
+            seq,
+            vec![
+                (AlertState::Inactive, AlertState::Pending),
+                (AlertState::Pending, AlertState::Firing),
+            ]
+        );
+    }
+
+    #[test]
     fn resolved_rebreach_starts_a_fresh_pending() {
         let mut t = SloTracker::new(vec![spec()]);
         let mut now = 0.0;
@@ -580,6 +627,7 @@ mod tests {
             time_s: 0.0,
             latency_us: 10,
             ok,
+            outcome: String::new(),
         };
         t.observe_bus_event(&mk("completed", 0.1, true));
         t.observe_bus_event(&mk("shed", 0.2, true)); // refusal = bad

@@ -97,11 +97,18 @@ fn live_serve_loop_is_scrapable_end_to_end() {
     assert_eq!(body, report.to_json());
     assert!(body.contains("\"categories\""));
 
-    // /slo and /alerts 404 until a tracker publishes, then serve the
-    // tracker's JSON documents verbatim.
-    for path in ["/slo", "/alerts"] {
-        let (head, _) = http_get(server.addr(), path);
-        assert!(head.starts_with("HTTP/1.1 404"), "{path}: {head}");
+    // Publishing has started (the drift report above), so /slo, /alerts
+    // and /postmortems answer 200 with explicit empty documents instead
+    // of 404 — a scraper can tell "nothing yet" from "not wired up".
+    for (path, empty) in [
+        ("/slo", "{\"slo\":[]}"),
+        ("/alerts", "{\"alerts\":[]}"),
+        ("/postmortems", "{\"postmortems\":[]}"),
+    ] {
+        let (head, body) = http_get(server.addr(), path);
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{path}: {head}");
+        assert_eq!(body, empty, "{path}");
+        hpf_obs::json::validate(&body).expect("empty doc is strict JSON");
     }
     let mut slo = hpf_obs::SloTracker::soak_defaults();
     // A clean sample then a sustained breach, so the published state
@@ -129,6 +136,63 @@ fn live_serve_loop_is_scrapable_end_to_end() {
     assert_eq!(body, slo.alerts_json());
     assert!(body.contains("\"to\":\"pending\""), "{body}");
     assert!(body.contains("\"to\":\"firing\""), "{body}");
+
+    // Flight-recorder path: a synthetic bad job produces a post-mortem;
+    // publishing it makes /postmortems serve the index and the per-trace
+    // document, and the verdict counter reaches /metrics.
+    let fr = hpf_obs::FlightRecorder::new(hpf_obs::FlightRecorderConfig::default());
+    fr.machine_sink().emit(&hpf_machine::Event {
+        kind: hpf_machine::EventKind::AllReduce,
+        participants: 4,
+        words: 8,
+        flops: 0,
+        time: 1e-4,
+        start: 0.1,
+        span: format!("trace={:016x}/solve/iter=2/dot", 0xabu64),
+        label: "fault:stall:p2:op17:ms400".to_string(),
+        proc_times: Vec::new(),
+        payload_words: 8,
+        hops: 0,
+    });
+    fr.service_sink(None)
+        .emit(&hpf_service::ServiceEvent::Completed {
+            trace_id: 0xab,
+            class: hpf_service::QosClass::Interactive,
+            latency_us: 900,
+            ok: false,
+            outcome: "worker-killed",
+        });
+    let pm = &fr.postmortems()[0];
+    assert_eq!(pm.top_verdict().name(), "fault-stall");
+    server.publish_postmortem(&pm.key, pm.to_json());
+    server.publish_postmortems(fr.index_json());
+    service
+        .metrics_handle()
+        .record_postmortem(pm.top_verdict().name());
+
+    let (head, body) = http_get(server.addr(), "/postmortems");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    hpf_obs::json::validate(&body).expect("postmortems index is strict JSON");
+    assert!(body.contains(&pm.key), "{body}");
+    assert!(body.contains("\"verdict\":\"fault-stall\""), "{body}");
+
+    let (head, body) = http_get(server.addr(), &format!("/postmortems/{}", pm.key));
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert_eq!(body, pm.to_json(), "per-trace doc served verbatim");
+    let summary = hpf_obs::postmortem_summary_from_json(&body).expect("summary");
+    assert_eq!(summary.top_verdict, "fault-stall");
+
+    let (head, _) = http_get(server.addr(), "/postmortems/00000000deadbeef");
+    assert!(
+        head.starts_with("HTTP/1.1 404"),
+        "unknown trace 404s: {head}"
+    );
+
+    let (_, text) = http_get(server.addr(), "/metrics");
+    assert!(
+        text.contains("hpf_service_postmortems_total{verdict=\"fault-stall\"} 1"),
+        "verdict counter exported"
+    );
 
     // Shutdown flips /healthz to draining / 503.
     service.shutdown();

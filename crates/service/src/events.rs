@@ -67,6 +67,11 @@ pub enum ServiceEvent {
         latency_us: u64,
         /// `false` for any typed failure (breaker, kill, breakdown...).
         ok: bool,
+        /// Stable outcome tag — `"ok"` on success, otherwise the failure
+        /// class ([`crate::ServiceError::outcome`]): `"worker-killed"`,
+        /// `"recovery-exhausted"`, `"deadline"`, ... This is what the
+        /// flight recorder keys its dump triggers and verdicts on.
+        outcome: &'static str,
     },
 }
 
@@ -141,6 +146,48 @@ pub fn emit(sink: &Option<ServiceEventSink>, event: ServiceEvent) {
     }
 }
 
+/// The residual-series tail of one solve attempt — what the worker's
+/// bounded [`hpf_solvers::TailObserver`] retained — flushed through
+/// [`SolverTapSink`] after the attempt finishes (success, typed failure,
+/// or a supervisor kill mid-attempt). The flight recorder stores the
+/// last flush per trace as divergence/stagnation evidence.
+#[derive(Debug, Clone)]
+pub struct SolverTail {
+    pub trace_id: u64,
+    /// 1-based attempt this tail belongs to.
+    pub attempt: usize,
+    /// Post-escalation solver that ran the attempt.
+    pub solver: &'static str,
+    /// Last iterations, oldest first.
+    pub samples: Vec<hpf_solvers::IterSample>,
+    /// `(iteration, reason)` protected-solver rollbacks.
+    pub rollbacks: Vec<(usize, String)>,
+    /// Iterations with a restart-from-true-residual.
+    pub restarts: Vec<usize>,
+    /// Samples recorded but pushed out of the bounded ring.
+    pub overwritten: u64,
+}
+
+/// Callback receiving one [`SolverTail`] per finished solve attempt.
+#[derive(Clone)]
+pub struct SolverTapSink(pub Arc<dyn Fn(&SolverTail) + Send + Sync>);
+
+impl SolverTapSink {
+    pub fn new(f: impl Fn(&SolverTail) + Send + Sync + 'static) -> Self {
+        SolverTapSink(Arc::new(f))
+    }
+
+    pub fn emit(&self, tail: &SolverTail) {
+        (self.0)(tail);
+    }
+}
+
+impl std::fmt::Debug for SolverTapSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SolverTapSink(..)")
+    }
+}
+
 /// Deterministic non-zero trace id for a job id (splitmix64 finalizer —
 /// well-mixed bits, so probabilistic head sampling keyed on the id is
 /// uniform even though job ids are sequential).
@@ -173,6 +220,7 @@ mod tests {
             class: QosClass::Batch,
             latency_us: 1,
             ok: true,
+            outcome: "ok",
         };
         assert!(!ok.is_critical(), "completions are head-sampled");
         assert_eq!(

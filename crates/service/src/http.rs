@@ -9,11 +9,21 @@
 //!   `DriftReport` JSON (published by the embedding process via
 //!   [`MetricsServer::publish_drift`]), `404` until one exists,
 //! - `GET /slo`      — the most recently published per-class SLO status
-//!   JSON ([`MetricsServer::publish_slo`]), `404` until one exists,
+//!   JSON ([`MetricsServer::publish_slo`]),
 //! - `GET /alerts`   — the most recently published burn-rate alert
-//!   state JSON ([`MetricsServer::publish_alerts`]), `404` until one
-//!   exists. The SLO evaluation itself lives in `hpf-obs::slo`; the
-//!   embedding process evaluates and publishes here.
+//!   state JSON ([`MetricsServer::publish_alerts`]). The SLO evaluation
+//!   itself lives in `hpf-obs::slo`; the embedding process evaluates
+//!   and publishes here,
+//! - `GET /postmortems` — index of flight-recorder post-mortem dumps
+//!   ([`MetricsServer::publish_postmortems`]), and
+//!   `GET /postmortems/<trace-hex>` — one dump's full JSON
+//!   ([`MetricsServer::publish_postmortem`]).
+//!
+//! Publisher-fed endpoints answer `404` only before the embedding
+//! process has published *anything*; once publishing has started they
+//! answer `200` with an explicit empty document (`{"alerts":[]}`)
+//! instead of making "no transitions yet" indistinguishable from "no
+//! publisher wired".
 //!
 //! This is intentionally *not* a web framework: one accept loop on a
 //! background thread, one short-lived connection per scrape, request
@@ -38,6 +48,15 @@ pub(crate) struct Published {
     pub drift: Mutex<Option<String>>,
     pub slo: Mutex<Option<String>>,
     pub alerts: Mutex<Option<String>>,
+    /// Post-mortem index document served at `/postmortems`.
+    pub postmortems: Mutex<Option<String>>,
+    /// Per-trace dump documents served at `/postmortems/<trace-hex>`,
+    /// keyed by the 16-digit lowercase hex trace id.
+    pub postmortem_docs: Mutex<std::collections::BTreeMap<String, String>>,
+    /// Set by the first `publish_*` call: distinguishes "no publisher
+    /// wired" (404) from "publishing, nothing to report yet" (200 with
+    /// an explicit empty document).
+    pub started: AtomicBool,
 }
 
 /// Handle to a running metrics listener. Dropping it stops the accept
@@ -59,19 +78,40 @@ impl MetricsServer {
     /// Install `report_json` as the document served at `GET /drift`.
     /// Replaces any previously published report.
     pub fn publish_drift(&self, report_json: String) {
+        self.published.started.store(true, Ordering::SeqCst);
         *self.published.drift.lock() = Some(report_json);
     }
 
     /// Install `slo_json` as the document served at `GET /slo`.
     /// Replaces any previously published status.
     pub fn publish_slo(&self, slo_json: String) {
+        self.published.started.store(true, Ordering::SeqCst);
         *self.published.slo.lock() = Some(slo_json);
     }
 
     /// Install `alerts_json` as the document served at `GET /alerts`.
     /// Replaces any previously published state.
     pub fn publish_alerts(&self, alerts_json: String) {
+        self.published.started.store(true, Ordering::SeqCst);
         *self.published.alerts.lock() = Some(alerts_json);
+    }
+
+    /// Install `index_json` as the document served at `GET /postmortems`.
+    /// Replaces any previously published index.
+    pub fn publish_postmortems(&self, index_json: String) {
+        self.published.started.store(true, Ordering::SeqCst);
+        *self.published.postmortems.lock() = Some(index_json);
+    }
+
+    /// Install one post-mortem dump, served at
+    /// `GET /postmortems/<trace_hex>` (use the 16-digit lowercase hex
+    /// trace id). Replaces any previous dump for the same trace.
+    pub fn publish_postmortem(&self, trace_hex: &str, doc_json: String) {
+        self.published.started.store(true, Ordering::SeqCst);
+        self.published
+            .postmortem_docs
+            .lock()
+            .insert(trace_hex.to_string(), doc_json);
     }
 
     /// Stop the accept loop and join the listener thread. Idempotent.
@@ -215,6 +255,9 @@ fn route(
         },
         "/slo" => match published.slo.lock().clone() {
             Some(status) => ("200 OK", "application/json", status),
+            None if published.started.load(Ordering::SeqCst) => {
+                ("200 OK", "application/json", "{\"slo\":[]}".to_string())
+            }
             None => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
@@ -223,16 +266,44 @@ fn route(
         },
         "/alerts" => match published.alerts.lock().clone() {
             Some(alerts) => ("200 OK", "application/json", alerts),
+            None if published.started.load(Ordering::SeqCst) => {
+                ("200 OK", "application/json", "{\"alerts\":[]}".to_string())
+            }
             None => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
                 "no alert state published yet\n".to_string(),
             ),
         },
+        "/postmortems" => match published.postmortems.lock().clone() {
+            Some(index) => ("200 OK", "application/json", index),
+            None if published.started.load(Ordering::SeqCst) => (
+                "200 OK",
+                "application/json",
+                "{\"postmortems\":[]}".to_string(),
+            ),
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no postmortems published yet\n".to_string(),
+            ),
+        },
+        p if p.starts_with("/postmortems/") => {
+            let trace = p.trim_start_matches("/postmortems/");
+            match published.postmortem_docs.lock().get(trace).cloned() {
+                Some(doc) => ("200 OK", "application/json", doc),
+                None => (
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    "no postmortem for that trace id\n".to_string(),
+                ),
+            }
+        }
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; try /metrics, /healthz, /drift, /slo or /alerts\n".to_string(),
+            "not found; try /metrics, /healthz, /drift, /slo, /alerts or /postmortems\n"
+                .to_string(),
         ),
     }
 }
@@ -288,21 +359,55 @@ mod tests {
     }
 
     #[test]
-    fn slo_and_alerts_are_404_until_published() {
+    fn slo_and_alerts_are_404_only_before_any_publishing() {
         let mut server = spawn("127.0.0.1:0", test_state()).unwrap();
+        // No publisher wired at all: 404 tells the scraper so.
         assert!(get(server.addr(), "/slo").starts_with("HTTP/1.1 404"));
         assert!(get(server.addr(), "/alerts").starts_with("HTTP/1.1 404"));
+        // Any publish starts publishing: endpoints without their own
+        // document now answer 200 with an explicit empty body instead
+        // of an ambiguous 404.
+        server.publish_drift("{\"total_measured\":1}".to_string());
+        let slo = get(server.addr(), "/slo");
+        assert!(slo.starts_with("HTTP/1.1 200 OK"), "{slo}");
+        assert!(slo.contains("{\"slo\":[]}"), "{slo}");
+        let alerts = get(server.addr(), "/alerts");
+        assert!(alerts.starts_with("HTTP/1.1 200 OK"), "{alerts}");
+        assert!(alerts.contains("{\"alerts\":[]}"), "{alerts}");
+        // Real documents replace the empty placeholders verbatim.
         server.publish_slo("{\"class\":\"interactive\"}".to_string());
         server.publish_alerts("[{\"state\":\"firing\"}]".to_string());
         let slo = get(server.addr(), "/slo");
-        assert!(slo.starts_with("HTTP/1.1 200 OK"), "{slo}");
         assert!(slo.contains("\"class\":\"interactive\""));
         let alerts = get(server.addr(), "/alerts");
-        assert!(alerts.starts_with("HTTP/1.1 200 OK"), "{alerts}");
         assert!(alerts.contains("\"state\":\"firing\""));
-        // The 404 fallback advertises the new endpoints.
+        // The 404 fallback advertises the endpoints.
         let missing = get(server.addr(), "/nope");
         assert!(missing.contains("/alerts"), "{missing}");
+        assert!(missing.contains("/postmortems"), "{missing}");
+        server.stop();
+    }
+
+    #[test]
+    fn postmortems_index_and_per_trace_docs_are_served() {
+        let mut server = spawn("127.0.0.1:0", test_state()).unwrap();
+        assert!(get(server.addr(), "/postmortems").starts_with("HTTP/1.1 404"));
+        server.publish_alerts("[]".to_string());
+        let empty = get(server.addr(), "/postmortems");
+        assert!(empty.starts_with("HTTP/1.1 200 OK"), "{empty}");
+        assert!(empty.contains("{\"postmortems\":[]}"), "{empty}");
+        server.publish_postmortems("{\"postmortems\":[{\"trace\":\"00000000000000ab\"}]}".into());
+        server.publish_postmortem(
+            "00000000000000ab",
+            "{\"trace\":\"00000000000000ab\"}".into(),
+        );
+        let index = get(server.addr(), "/postmortems");
+        assert!(index.contains("00000000000000ab"), "{index}");
+        let doc = get(server.addr(), "/postmortems/00000000000000ab");
+        assert!(doc.starts_with("HTTP/1.1 200 OK"), "{doc}");
+        assert!(doc.contains("\"trace\":\"00000000000000ab\""), "{doc}");
+        let missing = get(server.addr(), "/postmortems/ffffffffffffffff");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
         server.stop();
     }
 

@@ -47,10 +47,12 @@ pub mod supervisor;
 pub mod worker;
 
 pub use admission::{AdmissionController, AdmissionDecision};
-pub use events::{ServiceEvent, ServiceEventSink};
+pub use events::{ServiceEvent, ServiceEventSink, SolverTail, SolverTapSink};
 pub use fingerprint::Fingerprint;
 pub use http::MetricsServer;
-pub use metrics::{Metrics, MetricsSnapshot, SolveOutcome, LATENCY_BUCKET_BOUNDS_US};
+pub use metrics::{
+    Metrics, MetricsSnapshot, PostmortemCount, SolveOutcome, LATENCY_BUCKET_BOUNDS_US,
+};
 pub use plan::{CacheOutcome, PlanCache, SolvePlan};
 pub use request::{QosClass, ServiceConfig, SolveRequest, SolverKind};
 pub use response::{PlanSource, ServiceError, SolveResponse, TraceSummary};

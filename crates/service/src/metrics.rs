@@ -64,6 +64,9 @@ pub struct Metrics {
     /// exposition can tell a CG run from a GMRES escalation. BTreeMap
     /// keeps the exposition order deterministic.
     solve_outcomes: Mutex<BTreeMap<(String, String), OutcomeCounts>>,
+    /// Post-mortem dumps the flight recorder produced, keyed by the
+    /// top-ranked verdict. BTreeMap keeps the exposition deterministic.
+    postmortems: Mutex<BTreeMap<String, u64>>,
     /// When this `Metrics` was created (service start).
     started: Instant,
 }
@@ -112,6 +115,7 @@ impl Metrics {
             latency_buckets: Default::default(),
             latency_sum_us: AtomicU64::new(0),
             solve_outcomes: Mutex::new(BTreeMap::new()),
+            postmortems: Mutex::new(BTreeMap::new()),
             started: Instant::now(),
         }
     }
@@ -141,6 +145,17 @@ impl Metrics {
         } else {
             entry.failed += 1;
         }
+    }
+
+    /// Record one flight-recorder post-mortem dump under its top-ranked
+    /// verdict (`"fault-bitflip"`, `"stagnation"`, ...). Labels are
+    /// sanitized at record time like the solve-outcome labels.
+    pub fn record_postmortem(&self, verdict: &str) {
+        *self
+            .postmortems
+            .lock()
+            .entry(sanitize_label(verdict))
+            .or_default() += 1;
     }
 
     /// Consistent-enough point-in-time copy of every counter, plus the
@@ -203,6 +218,15 @@ impl Metrics {
                     failed: c.failed,
                 })
                 .collect(),
+            postmortems: self
+                .postmortems
+                .lock()
+                .iter()
+                .map(|(verdict, count)| PostmortemCount {
+                    verdict: verdict.clone(),
+                    count: *count,
+                })
+                .collect(),
         }
     }
 }
@@ -255,6 +279,13 @@ pub struct SolveOutcome {
     pub failed: u64,
 }
 
+/// One verdict row of the labeled post-mortem dump counter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PostmortemCount {
+    pub verdict: String,
+    pub count: u64,
+}
+
 /// Serializable point-in-time view of the service counters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -296,6 +327,9 @@ pub struct MetricsSnapshot {
     pub latency_sum_us: u64,
     /// Per-`(solver, scenario)` completed/failed counts, sorted by key.
     pub solve_outcomes: Vec<SolveOutcome>,
+    /// Flight-recorder dumps per top-ranked verdict, sorted by verdict.
+    #[serde(default)]
+    pub postmortems: Vec<PostmortemCount>,
 }
 
 impl MetricsSnapshot {
@@ -325,6 +359,11 @@ impl MetricsSnapshot {
                 )
             })
             .collect();
+        let postmortems: Vec<String> = self
+            .postmortems
+            .iter()
+            .map(|p| format!("{{\"verdict\":\"{}\",\"count\":{}}}", p.verdict, p.count))
+            .collect();
         format!(
             "{{\"accepted\":{},\"rejected_busy\":{},\"rejected_invalid\":{},\
              \"completed\":{},\"failed\":{},\"deadline_exceeded\":{},\
@@ -336,7 +375,8 @@ impl MetricsSnapshot {
              \"worker_restarts\":{},\"queue_depth\":{},\
              \"class_queue_depth\":[{},{},{}],\"queue_saturation\":{},\
              \"uptime_seconds\":{},\
-             \"latency_sum_us\":{},\"latency\":[{}],\"solve_outcomes\":[{}]}}",
+             \"latency_sum_us\":{},\"latency\":[{}],\"solve_outcomes\":[{}],\
+             \"postmortems\":[{}]}}",
             self.accepted,
             self.rejected_busy,
             self.rejected_invalid,
@@ -375,7 +415,8 @@ impl MetricsSnapshot {
             },
             self.latency_sum_us,
             buckets.join(","),
-            outcomes.join(",")
+            outcomes.join(","),
+            postmortems.join(",")
         )
     }
 
@@ -499,6 +540,19 @@ impl MetricsSnapshot {
                     escape_label_value(&o.solver),
                     escape_label_value(&o.scenario),
                     o.failed
+                ));
+            }
+        }
+        if !self.postmortems.is_empty() {
+            out.push_str(&format!(
+                "# HELP {PREFIX}_postmortems_total Flight-recorder post-mortem dumps, by top-ranked verdict\n\
+                 # TYPE {PREFIX}_postmortems_total counter\n"
+            ));
+            for p in &self.postmortems {
+                out.push_str(&format!(
+                    "{PREFIX}_postmortems_total{{verdict=\"{}\"}} {}\n",
+                    escape_label_value(&p.verdict),
+                    p.count
                 ));
             }
         }

@@ -314,6 +314,11 @@ pub struct ServiceConfig {
     /// (spans, faults, collectives) out mid-solve.
     #[serde(skip)]
     pub machine_sink: Option<hpf_machine::EventSink>,
+    /// Flight-recorder tap receiving the bounded residual-series tail of
+    /// every finished solve attempt ([`crate::events::SolverTail`]) —
+    /// divergence/stagnation evidence for post-mortem attribution.
+    #[serde(skip)]
+    pub solver_tap: Option<crate::events::SolverTapSink>,
 }
 
 impl Default for ServiceConfig {
@@ -344,6 +349,7 @@ impl Default for ServiceConfig {
             restart_backoff_cap: Duration::from_secs(1),
             event_sink: None,
             machine_sink: None,
+            solver_tap: None,
         }
     }
 }

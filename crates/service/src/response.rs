@@ -114,6 +114,35 @@ pub enum ServiceError {
     WorkerKilled { after: Duration },
 }
 
+impl ServiceError {
+    /// Stable outcome tag carried on the terminal
+    /// [`crate::ServiceEvent::Completed`] event — the flight recorder's
+    /// dump-trigger and verdict vocabulary. `"ok"` is reserved for
+    /// success.
+    pub fn outcome(&self) -> &'static str {
+        match self {
+            ServiceError::Busy { .. } => "busy",
+            ServiceError::DeadlineExceeded { .. } => "deadline",
+            ServiceError::InvalidRequest(_) => "invalid-request",
+            ServiceError::Solver(e) => match e {
+                SolverError::RecoveryExhausted { .. } => "recovery-exhausted",
+                SolverError::Stagnation { .. } => "stagnation",
+                SolverError::NonFinite { .. } => "non-finite",
+                SolverError::Breakdown { .. } => "breakdown",
+                SolverError::SingularMatrix { .. } => "singular",
+                SolverError::NotSquare { .. }
+                | SolverError::DimensionMismatch { .. }
+                | SolverError::NotSymmetric => "invalid-operator",
+            },
+            ServiceError::WorkerPanic(_) => "worker-panic",
+            ServiceError::Shutdown => "shutdown",
+            ServiceError::CircuitOpen { .. } => "circuit-open",
+            ServiceError::Shed { .. } => "shed",
+            ServiceError::WorkerKilled { .. } => "worker-killed",
+        }
+    }
+}
+
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

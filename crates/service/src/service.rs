@@ -298,6 +298,13 @@ impl SolverService {
         self.metrics.snapshot()
     }
 
+    /// Shared handle to the live counters, for external recorders that
+    /// need to bump service metrics as events happen (e.g. the flight
+    /// recorder counting post-mortem dumps by verdict).
+    pub fn metrics_handle(&self) -> Arc<Metrics> {
+        self.metrics.clone()
+    }
+
     /// Number of plans currently cached.
     pub fn cached_plans(&self) -> usize {
         self.cache.lock().len()

@@ -26,9 +26,11 @@ use crate::supervisor::{CurrentJob, SupervisorAbort, WorkerState};
 use hpf_core::RowwiseCsr;
 use hpf_machine::{CostModel, Machine};
 use hpf_solvers::{
-    bicg_distributed, bicgstab_distributed, cg_distributed, cg_distributed_protected,
-    gmres_distributed, pcg_jacobi_distributed, pcg_jacobi_distributed_protected, DistOperator,
-    RecoveryStats, SolveStats, SolverError, StopCriterion,
+    bicg_distributed_with_observer, bicgstab_distributed_with_observer,
+    cg_distributed_protected_with_observer, cg_distributed_with_observer,
+    gmres_distributed_with_observer, pcg_jacobi_distributed_protected_with_observer,
+    pcg_jacobi_distributed_with_observer, DistOperator, IterObserver, RecoveryStats, SolveStats,
+    SolverError, StopCriterion, TailObserver,
 };
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -77,6 +79,7 @@ pub fn shed_expired_with_sink(
                 class: job.request.qos,
                 latency_us: waited.as_micros() as u64,
                 ok: false,
+                outcome: "deadline",
             },
         );
         let _ = job
@@ -119,6 +122,7 @@ pub fn execute_batch(
                     class: job.request.qos,
                     latency_us: job.submitted.elapsed().as_micros() as u64,
                     ok: false,
+                    outcome: "circuit-open",
                 },
             );
             let _ = job
@@ -253,11 +257,19 @@ pub fn execute_batch(
                 (Some(plan), 1) => machine.set_fault_plan(plan.clone()),
                 _ => machine.clear_fault_plan(),
             }
+            // Bounded residual-series tail for the flight recorder. It
+            // lives *outside* the catch site so a supervisor kill
+            // mid-attempt still leaves the iterations recorded so far
+            // available to the post-mortem flush below.
+            let mut res_tail = TailObserver::new(48);
             let solved = catch_unwind(AssertUnwindSafe(|| {
                 let mut solutions = Vec::with_capacity(job.request.rhs.len());
                 let mut stats: Vec<SolveStats> = Vec::with_capacity(job.request.rhs.len());
                 let mut recovery: Option<RecoveryStats> = None;
                 for rhs in &job.request.rhs {
+                    // One tail per RHS: a failing solve breaks out, so
+                    // the flushed tail is the failing system's.
+                    res_tail.clear();
                     let (x, s, rec) = run_solver(
                         kind,
                         &mut machine,
@@ -267,6 +279,7 @@ pub fn execute_batch(
                         job.request.stop,
                         job.request.max_iters,
                         config.recovery,
+                        &mut res_tail,
                     )?;
                     if let Some(rec) = rec {
                         let agg = recovery.get_or_insert_with(RecoveryStats::default);
@@ -284,6 +297,22 @@ pub fn execute_batch(
             metrics
                 .faults_injected
                 .fetch_add(machine.faults_injected() as u64, Ordering::Relaxed);
+            // Flush the attempt's residual tail to the flight recorder
+            // whether the attempt succeeded, failed typed, or was killed
+            // mid-solve (the panic left `res_tail` intact).
+            if let Some(tap) = &config.solver_tap {
+                if !res_tail.is_empty() {
+                    tap.emit(&crate::events::SolverTail {
+                        trace_id: job.request.trace_id,
+                        attempt: attempts,
+                        solver: kind.name(),
+                        samples: res_tail.tail(),
+                        rollbacks: res_tail.rollbacks().to_vec(),
+                        restarts: res_tail.restarts().to_vec(),
+                        overwritten: res_tail.overwritten(),
+                    });
+                }
+            }
             match solved {
                 Ok(Ok((solutions, stats, recovery))) => {
                     if let Some(rec) = &recovery {
@@ -402,7 +431,8 @@ pub fn execute_batch(
         };
         // Terminal telemetry event: exactly one `Completed` per answered
         // handle, success or typed failure (the SLO tracker's unit of
-        // account for latency and error-budget burn).
+        // account for latency and error-budget burn, and the flight
+        // recorder's dump trigger via the outcome tag).
         events::emit(
             &config.event_sink,
             ServiceEvent::Completed {
@@ -410,6 +440,10 @@ pub fn execute_batch(
                 class: job.request.qos,
                 latency_us: job.submitted.elapsed().as_micros() as u64,
                 ok: result.is_ok(),
+                outcome: match &result {
+                    Ok(_) => "ok",
+                    Err(e) => e.outcome(),
+                },
             },
         );
         let _ = job.responder.send(result);
@@ -446,49 +480,59 @@ fn run_solver(
     stop: StopCriterion,
     max_iters: usize,
     recovery: Option<hpf_solvers::RecoveryConfig>,
+    obs: &mut dyn IterObserver,
 ) -> Result<(Vec<f64>, SolveStats, Option<RecoveryStats>), SolverError> {
     if let SolverKind::PcgMg { .. } = kind {
         let pre = mg.expect("validated: pcg-mg plans carry a hierarchy");
         return match recovery {
             Some(cfg) => {
-                let (x, s, r) =
-                    hpf_mg::pcg_mg_distributed_protected(machine, pre, rhs, stop, max_iters, cfg)?;
+                let (x, s, r) = hpf_mg::pcg_mg_distributed_protected_with_observer(
+                    machine, pre, rhs, stop, max_iters, cfg, obs,
+                )?;
                 Ok((x.to_global(), s, Some(r)))
             }
             None => {
-                let (x, s) = hpf_mg::pcg_mg_distributed(machine, pre, rhs, stop, max_iters)?;
+                let (x, s) = hpf_mg::pcg_mg_distributed_with_observer(
+                    machine, pre, rhs, stop, max_iters, obs,
+                )?;
                 Ok((x.to_global(), s, None))
             }
         };
     }
     let (x, s, rec) = match (kind, recovery) {
         (SolverKind::Cg, Some(cfg)) => {
-            let (x, s, r) = cg_distributed_protected(machine, op, rhs, stop, max_iters, cfg)?;
+            let (x, s, r) = cg_distributed_protected_with_observer(
+                machine, op, rhs, stop, max_iters, cfg, obs,
+            )?;
             (x, s, Some(r))
         }
         (SolverKind::PcgJacobi, Some(cfg)) => {
-            let (x, s, r) =
-                pcg_jacobi_distributed_protected(machine, op, rhs, stop, max_iters, cfg)?;
+            let (x, s, r) = pcg_jacobi_distributed_protected_with_observer(
+                machine, op, rhs, stop, max_iters, cfg, obs,
+            )?;
             (x, s, Some(r))
         }
         (SolverKind::Cg, None) => {
-            let (x, s) = cg_distributed(machine, op, rhs, stop, max_iters)?;
+            let (x, s) = cg_distributed_with_observer(machine, op, rhs, stop, max_iters, obs)?;
             (x, s, None)
         }
         (SolverKind::PcgJacobi, None) => {
-            let (x, s) = pcg_jacobi_distributed(machine, op, rhs, stop, max_iters)?;
+            let (x, s) =
+                pcg_jacobi_distributed_with_observer(machine, op, rhs, stop, max_iters, obs)?;
             (x, s, None)
         }
         (SolverKind::Bicg, _) => {
-            let (x, s) = bicg_distributed(machine, op, rhs, stop, max_iters)?;
+            let (x, s) = bicg_distributed_with_observer(machine, op, rhs, stop, max_iters, obs)?;
             (x, s, None)
         }
         (SolverKind::Bicgstab, _) => {
-            let (x, s) = bicgstab_distributed(machine, op, rhs, stop, max_iters)?;
+            let (x, s) =
+                bicgstab_distributed_with_observer(machine, op, rhs, stop, max_iters, obs)?;
             (x, s, None)
         }
         (SolverKind::Gmres { restart }, _) => {
-            let (x, s) = gmres_distributed(machine, op, rhs, restart, stop, max_iters)?;
+            let (x, s) =
+                gmres_distributed_with_observer(machine, op, rhs, restart, stop, max_iters, obs)?;
             (x, s, None)
         }
         (SolverKind::PcgMg { .. }, _) => unreachable!("early-returned above"),

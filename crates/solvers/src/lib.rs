@@ -49,7 +49,7 @@ pub use dist_solvers::{
 pub use error::SolverError;
 pub use gmres::{gmres, gmres_storage_vectors};
 pub use history::{nonmonotonicity, residual_history, Method};
-pub use observer::{IterObserver, IterSample, NullObserver, RecordingObserver};
+pub use observer::{IterObserver, IterSample, NullObserver, RecordingObserver, TailObserver};
 pub use operator::{ColwiseOperator, CscVariant, DistOperator, SerialOperator};
 pub use pcg::{pcg, pcg_with_observer, IdentityPrec, JacobiPrec, Preconditioner, SsorPrec};
 pub use precond::{DistPreconditioner, JacobiPreconditioner};

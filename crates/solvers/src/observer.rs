@@ -135,6 +135,91 @@ impl IterObserver for RecordingObserver {
     }
 }
 
+/// A bounded last-N observer: the solver-side arm of the flight
+/// recorder. Where [`RecordingObserver`] keeps every sample (fine for
+/// tests, unbounded for a service), this ring retains only the tail of
+/// the residual series — enough for a post-mortem to detect divergence
+/// (non-finite residuals), stagnation (a flat tail) and corruption jumps
+/// without the solve's memory footprint growing with its length.
+#[derive(Debug, Clone)]
+pub struct TailObserver {
+    capacity: usize,
+    samples: std::collections::VecDeque<IterSample>,
+    rollbacks: Vec<(usize, String)>,
+    restarts: Vec<usize>,
+    overwritten: u64,
+}
+
+impl TailObserver {
+    pub fn new(capacity: usize) -> Self {
+        TailObserver {
+            capacity: capacity.max(1),
+            samples: std::collections::VecDeque::new(),
+            rollbacks: Vec::new(),
+            restarts: Vec::new(),
+            overwritten: 0,
+        }
+    }
+
+    /// Retained samples, oldest first.
+    pub fn tail(&self) -> Vec<IterSample> {
+        self.samples.iter().cloned().collect()
+    }
+
+    /// `(iteration, reason)` rollback log (bounded by the same capacity).
+    pub fn rollbacks(&self) -> &[(usize, String)] {
+        &self.rollbacks
+    }
+
+    /// Iterations at which a restart-from-true-residual happened.
+    pub fn restarts(&self) -> &[usize] {
+        &self.restarts
+    }
+
+    /// Samples recorded but pushed out of the bounded ring.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    pub fn last(&self) -> Option<&IterSample> {
+        self.samples.back()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty() && self.rollbacks.is_empty()
+    }
+
+    /// Reset for the next solve (keeps the capacity).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.rollbacks.clear();
+        self.restarts.clear();
+        self.overwritten = 0;
+    }
+}
+
+impl IterObserver for TailObserver {
+    fn on_iteration(&mut self, sample: &IterSample) {
+        if self.samples.len() >= self.capacity {
+            self.samples.pop_front();
+            self.overwritten += 1;
+        }
+        self.samples.push_back(*sample);
+    }
+
+    fn on_rollback(&mut self, iteration: usize, reason: &str) {
+        if self.rollbacks.len() < self.capacity {
+            self.rollbacks.push((iteration, reason.to_string()));
+        }
+    }
+
+    fn on_restart(&mut self, iteration: usize) {
+        if self.restarts.len() < self.capacity {
+            self.restarts.push(iteration);
+        }
+    }
+}
+
 /// Snapshot of machine counters used to attribute per-iteration deltas.
 /// Internal helper for the distributed solvers.
 #[derive(Debug, Clone, Copy, Default)]
@@ -218,6 +303,43 @@ mod tests {
         assert_eq!(obs.restarts, vec![2]);
         assert_eq!(obs.repartitions, vec![(3, "greedy-hypergraph".to_string())]);
         assert_eq!(obs.residuals(), vec![0.5]);
+    }
+
+    fn sample(iteration: usize, residual: f64) -> IterSample {
+        IterSample {
+            iteration,
+            residual_norm: residual,
+            alpha: 1.0,
+            beta: 0.0,
+            flops: 0,
+            comm_words: 0,
+            sim_time: 0.0,
+            predicted_time: 0.0,
+            rollbacks: 0,
+        }
+    }
+
+    #[test]
+    fn tail_observer_keeps_only_the_last_n_samples() {
+        let mut obs = TailObserver::new(3);
+        for i in 1..=5 {
+            obs.on_iteration(&sample(i, 1.0 / i as f64));
+        }
+        obs.on_rollback(4, "non-finite");
+        obs.on_restart(5);
+        let tail = obs.tail();
+        assert_eq!(
+            tail.iter().map(|s| s.iteration).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+        assert_eq!(obs.overwritten(), 2);
+        assert_eq!(obs.last().unwrap().iteration, 5);
+        assert_eq!(obs.rollbacks(), &[(4, "non-finite".to_string())]);
+        assert_eq!(obs.restarts(), &[5]);
+        assert!(!obs.is_empty());
+        obs.clear();
+        assert!(obs.is_empty());
+        assert_eq!(obs.overwritten(), 0);
     }
 
     #[test]
